@@ -1,0 +1,96 @@
+// Command oracle runs the upper-bound study for one workload: it records
+// the workload under a random configuration sample and prints Ideal
+// Static, Ideal Greedy, Oracle, ProfileAdapt (naïve and ideal) and the
+// Baseline, in both optimization modes (Sections 6.2 and 6.4).
+//
+// Usage:
+//
+//	oracle -kernel spmspm -matrix R04 -samples 32 -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/experiments"
+	"sparseadapt/internal/kernels"
+	"sparseadapt/internal/matrix"
+	"sparseadapt/internal/oracle"
+	"sparseadapt/internal/power"
+)
+
+func main() {
+	kernel := flag.String("kernel", "spmspm", "kernel: spmspm|spmspv")
+	matID := flag.String("matrix", "R04", "dataset matrix ID")
+	samples := flag.Int("samples", 32, "number of sampled configurations (paper: 256)")
+	scaleName := flag.String("scale", "small", "scale: test|small|paper")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "test":
+		sc = experiments.TestScale()
+	case "small":
+		sc = experiments.SmallScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+	sc.Seed = *seed
+
+	entry, err := matrix.Entry(*matID)
+	if err != nil {
+		fatal(err)
+	}
+	am := entry.Generate(sc.Matrix, sc.Seed)
+	a := am.ToCSC()
+	var w kernels.Workload
+	switch *kernel {
+	case "spmspm":
+		_, w = kernels.SpMSpM(a, am.ToCSR().Transpose(), sc.Chip.NGPE(), sc.Chip.Tiles)
+	case "spmspv":
+		x := matrix.RandomVec(rand.New(rand.NewSource(sc.Seed+1)), a.Cols, 0.5)
+		_, w = kernels.SpMSpV(a, x, sc.Chip.NGPE(), sc.Chip.Tiles)
+	default:
+		fatal(fmt.Errorf("unknown kernel %q", *kernel))
+	}
+
+	rng := rand.New(rand.NewSource(sc.Seed + 7))
+	cfgs := oracle.SampleConfigs(rng, *samples, config.CacheMode)
+	fmt.Printf("recording %s on %s: %d configs x %d epochs\n",
+		*kernel, *matID, len(cfgs), len(w.Epochs(sc.Epoch)))
+	rec, err := oracle.Record(sc.Chip, sc.BW, w, sc.Epoch, cfgs)
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, mode := range []power.Mode{power.PowerPerformance, power.EnergyEfficient} {
+		fmt.Printf("\n--- mode: %s ---\n", mode)
+		stCfg, st := rec.IdealStatic(mode)
+		_, gr := rec.IdealGreedy(mode)
+		_, or := rec.Oracle(mode)
+		paN := rec.ProfileAdapt(mode, true)
+		paI := rec.ProfileAdapt(mode, false)
+		fmt.Printf("%-18s %12s %12s %12s %14s\n", "scheme", "time(ms)", "energy(mJ)", "GFLOPS", "GFLOPS/W")
+		show := func(name string, m power.Metrics) {
+			fmt.Printf("%-18s %12.3f %12.3f %12.4f %14.4f\n",
+				name, m.TimeSec*1e3, m.EnergyJ*1e3, m.GFLOPS(), m.GFLOPSPerW())
+		}
+		show("ideal-static", st)
+		show("ideal-greedy", gr)
+		show("oracle", or)
+		show("profileadapt-naive", paN)
+		show("profileadapt-ideal", paI)
+		fmt.Printf("ideal static config: %v\n", stCfg)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

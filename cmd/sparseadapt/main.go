@@ -1,0 +1,15 @@
+// Command sparseadapt is the main CLI of the reproduction: it lists and
+// runs the paper's experiments, trains and saves predictive models, runs
+// individual workloads under SparseAdapt control, and prints the dataset
+// inventory. See internal/cli for the implementation.
+package main
+
+import (
+	"os"
+
+	"sparseadapt/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Main(os.Args[1:], os.Stdout))
+}

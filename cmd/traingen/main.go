@@ -1,0 +1,70 @@
+// Command traingen generates SparseAdapt training datasets (Table 3
+// parameter sweeps) and writes them as JSON and/or CSV, mirroring the
+// paper artifact's dataset-construction step. It is a focused companion to
+// `sparseadapt train` for users who want the raw examples.
+//
+// Usage:
+//
+//	traingen -kernel spmspv -l1 cache -mode ee -scale 0.3 -json ds.json -csv ds.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/trainer"
+)
+
+func main() {
+	kernel := flag.String("kernel", "spmspv", "kernel: spmspm|spmspv")
+	l1 := flag.String("l1", "cache", "L1 type: cache|spm")
+	modeName := flag.String("mode", "ee", "optimization mode: ee|pp")
+	scale := flag.Float64("scale", 0.3, "sweep scale (1 = Table 3)")
+	jsonOut := flag.String("json", "", "JSON output path")
+	csvOut := flag.String("csv", "dataset.csv", "CSV output path")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	flag.Parse()
+
+	mode := power.EnergyEfficient
+	if *modeName == "pp" || *modeName == "power-performance" {
+		mode = power.PowerPerformance
+	} else if *modeName != "ee" && *modeName != "energy-efficient" {
+		fatal(fmt.Errorf("unknown mode %q", *modeName))
+	}
+	l1Type := config.CacheMode
+	if *l1 == "spm" {
+		l1Type = config.SPMMode
+	} else if *l1 != "cache" {
+		fatal(fmt.Errorf("unknown L1 type %q", *l1))
+	}
+
+	sw := trainer.DefaultSweep(*kernel, l1Type, *scale)
+	sw.Seed = *seed
+	fmt.Printf("sweep: dims=%v densities=%v bandwidths=%v GB/s K=%d\n",
+		sw.Dims, sw.Densities, sw.BandwidthsGBps, sw.K)
+	ds, err := trainer.Generate(sw, mode)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("generated %d examples\n", len(ds.Examples))
+	if *jsonOut != "" {
+		if err := trainer.SaveDataset(*jsonOut, ds); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *jsonOut)
+	}
+	if *csvOut != "" {
+		if err := trainer.WriteCSV(*csvOut, ds); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *csvOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

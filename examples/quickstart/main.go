@@ -1,0 +1,86 @@
+// Quickstart: train a small SparseAdapt model, run sparse matrix-vector
+// multiplication on the simulated Transmuter CGRA under runtime control,
+// and compare against the static baseline configurations.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/core"
+	"sparseadapt/internal/kernels"
+	"sparseadapt/internal/matrix"
+	"sparseadapt/internal/ml"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
+	"sparseadapt/internal/trainer"
+)
+
+func main() {
+	chip := power.Chip{Tiles: 2, GPEsPerTile: 8} // the paper's 2×8 system
+
+	// 1. Build a workload: y = A·x on a power-law matrix (the shape of
+	// real-world graph data) with a 50%-dense sparse vector.
+	rng := rand.New(rand.NewSource(7))
+	a := matrix.RMATDefault(rng, 512, 6000).ToCSC()
+	x := matrix.RandomVec(rng, 512, 0.5)
+	y, w := kernels.SpMSpV(a, x, chip.NGPE(), chip.Tiles)
+	fmt.Printf("workload: SpMSpV, %dx%d matrix, %d nonzeros -> %d output nonzeros, %d traced FP ops\n",
+		a.Rows, a.Cols, a.NNZ(), y.NNZ(), w.Trace.FPOps)
+
+	// 2. Train the predictive model: sweep uniform-random inputs across
+	// densities and bandwidths (a scaled-down Table 3), label each phase
+	// with its best configuration, fit one decision tree per parameter.
+	sw := trainer.DefaultSweep("spmspv", config.CacheMode, 0.2)
+	sw.Chip = chip
+	ds, err := trainer.Generate(sw, power.EnergyEfficient)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ens, err := trainer.Train(ds, ml.DefaultTreeParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: trained on %d examples, one tree per runtime parameter\n", len(ds.Examples))
+
+	// 3. Run under SparseAdapt control (hybrid policy, 40% tolerance) and
+	// against the static comparison points of Table 4.
+	epochScale := 0.2
+	ctl := core.NewController(ens, core.Options{Policy: core.Hybrid, Tolerance: 0.4, EpochScale: epochScale})
+	m := sim.New(chip, sim.DefaultBandwidth, config.Baseline)
+	dyn := ctl.Run(m, w)
+
+	fmt.Printf("\n%-12s %11s %12s %10s %12s\n", "scheme", "time(us)", "energy(uJ)", "GFLOPS", "GFLOPS/W")
+	show := func(name string, t power.Metrics) {
+		fmt.Printf("%-12s %11.2f %12.2f %10.4f %12.3f\n",
+			name, t.TimeSec*1e6, t.EnergyJ*1e6, t.GFLOPS(), t.GFLOPSPerW())
+	}
+	for _, s := range []struct {
+		name string
+		cfg  config.Config
+	}{
+		{"baseline", config.Baseline},
+		{"best-avg", config.BestAvgCache},
+		{"max-cfg", config.MaxCfg},
+	} {
+		show(s.name, core.RunStatic(chip, sim.DefaultBandwidth, s.cfg, w, epochScale).Total)
+	}
+	show("sparseadapt", dyn.Total)
+
+	base := core.RunStatic(chip, sim.DefaultBandwidth, config.Baseline, w, epochScale).Total
+	fmt.Printf("\nSparseAdapt vs baseline: %.2fx GFLOPS/W with %d reconfigurations over %d epochs\n",
+		dyn.Total.GFLOPSPerW()/base.GFLOPSPerW(), dyn.Reconfig, len(dyn.Epochs))
+
+	// 4. Peek at the adaptation: configuration chosen per epoch.
+	fmt.Println("\nper-epoch configuration (first 8 epochs):")
+	for i, ep := range dyn.Epochs {
+		if i >= 8 {
+			break
+		}
+		fmt.Printf("  epoch %2d  %-40v  %6.3f GFLOPS/W\n", i, ep.Config, ep.Metrics.GFLOPSPerW())
+	}
+}

@@ -1,0 +1,3 @@
+module sparseadapt
+
+go 1.22

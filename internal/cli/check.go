@@ -1,0 +1,102 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+
+	"sparseadapt/internal/experiments"
+)
+
+// reference is one recorded headline value of the reproduction at the test
+// scale: the GM (or named-row) value of one report column, with a relative
+// tolerance. The paper's artifact ships rep_data_orig/ and a rep_check.sh
+// that reports deviations; this is the equivalent, with generous
+// tolerances because the predictive models are retrained on every run.
+type reference struct {
+	exp    string
+	row    string // row label ("GM", "bfs/GM", …)
+	column string
+	want   float64
+	tol    float64 // relative
+}
+
+// references pin the qualitative shapes asserted in EXPERIMENTS.md.
+var references = []reference{
+	{"fig5", "GM", "ee-eff-sa", 1.2, 0.35},
+	{"fig6", "GM", "ee-eff-sa", 1.3, 0.35},
+	{"fig6", "GM", "pp-eff-max", 0.8, 0.4},
+	{"fig8", "GM", "ee-eff-oracle", 2.0, 0.4},
+	{"tab6", "bfs/GM", "sparseadapt", 1.15, 0.35},
+	{"tab6", "sssp/GM", "sparseadapt", 1.15, 0.35},
+	{"sec64", "GM", "pp-eff-vs-naive", 2.3, 0.5},
+	{"fig11R", "0.01GB/s", "vs-baseline", 3.5, 0.6},
+	{"fig11R", "100GB/s", "vs-baseline", 1.1, 0.3},
+}
+
+func cmdCheck(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	fs.SetOutput(w)
+	seed := fs.Int64("seed", 42, "deterministic seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc := experiments.TestScale()
+	sc.Seed = *seed
+
+	reports := map[string]*experiments.Report{}
+	fails := 0
+	fmt.Fprintf(w, "%-8s %-10s %-18s %10s %10s %8s  %s\n",
+		"exp", "row", "column", "expected", "measured", "dev", "status")
+	for _, ref := range references {
+		rep, ok := reports[ref.exp]
+		if !ok {
+			e, err := experiments.Get(ref.exp)
+			if err != nil {
+				return err
+			}
+			rep, err = e.Run(sc)
+			if err != nil {
+				return err
+			}
+			reports[ref.exp] = rep
+		}
+		got, err := lookup(rep, ref.row, ref.column)
+		if err != nil {
+			return err
+		}
+		dev := math.Abs(got-ref.want) / ref.want
+		status := "ok"
+		if dev > ref.tol {
+			status = "DEVIATES"
+			fails++
+		}
+		fmt.Fprintf(w, "%-8s %-10s %-18s %10.3g %10.3g %7.0f%%  %s\n",
+			ref.exp, ref.row, ref.column, ref.want, got, dev*100, status)
+	}
+	if fails > 0 {
+		return fmt.Errorf("%d of %d reference shapes deviate beyond tolerance", fails, len(references))
+	}
+	fmt.Fprintf(w, "all %d reference shapes within tolerance\n", len(references))
+	return nil
+}
+
+func lookup(rep *experiments.Report, row, column string) (float64, error) {
+	ci := -1
+	for j, c := range rep.Columns {
+		if c == column {
+			ci = j
+			break
+		}
+	}
+	if ci < 0 {
+		return 0, fmt.Errorf("check: %s has no column %q", rep.ID, column)
+	}
+	for _, r := range rep.Rows {
+		if r.Label == row && ci < len(r.Values) {
+			return r.Values[ci], nil
+		}
+	}
+	return 0, fmt.Errorf("check: %s has no row %q", rep.ID, row)
+}

@@ -1,0 +1,348 @@
+// Package cli implements the sparseadapt command: it lists and runs the
+// paper's experiments, trains and saves predictive models, runs individual
+// workloads under SparseAdapt control, prints the dataset inventory and
+// checks reproduced results against recorded references. The cmd/ binaries
+// are thin wrappers so everything here is testable in-process.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/core"
+	"sparseadapt/internal/experiments"
+	"sparseadapt/internal/graph"
+	"sparseadapt/internal/kernels"
+	"sparseadapt/internal/matrix"
+	"sparseadapt/internal/ml"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
+	"sparseadapt/internal/trainer"
+)
+
+// Main dispatches the sparseadapt subcommands, writing to stdout. It
+// returns a process exit code.
+func Main(args []string, stdout io.Writer) int {
+	if len(args) < 1 {
+		usage(stdout)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "list":
+		err = cmdList(stdout)
+	case "datasets":
+		err = cmdDatasets(stdout)
+	case "exp":
+		err = cmdExp(stdout, args[1:])
+	case "train":
+		err = cmdTrain(stdout, args[1:])
+	case "run":
+		err = cmdRun(stdout, args[1:])
+	case "check":
+		err = cmdCheck(stdout, args[1:])
+	case "-h", "--help", "help":
+		usage(stdout)
+	default:
+		fmt.Fprintf(stdout, "unknown command %q\n", args[0])
+		usage(stdout)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stdout, "error:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `sparseadapt — runtime control for sparse linear algebra (MICRO'21 reproduction)
+
+commands:
+  list                 list reproducible experiments (paper figures/tables)
+  datasets             print the evaluation matrix suite (Table 5)
+  exp <id>|all [flags] run one experiment (or all) and print its report
+  train [flags]        generate training data and fit the predictive model
+  run [flags]          run one workload under SparseAdapt vs the baselines
+  check [flags]        re-run the suite at test scale and diff against the
+                       recorded reference shapes (artifact rep_check)`)
+}
+
+func scaleByName(name string) (experiments.Scale, error) {
+	switch name {
+	case "test":
+		return experiments.TestScale(), nil
+	case "small":
+		return experiments.SmallScale(), nil
+	case "paper":
+		return experiments.PaperScale(), nil
+	default:
+		return experiments.Scale{}, fmt.Errorf("unknown scale %q (test|small|paper)", name)
+	}
+}
+
+func modeByName(name string) (power.Mode, error) {
+	switch name {
+	case "ee", "energy-efficient":
+		return power.EnergyEfficient, nil
+	case "pp", "power-performance":
+		return power.PowerPerformance, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (ee|pp)", name)
+	}
+}
+
+func l1ByName(name string) (int, error) {
+	switch name {
+	case "cache":
+		return config.CacheMode, nil
+	case "spm":
+		return config.SPMMode, nil
+	default:
+		return 0, fmt.Errorf("unknown L1 type %q (cache|spm)", name)
+	}
+}
+
+func cmdList(w io.Writer) error {
+	for _, id := range experiments.IDs() {
+		e, err := experiments.Get(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-8s %s\n", e.ID, e.Title)
+	}
+	return nil
+}
+
+func cmdDatasets(w io.Writer) error {
+	fmt.Fprintf(w, "%-4s %-24s %-22s %8s %8s  %s\n", "ID", "name", "domain", "dim", "nnz", "structure")
+	for _, e := range matrix.Dataset {
+		fmt.Fprintf(w, "%-4s %-24s %-22s %8d %8d  %s\n", e.ID, e.Name, e.Domain, e.Dim, e.NNZ, e.Class)
+	}
+	return nil
+}
+
+func cmdExp(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("exp", flag.ExitOnError)
+	scaleName := fs.String("scale", "small", "experiment scale: test|small|paper")
+	seed := fs.Int64("seed", 42, "deterministic seed")
+	csvDir := fs.String("csv", "", "directory for raw CSV output (artifact-style rep_data/)")
+	svgDir := fs.String("svg", "", "directory for SVG figures")
+	// Accept the experiment ID before or after the flags.
+	id := ""
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		id, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if id == "" && fs.NArg() == 1 {
+		id = fs.Arg(0)
+	}
+	if id == "" {
+		return fmt.Errorf("usage: sparseadapt exp <id> [-scale ...]")
+	}
+	sc, err := scaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	sc.Seed = *seed
+	if id == "all" {
+		reps, err := experiments.RunAll(sc, *csvDir)
+		for _, rep := range reps {
+			fmt.Fprint(w, rep.String())
+			fmt.Fprintln(w)
+		}
+		return err
+	}
+	e, err := experiments.Get(id)
+	if err != nil {
+		return err
+	}
+	rep, err := e.Run(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, rep.String())
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		out := filepath.Join(*csvDir, id+".csv")
+		if err := rep.WriteCSV(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "wrote", out)
+	}
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			return err
+		}
+		out := filepath.Join(*svgDir, id+".svg")
+		if err := rep.WriteSVG(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "wrote", out)
+	}
+	return nil
+}
+
+func cmdTrain(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	kernel := fs.String("kernel", "spmspv", "kernel: spmspm|spmspv")
+	l1 := fs.String("l1", "cache", "L1 type: cache|spm")
+	modeName := fs.String("mode", "ee", "optimization mode: ee|pp")
+	scale := fs.Float64("scale", 0.3, "training sweep scale (1 = Table 3)")
+	out := fs.String("out", "model.json", "output model path")
+	dsOut := fs.String("dataset", "", "optional dataset JSON output path")
+	csvOut := fs.String("csv", "", "optional dataset CSV output path")
+	cv := fs.Bool("cv", false, "use k-fold cross-validated hyperparameter search")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mode, err := modeByName(*modeName)
+	if err != nil {
+		return err
+	}
+	l1Type, err := l1ByName(*l1)
+	if err != nil {
+		return err
+	}
+	sw := trainer.DefaultSweep(*kernel, l1Type, *scale)
+	fmt.Fprintf(w, "generating dataset: kernel=%s l1=%s mode=%s dims=%v densities=%v bw=%v K=%d\n",
+		*kernel, *l1, mode, sw.Dims, sw.Densities, sw.BandwidthsGBps, sw.K)
+	ds, err := trainer.Generate(sw, mode)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "dataset: %d examples\n", len(ds.Examples))
+	if *dsOut != "" {
+		if err := trainer.SaveDataset(*dsOut, ds); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "wrote", *dsOut)
+	}
+	if *csvOut != "" {
+		if err := trainer.WriteCSV(*csvOut, ds); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "wrote", *csvOut)
+	}
+	var ens *core.Ensemble
+	if *cv {
+		ens, err = trainer.TrainCV(ds, []int{6, 10, 14, 18}, []int{1, 5, 20}, 3)
+	} else {
+		ens, err = trainer.Train(ds, ml.DefaultTreeParams())
+	}
+	if err != nil {
+		return err
+	}
+	if err := core.SaveEnsemble(*out, ens); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "wrote", *out)
+	return nil
+}
+
+func cmdRun(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	kernel := fs.String("kernel", "spmspv", "workload: spmspm|spmspv|bfs|sssp")
+	matID := fs.String("matrix", "R12", "dataset matrix ID (see `sparseadapt datasets`)")
+	modeName := fs.String("mode", "ee", "optimization mode: ee|pp")
+	scaleName := fs.String("scale", "small", "experiment scale: test|small|paper")
+	modelPath := fs.String("model", "", "model JSON (trained on the fly when empty)")
+	policy := fs.String("policy", "", "override policy: conservative|aggressive|hybrid")
+	tolerance := fs.Float64("tolerance", 0.4, "hybrid tolerance")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sc, err := scaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	mode, err := modeByName(*modeName)
+	if err != nil {
+		return err
+	}
+	entry, err := matrix.Entry(*matID)
+	if err != nil {
+		return err
+	}
+	am := entry.Generate(sc.Matrix, sc.Seed)
+	a := am.ToCSC()
+	var wl kernels.Workload
+	modelKernel := *kernel
+	switch *kernel {
+	case "spmspm":
+		_, wl = kernels.SpMSpM(a, am.ToCSR().Transpose(), sc.Chip.NGPE(), sc.Chip.Tiles)
+	case "spmspv":
+		x := matrix.RandomVec(randSrc(sc.Seed), a.Cols, 0.5)
+		_, wl = kernels.SpMSpV(a, x, sc.Chip.NGPE(), sc.Chip.Tiles)
+	case "bfs", "sssp":
+		src := 0
+		if *kernel == "bfs" {
+			_, wl = graph.BFS(a, src, sc.Chip.NGPE(), sc.Chip.Tiles)
+		} else {
+			_, wl = graph.SSSP(a, src, sc.Chip.NGPE(), sc.Chip.Tiles)
+		}
+		modelKernel = "spmspv"
+	default:
+		return fmt.Errorf("unknown kernel %q", *kernel)
+	}
+
+	var ens *core.Ensemble
+	if *modelPath != "" {
+		ens, err = core.LoadEnsemble(*modelPath)
+	} else {
+		ens, err = experiments.Model(sc, modelKernel, config.CacheMode, mode)
+	}
+	if err != nil {
+		return err
+	}
+
+	opts := core.Options{Policy: core.Hybrid, Tolerance: *tolerance, EpochScale: sc.Epoch}
+	if modelKernel == "spmspm" {
+		opts = core.Options{Policy: core.Conservative, EpochScale: sc.Epoch}
+	}
+	switch *policy {
+	case "conservative":
+		opts.Policy = core.Conservative
+	case "aggressive":
+		opts.Policy = core.Aggressive
+	case "hybrid":
+		opts.Policy = core.Hybrid
+	case "":
+	default:
+		return fmt.Errorf("unknown policy %q", *policy)
+	}
+
+	base := core.RunStatic(sc.Chip, sc.BW, config.Baseline, wl, sc.Epoch)
+	best := core.RunStatic(sc.Chip, sc.BW, config.BestAvgCache, wl, sc.Epoch)
+	max := core.RunStatic(sc.Chip, sc.BW, config.MaxCfg, wl, sc.Epoch)
+	m := sim.New(sc.Chip, sc.BW, config.Baseline)
+	dyn := core.NewController(ens, opts).Run(m, wl)
+
+	fmt.Fprintf(w, "workload %s on %s (%d epochs, %d reconfigs, mode %s, policy %s)\n",
+		wl.Name, *matID, len(dyn.Epochs), dyn.Reconfig, mode, opts.Policy)
+	fmt.Fprintf(w, "%-12s %12s %12s %14s %14s\n", "scheme", "time(ms)", "energy(mJ)", "GFLOPS", "GFLOPS/W")
+	for _, row := range []struct {
+		name string
+		m    power.Metrics
+	}{
+		{"baseline", base.Total}, {"best-avg", best.Total}, {"max-cfg", max.Total}, {"sparseadapt", dyn.Total},
+	} {
+		fmt.Fprintf(w, "%-12s %12.3f %12.3f %14.4f %14.4f\n", row.name,
+			row.m.TimeSec*1e3, row.m.EnergyJ*1e3, row.m.GFLOPS(), row.m.GFLOPSPerW())
+	}
+	fmt.Fprintf(w, "gains over baseline: %.2fx GFLOPS, %.2fx GFLOPS/W\n",
+		dyn.Total.GFLOPS()/base.Total.GFLOPS(), dyn.Total.GFLOPSPerW()/base.Total.GFLOPSPerW())
+	return nil
+}
+
+// randSrc builds a deterministic RNG for ad-hoc vectors.
+func randSrc(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed + 1)) }

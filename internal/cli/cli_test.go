@@ -1,0 +1,166 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var buf bytes.Buffer
+	code := Main(args, &buf)
+	return buf.String(), code
+}
+
+func TestNoArgsShowsUsage(t *testing.T) {
+	out, code := runCLI(t)
+	if code != 2 || !strings.Contains(out, "commands:") {
+		t.Fatalf("code %d out %q", code, out)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	out, code := runCLI(t, "frobnicate")
+	if code != 2 || !strings.Contains(out, "unknown command") {
+		t.Fatalf("code %d out %q", code, out)
+	}
+}
+
+func TestHelp(t *testing.T) {
+	out, code := runCLI(t, "help")
+	if code != 0 || !strings.Contains(out, "check") {
+		t.Fatalf("help missing: %q", out)
+	}
+}
+
+func TestList(t *testing.T) {
+	out, code := runCLI(t, "list")
+	if code != 0 {
+		t.Fatalf("list failed: %s", out)
+	}
+	for _, id := range []string{"fig1", "fig6", "tab6", "sec64", "disc7", "hist", "algo"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	out, code := runCLI(t, "datasets")
+	if code != 0 {
+		t.Fatalf("datasets failed: %s", out)
+	}
+	for _, frag := range []string{"R01", "R16", "power-law", "wiki-Vote_11"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("datasets missing %q", frag)
+		}
+	}
+}
+
+func TestExpErrors(t *testing.T) {
+	if out, code := runCLI(t, "exp"); code == 0 {
+		t.Fatalf("exp without id accepted: %s", out)
+	}
+	if out, code := runCLI(t, "exp", "nope", "-scale", "test"); code == 0 {
+		t.Fatalf("unknown experiment accepted: %s", out)
+	}
+	if out, code := runCLI(t, "exp", "fig10", "-scale", "galactic"); code == 0 {
+		t.Fatalf("unknown scale accepted: %s", out)
+	}
+}
+
+func TestExpRunsAndWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	out, code := runCLI(t, "exp", "fig10", "-scale", "test", "-csv", dir)
+	if code != 0 {
+		t.Fatalf("exp fig10 failed: %s", out)
+	}
+	if !strings.Contains(out, "Gini importance") {
+		t.Fatalf("report missing: %s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig10.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "series,") {
+		t.Fatalf("CSV malformed: %s", data[:40])
+	}
+}
+
+func TestTrainWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	model := filepath.Join(dir, "m.json")
+	csv := filepath.Join(dir, "d.csv")
+	out, code := runCLI(t, "train", "-kernel", "spmspv", "-mode", "ee",
+		"-scale", "0.1", "-out", model, "-csv", csv)
+	if code != 0 {
+		t.Fatalf("train failed: %s", out)
+	}
+	for _, p := range []string{model, csv} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Fatalf("artifact %s missing", p)
+		}
+	}
+	// And the model is loadable by run.
+	out, code = runCLI(t, "run", "-kernel", "spmspv", "-matrix", "P1",
+		"-scale", "test", "-model", model)
+	if code != 0 {
+		t.Fatalf("run with saved model failed: %s", out)
+	}
+	if !strings.Contains(out, "sparseadapt") || !strings.Contains(out, "gains over baseline") {
+		t.Fatalf("run output malformed: %s", out)
+	}
+}
+
+func TestTrainBadFlags(t *testing.T) {
+	if out, code := runCLI(t, "train", "-mode", "warp"); code == 0 {
+		t.Fatalf("bad mode accepted: %s", out)
+	}
+	if out, code := runCLI(t, "train", "-l1", "dram"); code == 0 {
+		t.Fatalf("bad L1 accepted: %s", out)
+	}
+}
+
+func TestRunGraphKernels(t *testing.T) {
+	out, code := runCLI(t, "run", "-kernel", "bfs", "-matrix", "R07", "-scale", "test")
+	if code != 0 {
+		t.Fatalf("bfs run failed: %s", out)
+	}
+	if out, code := runCLI(t, "run", "-kernel", "quantum", "-scale", "test"); code == 0 {
+		t.Fatalf("unknown kernel accepted: %s", out)
+	}
+	if out, code := runCLI(t, "run", "-matrix", "R99", "-scale", "test"); code == 0 {
+		t.Fatalf("unknown matrix accepted: %s", out)
+	}
+}
+
+func TestCheckPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("check runs several experiments")
+	}
+	out, code := runCLI(t, "check")
+	if code != 0 {
+		t.Fatalf("check failed:\n%s", out)
+	}
+	if !strings.Contains(out, "within tolerance") {
+		t.Fatalf("check output malformed:\n%s", out)
+	}
+}
+
+func TestExpWritesSVG(t *testing.T) {
+	dir := t.TempDir()
+	out, code := runCLI(t, "exp", "fig10", "-scale", "test", "-svg", dir)
+	if code != 0 {
+		t.Fatalf("exp failed: %s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig10.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Fatal("not an SVG file")
+	}
+}

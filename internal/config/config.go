@@ -1,0 +1,246 @@
+// Package config models the Transmuter hardware configuration space of
+// Table 1 in the paper: seven parameters (three categorical, four ordinal)
+// spanning 3600 discrete configurations, together with the sampling,
+// neighbourhood and per-dimension sweep operations the training pipeline
+// uses (Section 4.1) and the reconfiguration-cost taxonomy of Section 3.4.
+package config
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Param identifies one hardware configuration parameter.
+type Param int
+
+const (
+	// L1Type selects cache vs scratchpad for the L1 R-DCache banks. It is
+	// the only parameter fixed at compile time (Table 1 footnote).
+	L1Type Param = iota
+	// L1Share selects shared vs private L1 across the GPEs of a tile.
+	L1Share
+	// L2Share selects shared vs private L2 across tiles.
+	L2Share
+	// L1Cap is the per-bank L1 capacity (4–64 kB in ×2 steps).
+	L1Cap
+	// L2Cap is the per-bank L2 capacity (4–64 kB in ×2 steps).
+	L2Cap
+	// Clock is the global DVFS clock (31.25 MHz–1 GHz in ×2 steps).
+	Clock
+	// Prefetch is the stride-prefetcher aggressiveness (0, 4, 8 lines).
+	Prefetch
+
+	// NumParams is the number of configuration parameters.
+	NumParams
+)
+
+// RuntimeParams lists the six parameters SparseAdapt predicts at runtime;
+// L1Type is chosen by the compiler (Section 3.4).
+var RuntimeParams = []Param{L1Share, L2Share, L1Cap, L2Cap, Clock, Prefetch}
+
+// paramNames indexes Param for display.
+var paramNames = [NumParams]string{
+	"l1-type", "l1-share", "l2-share", "l1-cap", "l2-cap", "clock", "prefetch",
+}
+
+// String returns the parameter's short name.
+func (p Param) String() string {
+	if p < 0 || p >= NumParams {
+		return fmt.Sprintf("param(%d)", int(p))
+	}
+	return paramNames[p]
+}
+
+// Categorical value indices for the sharing/type parameters.
+const (
+	CacheMode = 0 // L1Type: cache
+	SPMMode   = 1 // L1Type: scratchpad
+	Shared    = 0
+	Private   = 1
+)
+
+// capKB and clockMHz are the ordinal value tables of Table 1.
+var (
+	capKB    = []int{4, 8, 16, 32, 64}
+	clockMHz = []float64{31.25, 62.5, 125, 250, 500, 1000}
+	prefetch = []int{0, 4, 8}
+)
+
+// cardinality gives the number of values of each parameter.
+var cardinality = [NumParams]int{2, 2, 2, len(capKB), len(capKB), len(clockMHz), len(prefetch)}
+
+// Cardinality returns the number of discrete values parameter p can take.
+func Cardinality(p Param) int { return cardinality[p] }
+
+// Config is one point of the configuration space: a value index for each
+// parameter. Using indices (rather than physical values) keeps the ML
+// targets, neighbourhood arithmetic and enumeration uniform across
+// categorical and ordinal parameters.
+type Config [NumParams]int
+
+// Valid reports whether every value index is within its parameter's range.
+func (c Config) Valid() bool {
+	for p := Param(0); p < NumParams; p++ {
+		if c[p] < 0 || c[p] >= cardinality[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// L1IsSPM reports whether the L1 banks are configured as scratchpad.
+func (c Config) L1IsSPM() bool { return c[L1Type] == SPMMode }
+
+// L1Shared reports whether the L1 layer is shared across a tile's GPEs.
+func (c Config) L1Shared() bool { return c[L1Share] == Shared }
+
+// L2Shared reports whether the L2 layer is shared across tiles.
+func (c Config) L2Shared() bool { return c[L2Share] == Shared }
+
+// L1CapKB returns the per-bank L1 capacity in kB.
+func (c Config) L1CapKB() int { return capKB[c[L1Cap]] }
+
+// L2CapKB returns the per-bank L2 capacity in kB.
+func (c Config) L2CapKB() int { return capKB[c[L2Cap]] }
+
+// ClockMHz returns the system clock in MHz.
+func (c Config) ClockMHz() float64 { return clockMHz[c[Clock]] }
+
+// ClockHz returns the system clock in Hz.
+func (c Config) ClockHz() float64 { return clockMHz[c[Clock]] * 1e6 }
+
+// PrefetchDegree returns the number of cache lines prefetched ahead.
+func (c Config) PrefetchDegree() int { return prefetch[c[Prefetch]] }
+
+// String renders the configuration compactly, e.g.
+// "cache L1:4kB/shr L2:64kB/prv 500MHz pf8".
+func (c Config) String() string {
+	var b strings.Builder
+	if c.L1IsSPM() {
+		b.WriteString("spm ")
+	} else {
+		b.WriteString("cache ")
+	}
+	mode := func(shared bool) string {
+		if shared {
+			return "shr"
+		}
+		return "prv"
+	}
+	fmt.Fprintf(&b, "L1:%dkB/%s L2:%dkB/%s %gMHz pf%d",
+		c.L1CapKB(), mode(c.L1Shared()), c.L2CapKB(), mode(c.L2Shared()),
+		c.ClockMHz(), c.PrefetchDegree())
+	return b.String()
+}
+
+// SpaceSize returns the total number of configurations (3600 per Table 1).
+func SpaceSize() int {
+	n := 1
+	for p := Param(0); p < NumParams; p++ {
+		n *= cardinality[p]
+	}
+	return n
+}
+
+// Index returns a unique integer in [0, SpaceSize()) for the configuration.
+func (c Config) Index() int {
+	idx := 0
+	for p := Param(0); p < NumParams; p++ {
+		idx = idx*cardinality[p] + c[p]
+	}
+	return idx
+}
+
+// FromIndex is the inverse of Index.
+func FromIndex(idx int) Config {
+	var c Config
+	for p := NumParams - 1; p >= 0; p-- {
+		c[p] = idx % cardinality[p]
+		idx /= cardinality[p]
+	}
+	return c
+}
+
+// All enumerates the configuration space in Index order. With a fixed
+// l1Type (the compile-time parameter) pass it via Filter instead.
+func All() []Config {
+	out := make([]Config, SpaceSize())
+	for i := range out {
+		out[i] = FromIndex(i)
+	}
+	return out
+}
+
+// WithL1Type returns all configurations whose L1 type matches t
+// (CacheMode or SPMMode) — the runtime-reachable space given the
+// compiler's choice.
+func WithL1Type(t int) []Config {
+	var out []Config
+	for i, n := 0, SpaceSize(); i < n; i++ {
+		c := FromIndex(i)
+		if c[L1Type] == t {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Sample draws k distinct configurations uniformly at random from the space
+// with the given L1 type fixed, the "random sampling" step of the paper's
+// best-configuration search (Section 4.1, step 1).
+func Sample(rng *rand.Rand, k, l1Type int) []Config {
+	space := WithL1Type(l1Type)
+	if k >= len(space) {
+		return space
+	}
+	rng.Shuffle(len(space), func(i, j int) { space[i], space[j] = space[j], space[i] })
+	return space[:k]
+}
+
+// Neighbors returns the configurations adjacent to c: each runtime
+// parameter moved by one step (ordinal) or flipped (categorical), one
+// parameter at a time — the "m-dimensional hyper-sphere" of the paper's
+// neighbour-evaluation step (Section 4.1, step 2). L1Type is never moved.
+func Neighbors(c Config) []Config {
+	var out []Config
+	for _, p := range RuntimeParams {
+		for _, d := range []int{-1, +1} {
+			n := c
+			n[p] += d
+			if n[p] >= 0 && n[p] < cardinality[p] {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// Sweep returns all configurations obtained by varying parameter p across
+// its full range while holding every other parameter of c fixed — the
+// "dimension sweep" of Section 4.1, step 3.
+func Sweep(c Config, p Param) []Config {
+	out := make([]Config, cardinality[p])
+	for v := 0; v < cardinality[p]; v++ {
+		n := c
+		n[p] = v
+		out[v] = n
+	}
+	return out
+}
+
+// Standard configurations of Table 4.
+var (
+	// Baseline is the best-average static configuration across the broad
+	// application set of the Transmuter paper.
+	Baseline = Config{CacheMode, Shared, Shared, 0 /*4kB*/, 0 /*4kB*/, 5 /*1GHz*/, 1 /*pf4*/}
+	// BestAvgCache is the best-average static configuration for the sparse
+	// kernels of this paper with L1 as cache.
+	BestAvgCache = Config{CacheMode, Private, Shared, 0, 0, 5, 0}
+	// BestAvgSPM is the best-average static configuration with L1 as SPM.
+	BestAvgSPM = Config{SPMMode, Private, Private, 0, 3 /*32kB*/, 4 /*500MHz*/, 2 /*pf8*/}
+	// MaxCfg sets every ordinal parameter to its maximum with shared L1/L2.
+	MaxCfg = Config{CacheMode, Shared, Shared, 4 /*64kB*/, 4, 5, 2}
+	// MaxCfgSPM is MaxCfg with the L1 banks as scratchpad.
+	MaxCfgSPM = Config{SPMMode, Shared, Shared, 4, 4, 5, 2}
+)

@@ -1,0 +1,241 @@
+package config
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaceSizeMatchesPaper(t *testing.T) {
+	// Table 1: total count 3600.
+	if got := SpaceSize(); got != 3600 {
+		t.Fatalf("SpaceSize = %d, want 3600", got)
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	f := func(raw uint) bool {
+		idx := int(raw % uint(SpaceSize()))
+		c := FromIndex(idx)
+		return c.Valid() && c.Index() == idx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllUniqueAndValid(t *testing.T) {
+	seen := map[int]bool{}
+	for _, c := range All() {
+		if !c.Valid() {
+			t.Fatalf("invalid config %v", c)
+		}
+		if seen[c.Index()] {
+			t.Fatalf("duplicate index %d", c.Index())
+		}
+		seen[c.Index()] = true
+	}
+	if len(seen) != 3600 {
+		t.Fatalf("enumerated %d configs", len(seen))
+	}
+}
+
+func TestPhysicalValues(t *testing.T) {
+	c := MaxCfg
+	if c.L1CapKB() != 64 || c.L2CapKB() != 64 {
+		t.Fatalf("MaxCfg capacities %d/%d", c.L1CapKB(), c.L2CapKB())
+	}
+	if c.ClockMHz() != 1000 || c.PrefetchDegree() != 8 {
+		t.Fatalf("MaxCfg clock %v pf %d", c.ClockMHz(), c.PrefetchDegree())
+	}
+	if !c.L1Shared() || !c.L2Shared() || c.L1IsSPM() {
+		t.Fatalf("MaxCfg modes wrong: %v", c)
+	}
+	b := Baseline
+	if b.L1CapKB() != 4 || b.L2CapKB() != 4 || b.ClockMHz() != 1000 || b.PrefetchDegree() != 4 {
+		t.Fatalf("Baseline mismatch with Table 4: %v", b)
+	}
+	s := BestAvgSPM
+	if !s.L1IsSPM() || s.L2CapKB() != 32 || s.ClockMHz() != 500 || s.PrefetchDegree() != 8 || s.L2Shared() {
+		t.Fatalf("BestAvgSPM mismatch with Table 4: %v", s)
+	}
+}
+
+func TestWithL1Type(t *testing.T) {
+	cache := WithL1Type(CacheMode)
+	spm := WithL1Type(SPMMode)
+	if len(cache)+len(spm) != 3600 || len(cache) != len(spm) {
+		t.Fatalf("split %d/%d", len(cache), len(spm))
+	}
+	for _, c := range cache {
+		if c.L1IsSPM() {
+			t.Fatal("SPM config in cache set")
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Sample(rng, 100, CacheMode)
+	if len(s) != 100 {
+		t.Fatalf("sample size %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, c := range s {
+		if c[L1Type] != CacheMode {
+			t.Fatal("wrong L1 type sampled")
+		}
+		if seen[c.Index()] {
+			t.Fatal("duplicate sample")
+		}
+		seen[c.Index()] = true
+	}
+	// Requesting more than the space yields the whole space.
+	if got := Sample(rng, 10000, SPMMode); len(got) != 1800 {
+		t.Fatalf("oversized sample %d", len(got))
+	}
+}
+
+func TestNeighborsAdjacency(t *testing.T) {
+	c := Baseline
+	for _, n := range Neighbors(c) {
+		if !n.Valid() {
+			t.Fatalf("invalid neighbor %v", n)
+		}
+		diff, dist := 0, 0
+		for p := Param(0); p < NumParams; p++ {
+			if n[p] != c[p] {
+				diff++
+				d := n[p] - c[p]
+				if d < 0 {
+					d = -d
+				}
+				dist += d
+			}
+		}
+		if diff != 1 || dist != 1 {
+			t.Fatalf("neighbor %v not unit-adjacent to %v", n, c)
+		}
+		if n[L1Type] != c[L1Type] {
+			t.Fatal("neighbor changed compile-time L1 type")
+		}
+	}
+	// Interior point: binary sharing params contribute one move each, the
+	// four interior ordinals two each: 1+1+2+2+2+2 = 10.
+	interior := Config{CacheMode, Shared, Shared, 2, 2, 2, 1}
+	if got := len(Neighbors(interior)); got != 10 {
+		t.Fatalf("interior neighbor count %d, want 10", got)
+	}
+}
+
+func TestSweepCoversDimension(t *testing.T) {
+	c := Baseline
+	sw := Sweep(c, Clock)
+	if len(sw) != 6 {
+		t.Fatalf("clock sweep size %d", len(sw))
+	}
+	seen := map[float64]bool{}
+	for _, s := range sw {
+		seen[s.ClockMHz()] = true
+		for p := Param(0); p < NumParams; p++ {
+			if p != Clock && s[p] != c[p] {
+				t.Fatal("sweep changed another dimension")
+			}
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("sweep values not distinct: %v", seen)
+	}
+}
+
+func TestTransitionClass(t *testing.T) {
+	cases := []struct {
+		p        Param
+		from, to int
+		want     CostClass
+	}{
+		{Clock, 5, 0, SuperFine},
+		{Prefetch, 0, 2, SuperFine},
+		{L1Cap, 0, 3, SuperFine}, // increase: no flush
+		{L1Cap, 3, 0, Fine},      // decrease: flush
+		{L1Share, Shared, Private, Fine},
+		{L2Share, Private, Shared, Fine},
+		{L1Type, CacheMode, SPMMode, Coarse},
+		{Clock, 2, 2, NoChange},
+	}
+	for _, c := range cases {
+		if got := TransitionClass(c.p, c.from, c.to); got != c.want {
+			t.Errorf("TransitionClass(%v,%d,%d) = %v, want %v", c.p, c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	from := Baseline
+	to := from
+	to[Clock] = 3
+	to[L2Cap] = 4 // increase
+	tr := Classify(from, to)
+	if tr.FlushL1 || tr.FlushL2 || tr.Coarse {
+		t.Fatalf("unexpected flush/coarse: %+v", tr)
+	}
+	if tr.SuperFineChanges != 2 || len(tr.Changed) != 2 {
+		t.Fatalf("want 2 super-fine changes: %+v", tr)
+	}
+
+	to = from
+	to[L1Share] = Private
+	to[L2Cap] = 0 // same value → no change
+	tr = Classify(from, to)
+	if !tr.FlushL1 || tr.FlushL2 {
+		t.Fatalf("L1 sharing change must flush L1 only: %+v", tr)
+	}
+
+	to = from
+	to[L1Type] = SPMMode
+	if tr = Classify(from, to); !tr.Coarse {
+		t.Fatalf("L1 type change must be coarse: %+v", tr)
+	}
+
+	if !Classify(from, from).IsNoop() {
+		t.Fatal("identity transition should be a no-op")
+	}
+}
+
+func TestCostClassString(t *testing.T) {
+	for _, c := range []CostClass{NoChange, SuperFine, Fine, Coarse} {
+		if c.String() == "unknown" {
+			t.Fatalf("missing name for %d", c)
+		}
+	}
+}
+
+func TestParamString(t *testing.T) {
+	seen := map[string]bool{}
+	for p := Param(0); p < NumParams; p++ {
+		s := p.String()
+		if seen[s] {
+			t.Fatalf("duplicate param name %s", s)
+		}
+		seen[s] = true
+	}
+}
+
+// Property: Classify is symmetric in which parameters changed.
+func TestQuickClassifyChangedSet(t *testing.T) {
+	f := func(a, b uint) bool {
+		ca := FromIndex(int(a % uint(SpaceSize())))
+		cb := FromIndex(int(b % uint(SpaceSize())))
+		tr := Classify(ca, cb)
+		n := 0
+		for p := Param(0); p < NumParams; p++ {
+			if ca[p] != cb[p] {
+				n++
+			}
+		}
+		return n == len(tr.Changed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

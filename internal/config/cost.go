@@ -1,0 +1,114 @@
+package config
+
+// CostClass is the reconfiguration-cost taxonomy of Section 3.4.
+type CostClass int
+
+const (
+	// NoChange means the parameter value is unchanged.
+	NoChange CostClass = iota
+	// SuperFine parameters (clock, prefetcher, cache-capacity increase)
+	// incur a small fixed cost and no cache flush.
+	SuperFine
+	// Fine parameters (sharing modes, cache-capacity decrease) require at
+	// most a cache flush but no code change.
+	Fine
+	// Coarse parameters (memory type, dataflow) require a code change and a
+	// flush; in this work they are fixed at compile time.
+	Coarse
+)
+
+// String names the cost class.
+func (c CostClass) String() string {
+	switch c {
+	case NoChange:
+		return "none"
+	case SuperFine:
+		return "super-fine"
+	case Fine:
+		return "fine"
+	case Coarse:
+		return "coarse"
+	default:
+		return "unknown"
+	}
+}
+
+// SuperFineCycles is the fixed cost charged for a super-fine
+// reconfiguration (Section 5.2: 100 cycles).
+const SuperFineCycles = 100
+
+// TransitionClass returns the cost class of changing parameter p from value
+// index from to value index to. Capacity increases are super-fine because
+// the sub-banked R-DCache implementation can grow without invalidating
+// resident lines (Section 5.2); decreases and sharing-mode changes require
+// a flush (fine); the L1 memory type is coarse.
+func TransitionClass(p Param, from, to int) CostClass {
+	if from == to {
+		return NoChange
+	}
+	switch p {
+	case L1Type:
+		return Coarse
+	case L1Share, L2Share:
+		return Fine
+	case L1Cap, L2Cap:
+		if to > from {
+			return SuperFine
+		}
+		return Fine
+	case Clock, Prefetch:
+		return SuperFine
+	default:
+		return Coarse
+	}
+}
+
+// Transition describes the cost structure of moving between two
+// configurations: which levels must be flushed and how many fixed
+// super-fine charges apply. The actual cycle/energy cost of a flush depends
+// on machine state (dirty lines, clock, bandwidth) and is computed by the
+// sim package from this description.
+type Transition struct {
+	// SuperFineChanges counts parameters reconfigured at fixed cost.
+	SuperFineChanges int
+	// FlushL1 indicates the L1 banks must be flushed to L2 (L1 sharing
+	// change or L1 capacity decrease).
+	FlushL1 bool
+	// FlushL2 indicates the L2 banks must be flushed to main memory (L2
+	// sharing change or L2 capacity decrease).
+	FlushL2 bool
+	// Coarse indicates a compile-time-only parameter changed; runtime
+	// transitions with Coarse set are invalid.
+	Coarse bool
+	// Changed lists the parameters that differ.
+	Changed []Param
+}
+
+// Classify computes the Transition between two configurations.
+func Classify(from, to Config) Transition {
+	var t Transition
+	for p := Param(0); p < NumParams; p++ {
+		cls := TransitionClass(p, from[p], to[p])
+		if cls == NoChange {
+			continue
+		}
+		t.Changed = append(t.Changed, p)
+		switch cls {
+		case SuperFine:
+			t.SuperFineChanges++
+		case Fine:
+			switch p {
+			case L1Share, L1Cap:
+				t.FlushL1 = true
+			case L2Share, L2Cap:
+				t.FlushL2 = true
+			}
+		case Coarse:
+			t.Coarse = true
+		}
+	}
+	return t
+}
+
+// IsNoop reports whether the transition changes nothing.
+func (t Transition) IsNoop() bool { return len(t.Changed) == 0 }

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/kernels"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
+)
+
+// Policy is the reconfiguration-cost-aware hysteresis scheme of Section
+// 4.4, applied per parameter on top of the model's prediction.
+type Policy int
+
+const (
+	// Conservative never reconfigures parameters whose transition exceeds
+	// the fixed super-fine cost (i.e. anything requiring a flush).
+	Conservative Policy = iota
+	// Aggressive always follows the model's prediction regardless of cost.
+	Aggressive
+	// Hybrid allows a flushing change only when its estimated time cost is
+	// within Tolerance × the previous epoch's elapsed time, penalizing
+	// bursts of reconfiguration in short epochs while allowing occasional
+	// ones (Section 4.4).
+	Hybrid
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Conservative:
+		return "conservative"
+	case Aggressive:
+		return "aggressive"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Options configure a Controller.
+type Options struct {
+	Policy Policy
+	// Tolerance is the hybrid policy's threshold as a fraction of the
+	// previous epoch time (the paper uses 40% for SpMSpV, Section 5.4).
+	Tolerance float64
+	// EpochScale scales the paper's per-kernel epoch size (1 = paper's 500
+	// / 5000 FP-ops per GPE); scaled-down inputs use smaller epochs.
+	EpochScale float64
+}
+
+// DefaultOptions returns the paper's defaults: hybrid with 40% tolerance.
+func DefaultOptions() Options {
+	return Options{Policy: Hybrid, Tolerance: 0.4, EpochScale: 1}
+}
+
+// EpochLog records one epoch of a run for analysis and plotting (the
+// Figure 1 timeline is built from these).
+type EpochLog struct {
+	Config   config.Config
+	Metrics  power.Metrics
+	Counters sim.Counters
+	Phase    string
+	// Reconfigured reports whether the controller changed configuration
+	// entering this epoch.
+	Reconfigured bool
+}
+
+// RunResult aggregates a full workload execution.
+type RunResult struct {
+	Total    power.Metrics
+	Epochs   []EpochLog
+	Reconfig int // number of epochs entered with a configuration change
+}
+
+// Controller is the SparseAdapt runtime: it owns the predictive model and
+// drives the feedback loop against a machine.
+type Controller struct {
+	Model *Ensemble
+	Opts  Options
+}
+
+// NewController builds a controller with the given trained model.
+func NewController(model *Ensemble, opts Options) *Controller {
+	if opts.EpochScale <= 0 {
+		opts.EpochScale = 1
+	}
+	return &Controller{Model: model, Opts: opts}
+}
+
+// filter applies the cost-aware policy to the model's prediction, given the
+// machine state: it returns the configuration actually applied.
+func (c *Controller) filter(m *sim.Machine, pred config.Config, lastEpochTime float64, dirtyL1, dirtyL2 int) config.Config {
+	cur := m.Config()
+	out := cur
+	for _, p := range config.RuntimeParams {
+		if pred[p] == cur[p] {
+			continue
+		}
+		cls := config.TransitionClass(p, cur[p], pred[p])
+		switch c.Opts.Policy {
+		case Aggressive:
+			out[p] = pred[p]
+		case Conservative:
+			if cls == config.SuperFine {
+				out[p] = pred[p]
+			}
+		case Hybrid:
+			if cls == config.SuperFine {
+				out[p] = pred[p]
+				continue
+			}
+			// Estimate the isolated cost of moving this one parameter.
+			probe := cur
+			probe[p] = pred[p]
+			tCost, _ := sim.TransitionPenalty(m.Chip(), cur, probe, dirtyL1, dirtyL2, m.Bandwidth())
+			if tCost <= c.Opts.Tolerance*lastEpochTime {
+				out[p] = pred[p]
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the workload under SparseAdapt control: telemetry,
+// inference and reconfiguration at every epoch boundary (Figure 3a).
+func (c *Controller) Run(m *sim.Machine, w kernels.Workload) RunResult {
+	m.BindTrace(w.Trace)
+	eps := w.Epochs(c.Opts.EpochScale)
+	var res RunResult
+	reconfigured := false
+	for _, ep := range eps {
+		r := m.RunEpoch(ep)
+		res.Total.Add(r.Metrics)
+		res.Epochs = append(res.Epochs, EpochLog{
+			Config: m.Config(), Metrics: r.Metrics, Counters: r.Counters,
+			Phase: r.Phase, Reconfigured: reconfigured,
+		})
+		pred := c.Model.Predict(m.Config(), r.Counters)
+		next := c.filter(m, pred, r.Metrics.TimeSec, r.DirtyL1, r.DirtyL2)
+		reconfigured = false
+		if next != m.Config() {
+			if _, err := m.Reconfigure(next); err == nil {
+				res.Reconfig++
+				reconfigured = true
+			}
+		}
+	}
+	return res
+}
+
+// RunStatic executes the workload under a fixed configuration — the
+// non-reconfiguring comparison points of Section 5.3 (Baseline, Best Avg,
+// Max Cfg, Ideal Static).
+func RunStatic(chip power.Chip, bw float64, cfg config.Config, w kernels.Workload, epochScale float64) RunResult {
+	m := sim.New(chip, bw, cfg)
+	m.BindTrace(w.Trace)
+	var res RunResult
+	for _, ep := range w.Epochs(epochScale) {
+		r := m.RunEpoch(ep)
+		res.Total.Add(r.Metrics)
+		res.Epochs = append(res.Epochs, EpochLog{Config: cfg, Metrics: r.Metrics, Counters: r.Counters, Phase: r.Phase})
+	}
+	return res
+}

@@ -1,0 +1,103 @@
+// Package core implements SparseAdapt itself: the predictive model (an
+// ensemble of per-parameter decision trees, Section 4) and the runtime
+// controller that, at every FP-op epoch boundary, reads hardware telemetry,
+// predicts the best configuration for the next epoch, filters the
+// prediction through a reconfiguration-cost-aware policy (Section 4.4) and
+// reconfigures the machine.
+package core
+
+import (
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/ml"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
+)
+
+// Feature layout: the current values of the six runtime configuration
+// parameters (the key insight of Section 4.2 — feeding the configuration
+// back as model input removes the need for ProfileAdapt's profiling
+// configuration), followed by the Table 2 telemetry.
+const NumFeatures = len6 + sim.NumFeatures
+
+const len6 = 6 // runtime-adjustable parameters
+
+// BuildFeatures assembles the model input vector from the configuration
+// active during the epoch and the telemetry it produced.
+func BuildFeatures(cfg config.Config, c sim.Counters) []float64 {
+	out := make([]float64, 0, NumFeatures)
+	for _, p := range config.RuntimeParams {
+		out = append(out, float64(cfg[p]))
+	}
+	return append(out, c.Features()...)
+}
+
+// FeatureNames returns the names of all model inputs, aligned with
+// BuildFeatures.
+func FeatureNames() []string {
+	out := make([]string, 0, NumFeatures)
+	for _, p := range config.RuntimeParams {
+		out = append(out, "cfg-"+p.String())
+	}
+	return append(out, sim.FeatureNames()...)
+}
+
+// FeatureGroup maps a feature index to its hardware-block group for the
+// Figure 10 importance analysis; configuration feedback inputs form their
+// own group.
+func FeatureGroup(i int) string {
+	if i < len6 {
+		return "Config"
+	}
+	return sim.FeatureGroup(i - len6)
+}
+
+// Ensemble is the predictive model: one decision-tree classifier per
+// runtime configuration parameter, assumed conditionally independent given
+// the features (Section 4.1).
+type Ensemble struct {
+	Trees map[config.Param]*ml.Tree
+	Mode  power.Mode
+}
+
+// Predict returns the configuration the model deems best for the next
+// epoch. The compile-time L1 type of cur is always preserved; any parameter
+// without a trained tree keeps its current value.
+func (e *Ensemble) Predict(cur config.Config, c sim.Counters) config.Config {
+	x := BuildFeatures(cur, c)
+	out := cur
+	for _, p := range config.RuntimeParams {
+		t, ok := e.Trees[p]
+		if !ok {
+			continue
+		}
+		v := t.Predict(x)
+		if v >= 0 && v < config.Cardinality(p) {
+			out[p] = v
+		}
+	}
+	return out
+}
+
+// Importance aggregates normalized Gini feature importance per feature
+// for the tree of parameter p (nil if untrained).
+func (e *Ensemble) Importance(p config.Param) []float64 {
+	t, ok := e.Trees[p]
+	if !ok {
+		return nil
+	}
+	return t.FeatureImportance()
+}
+
+// GroupImportance sums a tree's feature importance by feature group,
+// producing the rows of Figure 10.
+func (e *Ensemble) GroupImportance(p config.Param) map[string]float64 {
+	imp := e.Importance(p)
+	if imp == nil {
+		return nil
+	}
+	out := map[string]float64{}
+	for i, v := range imp {
+		out[FeatureGroup(i)] += v
+	}
+	return out
+}

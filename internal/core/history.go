@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/kernels"
+	"sparseadapt/internal/sim"
+)
+
+// The history-based extension sketched in the paper's Discussion (Section
+// 7, "Bridging the Gap with Oracle"): instead of the current epoch's
+// telemetry only, the model sees a window of the last H epochs, borrowing
+// from branch prediction and prefetching. H = 1 reduces exactly to the
+// published SparseAdapt.
+
+// HistoryFeatureCount returns the model input width for a window of h
+// epochs: the configuration feedback plus h telemetry frames.
+func HistoryFeatureCount(h int) int {
+	if h < 1 {
+		h = 1
+	}
+	return len6 + h*sim.NumFeatures
+}
+
+// BuildHistoryFeatures assembles the input vector from the current
+// configuration and the last h telemetry frames, oldest first. Shorter
+// windows (program start) are padded by repeating the oldest frame, so the
+// vector width is constant.
+func BuildHistoryFeatures(cfg config.Config, window []sim.Counters, h int) []float64 {
+	if h < 1 {
+		h = 1
+	}
+	out := make([]float64, 0, HistoryFeatureCount(h))
+	for _, p := range config.RuntimeParams {
+		out = append(out, float64(cfg[p]))
+	}
+	if len(window) == 0 {
+		window = []sim.Counters{{}}
+	}
+	if len(window) > h {
+		window = window[len(window)-h:]
+	}
+	for i := 0; i < h-len(window); i++ {
+		out = append(out, window[0].Features()...)
+	}
+	for _, c := range window {
+		out = append(out, c.Features()...)
+	}
+	return out
+}
+
+// PredictX predicts from a pre-built feature vector (used by the
+// history-based controller whose vectors are wider than BuildFeatures').
+func (e *Ensemble) PredictX(cur config.Config, x []float64) config.Config {
+	out := cur
+	for _, p := range config.RuntimeParams {
+		t, ok := e.Trees[p]
+		if !ok {
+			continue
+		}
+		v := t.Predict(x)
+		if v >= 0 && v < config.Cardinality(p) {
+			out[p] = v
+		}
+	}
+	return out
+}
+
+// HistoryController drives the feedback loop with an H-epoch telemetry
+// window. Its model must have been trained on history-augmented features
+// of the same window length.
+type HistoryController struct {
+	Model *Ensemble
+	Opts  Options
+	H     int
+}
+
+// NewHistoryController builds the extended controller. h < 1 behaves like
+// the published single-epoch SparseAdapt.
+func NewHistoryController(model *Ensemble, opts Options, h int) *HistoryController {
+	if opts.EpochScale <= 0 {
+		opts.EpochScale = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	return &HistoryController{Model: model, Opts: opts, H: h}
+}
+
+// Run executes the workload under history-based control.
+func (c *HistoryController) Run(m *sim.Machine, w kernels.Workload) RunResult {
+	m.BindTrace(w.Trace)
+	inner := Controller{Model: c.Model, Opts: c.Opts}
+	var res RunResult
+	var window []sim.Counters
+	reconfigured := false
+	for _, ep := range w.Epochs(c.Opts.EpochScale) {
+		r := m.RunEpoch(ep)
+		res.Total.Add(r.Metrics)
+		res.Epochs = append(res.Epochs, EpochLog{
+			Config: m.Config(), Metrics: r.Metrics, Counters: r.Counters,
+			Phase: r.Phase, Reconfigured: reconfigured,
+		})
+		window = append(window, r.Counters)
+		if len(window) > c.H {
+			window = window[1:]
+		}
+		x := BuildHistoryFeatures(m.Config(), window, c.H)
+		pred := c.Model.PredictX(m.Config(), x)
+		next := inner.filter(m, pred, r.Metrics.TimeSec, r.DirtyL1, r.DirtyL2)
+		reconfigured = false
+		if next != m.Config() {
+			if _, err := m.Reconfigure(next); err == nil {
+				res.Reconfig++
+				reconfigured = true
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/ml"
+	"sparseadapt/internal/power"
+)
+
+// ensembleJSON is the on-disk form of an Ensemble; trees are keyed by
+// parameter name so files are self-describing.
+type ensembleJSON struct {
+	Mode  int                 `json:"mode"`
+	Trees map[string]*ml.Tree `json:"trees"`
+}
+
+// MarshalJSON serializes the ensemble.
+func (e *Ensemble) MarshalJSON() ([]byte, error) {
+	out := ensembleJSON{Mode: int(e.Mode), Trees: map[string]*ml.Tree{}}
+	for p, t := range e.Trees {
+		out.Trees[p.String()] = t
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a serialized ensemble.
+func (e *Ensemble) UnmarshalJSON(data []byte) error {
+	var in ensembleJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	e.Mode = power.Mode(in.Mode)
+	e.Trees = map[config.Param]*ml.Tree{}
+	for name, t := range in.Trees {
+		found := false
+		for _, p := range config.RuntimeParams {
+			if p.String() == name {
+				e.Trees[p] = t
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("core: unknown parameter %q in model file", name)
+		}
+	}
+	return nil
+}
+
+// SaveEnsemble writes the model to a JSON file.
+func SaveEnsemble(path string, e *Ensemble) error {
+	data, err := json.MarshalIndent(e, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadEnsemble reads a model from a JSON file.
+func LoadEnsemble(path string) (*Ensemble, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	e := &Ensemble{}
+	if err := json.Unmarshal(data, e); err != nil {
+		return nil, fmt.Errorf("core: parsing %s: %w", path, err)
+	}
+	return e, nil
+}

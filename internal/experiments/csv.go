@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// WriteCSV exports the report's rows as a CSV file (the artifact's raw
+// result format, Appendix A.6): a header of "series" plus the column
+// names, one row per series.
+func (r *Report) WriteCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := append([]string{"series"}, r.Columns...)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := make([]string, 0, len(header))
+		rec = append(rec, row.Label)
+		for j := range r.Columns {
+			if j < len(row.Values) {
+				rec = append(rec, strconv.FormatFloat(row.Values[j], 'g', -1, 64))
+			} else {
+				rec = append(rec, "")
+			}
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// RunAll executes every registered experiment at the given scale and
+// writes one CSV per experiment into dir (created if needed), mirroring
+// the paper artifact's rep_data/ output. It returns the reports in ID
+// order and stops at the first failure.
+func RunAll(sc Scale, dir string) ([]*Report, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	var out []*Report
+	for _, id := range IDs() {
+		e, err := Get(id)
+		if err != nil {
+			return out, err
+		}
+		rep, err := e.Run(sc)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, rep)
+		if dir != "" {
+			if err := rep.WriteCSV(filepath.Join(dir, id+".csv")); err != nil {
+				return out, err
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/core"
+	"sparseadapt/internal/power"
+)
+
+func init() {
+	register("pareto", "Configuration design space: performance/power Pareto frontier vs SparseAdapt", Pareto)
+}
+
+// Pareto maps the static configuration design space for one workload
+// (SpMSpV on P2): a random sample of configurations is run end-to-end and
+// placed on the (GFLOPS, Watts) plane, the Pareto-efficient points are
+// marked, and the Table 4 standards plus the SparseAdapt dynamic run are
+// located relative to the frontier. The paper's premise is precisely that
+// no single static point serves all phases — the dynamic run should sit
+// at or beyond the static frontier on its optimization objective.
+func Pareto(sc Scale) (*Report, error) {
+	rep := &Report{ID: "pareto", Title: "Static design space for SpMSpV on P2 (GFLOPS vs W)",
+		Columns: []string{"gflops", "watts", "gflops-per-w", "pareto"}}
+	w, err := buildSpMSpV(sc, "P2")
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(sc.Seed + 99))
+	n := sc.OracleSamples * 3
+	if n < 24 {
+		n = 24
+	}
+	cfgs := config.Sample(rng, n, config.CacheMode)
+	cfgs = append(cfgs, config.Baseline, config.BestAvgCache, config.MaxCfg)
+
+	type pt struct {
+		label   string
+		metrics power.Metrics
+	}
+	var pts []pt
+	for i, cfg := range cfgs {
+		m := core.RunStatic(sc.Chip, sc.BW, cfg, w, sc.Epoch).Total
+		label := fmt.Sprintf("cfg%03d", i)
+		switch cfg.Index() {
+		case config.Baseline.Index():
+			label = "baseline"
+		case config.BestAvgCache.Index():
+			label = "best-avg"
+		case config.MaxCfg.Index():
+			label = "max-cfg"
+		}
+		pts = append(pts, pt{label, m})
+	}
+
+	// Pareto dominance: more GFLOPS and fewer Watts.
+	pareto := make([]bool, len(pts))
+	for i := range pts {
+		pareto[i] = true
+		for j := range pts {
+			if i == j {
+				continue
+			}
+			if pts[j].metrics.GFLOPS() >= pts[i].metrics.GFLOPS() &&
+				pts[j].metrics.Watts() <= pts[i].metrics.Watts() &&
+				(pts[j].metrics.GFLOPS() > pts[i].metrics.GFLOPS() ||
+					pts[j].metrics.Watts() < pts[i].metrics.Watts()) {
+				pareto[i] = false
+				break
+			}
+		}
+	}
+	for i, p := range pts {
+		flag := 0.0
+		if pareto[i] {
+			flag = 1
+		}
+		rep.Add(p.label, p.metrics.GFLOPS(), p.metrics.Watts(), p.metrics.GFLOPSPerW(), flag)
+	}
+
+	// The dynamic run in both modes.
+	for _, mode := range []power.Mode{power.EnergyEfficient, power.PowerPerformance} {
+		sa, err := runSparseAdapt(sc, w, "spmspv", config.CacheMode, mode)
+		if err != nil {
+			return nil, err
+		}
+		name := "sparseadapt-ee"
+		if mode == power.PowerPerformance {
+			name = "sparseadapt-pp"
+		}
+		rep.Add(name, sa.Total.GFLOPS(), sa.Total.Watts(), sa.Total.GFLOPSPerW(), 1)
+	}
+	nPareto := 0
+	for _, p := range pareto {
+		if p {
+			nPareto++
+		}
+	}
+	rep.Note("%d of %d static configurations are Pareto-efficient; the dynamic runs should sit at or beyond the frontier on their objective", nPareto, len(pts))
+	return rep, nil
+}

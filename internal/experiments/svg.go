@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"sparseadapt/internal/plot"
+)
+
+// WriteSVG renders the report as an SVG figure: reports with many rows
+// (timelines, sweeps) become line charts over the row index with one
+// series per column; compact reports become grouped bar charts (the shape
+// of the paper's gain figures).
+func (r *Report) WriteSVG(path string) error {
+	if len(r.Rows) > 20 {
+		c := &plot.Chart{
+			Title:  r.ID + ": " + r.Title,
+			XLabel: "epoch / series index",
+			YLabel: "value",
+		}
+		for j, col := range r.Columns {
+			s := plot.Series{Name: col}
+			for i, row := range r.Rows {
+				if j < len(row.Values) {
+					s.Points = append(s.Points, plot.Point{X: float64(i), Y: row.Values[j]})
+				}
+			}
+			c.Series = append(c.Series, s)
+		}
+		return c.WriteFile(path)
+	}
+	b := &plot.BarChart{
+		Title:  r.ID + ": " + r.Title,
+		YLabel: "value",
+	}
+	for _, row := range r.Rows {
+		b.Groups = append(b.Groups, row.Label)
+	}
+	b.Series = r.Columns
+	b.Values = make([][]float64, len(r.Columns))
+	for j := range r.Columns {
+		b.Values[j] = make([]float64, len(r.Rows))
+		for i, row := range r.Rows {
+			if j < len(row.Values) {
+				b.Values[j][i] = row.Values[j]
+			}
+		}
+	}
+	return b.WriteFile(path)
+}

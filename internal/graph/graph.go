@@ -1,0 +1,176 @@
+// Package graph implements the paper's end-to-end graph workloads —
+// breadth-first search and single-source shortest path — as iterative
+// semiring SpMSpV vertex programs in the GraphMat style (Section 6.1.3).
+// Each frontier expansion is one traced SpMSpV pass over the adjacency
+// matrix; iterations appear as explicit phases in the trace, while the
+// evolving frontier sparsity produces the implicit phases the controller
+// adapts to.
+//
+// The adjacency convention is column-as-source: entry (r, c) is an edge
+// c → r with weight |value|, so expanding frontier x is y = A·x.
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"sparseadapt/internal/kernels"
+	"sparseadapt/internal/matrix"
+	"sparseadapt/internal/sim"
+)
+
+// Static instruction IDs for the prefetcher tables (PC 0 is reserved).
+const (
+	pcColPtr = iota + 1
+	pcRowIdx
+	pcVal
+	pcFrontier
+	pcDist
+	pcQueue
+)
+
+const (
+	fBytes = 8
+	iBytes = 4
+)
+
+// Result is the outcome of a graph traversal.
+type Result struct {
+	// Dist holds per-vertex distances: hop counts for BFS, weighted
+	// distances for SSSP. Unreached vertices hold +Inf.
+	Dist []float64
+	// Traversed counts edges examined across all iterations (the TEPS
+	// numerator).
+	Traversed int
+	// Iterations is the number of frontier expansions executed.
+	Iterations int
+}
+
+// TEPS returns traversed edges per second for a measured runtime.
+func (r Result) TEPS(timeSec float64) float64 {
+	if timeSec <= 0 {
+		return 0
+	}
+	return float64(r.Traversed) / timeSec
+}
+
+type traversal struct {
+	g    *matrix.CSC
+	tb   *sim.Builder
+	nGPE int
+	nLCP int
+
+	regPtr, regIdx, regVal sim.Region
+	regFrontier            sim.Region
+	regDist                sim.Region
+	regQueue               sim.Region
+}
+
+func newTraversal(g *matrix.CSC, nGPE, nLCP int) *traversal {
+	tb := sim.NewBuilder(nGPE, nLCP)
+	t := &traversal{g: g, tb: tb, nGPE: nGPE, nLCP: nLCP}
+	t.regPtr = tb.AllocRegion("adj.colptr", (g.Cols+1)*iBytes, sim.RegionStream, 9)
+	t.regIdx = tb.AllocRegion("adj.rowidx", maxInt(g.NNZ(), 1)*iBytes, sim.RegionStream, 9)
+	t.regVal = tb.AllocRegion("adj.val", maxInt(g.NNZ(), 1)*fBytes, sim.RegionStream, 9)
+	t.regFrontier = tb.AllocRegion("frontier", g.Rows*fBytes, sim.RegionReuse, 1)
+	t.regDist = tb.AllocRegion("distances", g.Rows*fBytes, sim.RegionReuse, 0)
+	t.regQueue = tb.AllocRegion("work-queue", 4096, sim.RegionBookkeep, 2)
+	return t
+}
+
+// expand performs one traced frontier expansion. relax is the semiring
+// accumulate: given the tentative value arriving at vertex r via an edge of
+// weight wgt from a frontier vertex with value fv, it returns the candidate
+// value (BFS: fv+1 hops; SSSP: fv+wgt).
+func (t *traversal) expand(iter int, frontier []int, fval []float64, dist []float64,
+	relax func(fv, wgt float64) float64) (next []int, nval []float64, traversed int) {
+
+	tb := t.tb
+	tb.Phase(fmt.Sprintf("iter%d", iter))
+	lcp := func(u int) int { return t.nGPE + (u % t.nLCP) }
+	cand := map[int]float64{}
+	for fi, v := range frontier {
+		gpe := fi % t.nGPE
+		tb.On(lcp(fi))
+		tb.Int(2)
+		tb.StoreI(pcQueue, t.regQueue.Lo+uint32((fi%256)*iBytes))
+
+		tb.On(gpe)
+		tb.LoadF(pcFrontier, t.regFrontier.Lo+uint32(v*fBytes))
+		tb.LoadI(pcColPtr, t.regPtr.Lo+uint32(v*iBytes))
+		tb.LoadI(pcColPtr, t.regPtr.Lo+uint32((v+1)*iBytes))
+		rows, vals := t.g.Col(v)
+		for ai, r := range rows {
+			off := t.g.ColPtr[v] + ai
+			tb.LoadI(pcRowIdx, t.regIdx.Lo+uint32(off*iBytes))
+			tb.LoadF(pcVal, t.regVal.Lo+uint32(off*fBytes))
+			traversed++
+			c := relax(fval[fi], math.Abs(vals[ai]))
+			// Read-modify-write on the distance entry (min semiring).
+			tb.LoadF(pcDist, t.regDist.Lo+uint32(r*fBytes))
+			tb.FP(2) // add + compare-select
+			if c < dist[r] {
+				tb.StoreF(pcDist, t.regDist.Lo+uint32(r*fBytes))
+				dist[r] = c
+				if prev, ok := cand[r]; !ok || c < prev {
+					cand[r] = c
+				}
+			}
+		}
+	}
+	// Deterministic next-frontier extraction in vertex order.
+	for r := 0; r < t.g.Rows; r++ {
+		if c, ok := cand[r]; ok {
+			next = append(next, r)
+			nval = append(nval, c)
+			gpe := len(next) % t.nGPE
+			tb.On(gpe)
+			tb.Int(1)
+			tb.StoreF(pcFrontier, t.regFrontier.Lo+uint32(r*fBytes))
+		}
+	}
+	return next, nval, traversed
+}
+
+func run(g *matrix.CSC, src int, nGPE, nLCP int, name string,
+	relax func(fv, wgt float64) float64) (Result, kernels.Workload) {
+	if src < 0 || src >= g.Cols {
+		panic("graph: source out of range")
+	}
+	t := newTraversal(g, nGPE, nLCP)
+	dist := make([]float64, g.Rows)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	frontier := []int{src}
+	fval := []float64{0}
+	res := Result{}
+	for len(frontier) > 0 {
+		var trav int
+		frontier, fval, trav = t.expand(res.Iterations, frontier, fval, dist, relax)
+		res.Traversed += trav
+		res.Iterations++
+	}
+	res.Dist = dist
+	return res, kernels.Workload{Name: name, Trace: t.tb.Build(), EpochFPOps: kernels.EpochSpMSpV}
+}
+
+// BFS runs breadth-first search from src, returning hop counts. Each
+// iteration is one boolean-semiring SpMSpV pass.
+func BFS(g *matrix.CSC, src, nGPE, nLCP int) (Result, kernels.Workload) {
+	return run(g, src, nGPE, nLCP, "bfs", func(fv, _ float64) float64 { return fv + 1 })
+}
+
+// SSSP runs single-source shortest path (Bellman-Ford-style frontier
+// relaxation over the (min,+) semiring) with edge weights |A[r,c]|.
+func SSSP(g *matrix.CSC, src, nGPE, nLCP int) (Result, kernels.Workload) {
+	return run(g, src, nGPE, nLCP, "sssp", func(fv, wgt float64) float64 { return fv + wgt })
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/matrix"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
+)
+
+const (
+	nGPE = 16
+	nLCP = 2
+)
+
+// refBFS is a queue-based reference (column-as-source adjacency).
+func refBFS(g *matrix.CSC, src int) []float64 {
+	dist := make([]float64, g.Rows)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	q := []int{src}
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		rows, _ := g.Col(v)
+		for _, r := range rows {
+			if math.IsInf(dist[r], 1) {
+				dist[r] = dist[v] + 1
+				q = append(q, r)
+			}
+		}
+	}
+	return dist
+}
+
+type pqItem struct {
+	v int
+	d float64
+}
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].d < p[j].d }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	x := old[n-1]
+	*p = old[:n-1]
+	return x
+}
+
+// refDijkstra is the weighted reference.
+func refDijkstra(g *matrix.CSC, src int) []float64 {
+	dist := make([]float64, g.Rows)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	h := &pq{{src, 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		rows, vals := g.Col(it.v)
+		for i, r := range rows {
+			if nd := it.d + math.Abs(vals[i]); nd < dist[r] {
+				dist[r] = nd
+				heap.Push(h, pqItem{r, nd})
+			}
+		}
+	}
+	return dist
+}
+
+func distEq(a, b []float64) bool {
+	for i := range a {
+		ia, ib := math.IsInf(a[i], 1), math.IsInf(b[i], 1)
+		if ia != ib {
+			return false
+		}
+		if !ia && math.Abs(a[i]-b[i]) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBFSPathGraph(t *testing.T) {
+	// 0 → 1 → 2 → 3 chain.
+	coo := matrix.NewCOO(4, 4)
+	coo.Add(1, 0, 1)
+	coo.Add(2, 1, 1)
+	coo.Add(3, 2, 1)
+	g := coo.ToCSC()
+	res, w := BFS(g, 0, nGPE, nLCP)
+	want := []float64{0, 1, 2, 3}
+	if !distEq(res.Dist, want) {
+		t.Fatalf("dist %v, want %v", res.Dist, want)
+	}
+	if res.Traversed != 3 || res.Iterations != 4 {
+		t.Fatalf("traversed %d iters %d", res.Traversed, res.Iterations)
+	}
+	if len(w.Trace.Phases) != res.Iterations {
+		t.Fatalf("phases %d vs iterations %d", len(w.Trace.Phases), res.Iterations)
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	coo := matrix.NewCOO(5, 5)
+	coo.Add(1, 0, 1)
+	g := coo.ToCSC()
+	res, _ := BFS(g, 0, nGPE, nLCP)
+	if !math.IsInf(res.Dist[4], 1) {
+		t.Fatal("unreachable vertex must be +Inf")
+	}
+	if res.Dist[1] != 1 {
+		t.Fatalf("dist[1] = %v", res.Dist[1])
+	}
+}
+
+func TestQuickBFSMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(56)
+		g := matrix.RMATDefault(rng, n, n*3).ToCSC()
+		src := rng.Intn(n)
+		res, _ := BFS(g, src, nGPE, nLCP)
+		return distEq(res.Dist, refBFS(g, src))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSSSPMatchesDijkstra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(48)
+		g := matrix.Uniform(rng, n, n, n*4).ToCSC()
+		src := rng.Intn(n)
+		res, _ := SSSP(g, src, nGPE, nLCP)
+		return distEq(res.Dist, refDijkstra(g, src))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTEPS(t *testing.T) {
+	r := Result{Traversed: 1000}
+	if r.TEPS(0.5) != 2000 {
+		t.Fatalf("TEPS = %v", r.TEPS(0.5))
+	}
+	if r.TEPS(0) != 0 {
+		t.Fatal("zero time must yield zero TEPS")
+	}
+}
+
+func TestGraphRunsOnMachine(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	chip := power.Chip{Tiles: 2, GPEsPerTile: 8}
+	g := matrix.RMATDefault(rng, 128, 512).ToCSC()
+	res, w := BFS(g, 0, chip.NGPE(), chip.Tiles)
+	if res.Traversed == 0 {
+		t.Skip("degenerate graph")
+	}
+	m := sim.New(chip, sim.DefaultBandwidth, config.Baseline)
+	m.BindTrace(w.Trace)
+	var total power.Metrics
+	for _, ep := range w.Epochs(0.2) {
+		total.Add(m.RunEpoch(ep).Metrics)
+	}
+	if total.TimeSec <= 0 {
+		t.Fatal("no time simulated")
+	}
+	if res.TEPS(total.TimeSec) <= 0 {
+		t.Fatal("no TEPS")
+	}
+}
+
+func TestSSSPWeightsRespected(t *testing.T) {
+	// Two routes 0→2: direct weight 10, via 1 weight 2+3=5.
+	coo := matrix.NewCOO(3, 3)
+	coo.Add(2, 0, 10)
+	coo.Add(1, 0, 2)
+	coo.Add(2, 1, 3)
+	g := coo.ToCSC()
+	res, _ := SSSP(g, 0, nGPE, nLCP)
+	if res.Dist[2] != 5 {
+		t.Fatalf("dist[2] = %v, want 5 (via vertex 1)", res.Dist[2])
+	}
+}

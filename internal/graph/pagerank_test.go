@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/matrix"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
+)
+
+// refPageRank is a dense power-iteration reference.
+func refPageRank(g *matrix.CSC, damping float64, iters int) []float64 {
+	n := g.Cols
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.ColPtr[v+1] - g.ColPtr[v]
+	}
+	rank := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		next := make([]float64, n)
+		base := (1 - damping) / float64(n)
+		dangling := 0.0
+		for i := range next {
+			next[i] = base
+		}
+		for v := 0; v < n; v++ {
+			if deg[v] == 0 {
+				dangling += rank[v]
+				continue
+			}
+			share := damping * rank[v] / float64(deg[v])
+			rows, _ := g.Col(v)
+			for _, r := range rows {
+				next[r] += share
+			}
+		}
+		for i := range next {
+			next[i] += damping * dangling / float64(n)
+		}
+		rank = next
+	}
+	return rank
+}
+
+func TestPageRankMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := matrix.RMATDefault(rng, 128, 800).ToCSC()
+	res, w := PageRank(g, 0.85, 0, 12, nGPE, nLCP)
+	want := refPageRank(g, 0.85, 12)
+	for i := range want {
+		if math.Abs(res.Rank[i]-want[i]) > 1e-9 {
+			t.Fatalf("rank[%d] = %v, want %v", i, res.Rank[i], want[i])
+		}
+	}
+	if res.Iterations != 12 {
+		t.Fatalf("iterations %d", res.Iterations)
+	}
+	if w.Trace.FPOps == 0 || len(w.Trace.Phases) != 12 {
+		t.Fatalf("trace malformed: %v", w.Trace)
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := matrix.Uniform(rng, 96, 96, 400).ToCSC()
+	res, _ := PageRank(g, 0.85, 0, 10, nGPE, nLCP)
+	sum := 0.0
+	for _, r := range res.Rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+	for i, r := range res.Rank {
+		if r <= 0 {
+			t.Fatalf("rank[%d] = %v not positive", i, r)
+		}
+	}
+}
+
+func TestPageRankConvergesEarly(t *testing.T) {
+	// A symmetric ring converges almost immediately.
+	n := 32
+	coo := matrix.NewCOO(n, n)
+	for v := 0; v < n; v++ {
+		coo.Add((v+1)%n, v, 1)
+		coo.Add((v-1+n)%n, v, 1)
+	}
+	res, _ := PageRank(coo.ToCSC(), 0.85, 1e-12, 50, nGPE, nLCP)
+	if res.Iterations >= 50 {
+		t.Fatalf("ring should converge early, took %d iterations", res.Iterations)
+	}
+	// Symmetry: all ranks equal.
+	for i := 1; i < n; i++ {
+		if math.Abs(res.Rank[i]-res.Rank[0]) > 1e-9 {
+			t.Fatalf("ring ranks not uniform: %v vs %v", res.Rank[i], res.Rank[0])
+		}
+	}
+}
+
+func TestPageRankHubGetsTopRank(t *testing.T) {
+	// Star graph: every vertex points at vertex 0.
+	n := 20
+	coo := matrix.NewCOO(n, n)
+	for v := 1; v < n; v++ {
+		coo.Add(0, v, 1)
+	}
+	res, _ := PageRank(coo.ToCSC(), 0.85, 0, 20, nGPE, nLCP)
+	for i := 1; i < n; i++ {
+		if res.Rank[0] <= res.Rank[i] {
+			t.Fatalf("hub rank %v not above leaf %v", res.Rank[0], res.Rank[i])
+		}
+	}
+}
+
+func TestPageRankRunsOnMachine(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	chip := power.Chip{Tiles: 2, GPEsPerTile: 8}
+	g := matrix.RMATDefault(rng, 128, 700).ToCSC()
+	_, w := PageRank(g, 0.85, 0, 4, chip.NGPE(), chip.Tiles)
+	m := sim.New(chip, sim.DefaultBandwidth, config.Baseline)
+	m.BindTrace(w.Trace)
+	var total power.Metrics
+	for _, ep := range w.Epochs(0.2) {
+		total.Add(m.RunEpoch(ep).Metrics)
+	}
+	if total.TimeSec <= 0 || total.GFLOPS() <= 0 {
+		t.Fatalf("degenerate metrics %+v", total)
+	}
+}
+
+func TestPageRankDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := matrix.Uniform(rng, 32, 32, 64).ToCSC()
+	// Out-of-range damping and maxIter fall back to sane defaults.
+	res, _ := PageRank(g, 2.0, 0, 0, nGPE, nLCP)
+	if res.Iterations == 0 || len(res.Rank) != 32 {
+		t.Fatalf("defaults not applied: %+v", res.Iterations)
+	}
+}

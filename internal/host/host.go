@@ -1,0 +1,143 @@
+// Package host models the host-side runtime of Section 3.1: the paper's
+// Transmuter is driven by a host CPU that selects the kernel variant,
+// allocates input/output buffers in the device HBM, streams data out,
+// triggers execution, services the telemetry/reconfiguration feedback loop
+// and streams results back. The device-side kernel time is what the
+// evaluation reports; this package adds the end-to-end offload view, which
+// determines when offloading is worth it at all.
+package host
+
+import (
+	"fmt"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/core"
+	"sparseadapt/internal/kernels"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
+)
+
+// Link models the host↔device interconnect (PCIe-class by default).
+type Link struct {
+	// BandwidthBytesPerSec is the sustained transfer bandwidth.
+	BandwidthBytesPerSec float64
+	// LatencySec is the per-transfer setup latency (doorbells, descriptor
+	// rings).
+	LatencySec float64
+	// EnergyPerByte is the transfer energy.
+	EnergyPerByte float64
+}
+
+// DefaultLink returns a PCIe-3 x8-class link.
+func DefaultLink() Link {
+	return Link{BandwidthBytesPerSec: 8e9, LatencySec: 2e-6, EnergyPerByte: 10e-12}
+}
+
+// transfer returns the time and energy to move n bytes across the link.
+func (l Link) transfer(n int) (float64, float64) {
+	if n <= 0 {
+		return 0, 0
+	}
+	return l.LatencySec + float64(n)/l.BandwidthBytesPerSec, float64(n) * l.EnergyPerByte
+}
+
+// Offload describes one kernel dispatch: the device workload plus the
+// bytes that must move in each direction.
+type Offload struct {
+	Workload kernels.Workload
+	// BytesIn are operands streamed host → device before launch.
+	BytesIn int
+	// BytesOut are results streamed device → host after completion.
+	BytesOut int
+}
+
+// InputBytes computes the streamed operand footprint of sparse operands
+// (index + value arrays + pointers), the quantity the host allocator
+// reserves in HBM (Section 3.1).
+func InputBytes(nnz, dim int) int {
+	return nnz*(8+4) + (dim+1)*4
+}
+
+// Result is the end-to-end offload outcome.
+type Result struct {
+	// Device is the on-device execution (kernel time/energy).
+	Device power.Metrics
+	// TransferSec and TransferJ cover both directions.
+	TransferSec float64
+	TransferJ   float64
+	// Total is device + transfers (host decision cost is inside the device
+	// epochs already, Section 3.4).
+	Total power.Metrics
+	// Efficiency is the fraction of end-to-end time spent computing.
+	Efficiency float64
+}
+
+// Runner executes offloads against a simulated device, statically or under
+// SparseAdapt control.
+type Runner struct {
+	Chip       power.Chip
+	BW         float64 // device HBM bandwidth
+	Link       Link
+	EpochScale float64
+}
+
+// NewRunner builds a Runner with the paper's device and a default link.
+func NewRunner(chip power.Chip, bw, epochScale float64) *Runner {
+	if epochScale <= 0 {
+		epochScale = 1
+	}
+	return &Runner{Chip: chip, BW: bw, Link: DefaultLink(), EpochScale: epochScale}
+}
+
+func (r *Runner) finish(dev power.Metrics, off Offload) Result {
+	tIn, eIn := r.Link.transfer(off.BytesIn)
+	tOut, eOut := r.Link.transfer(off.BytesOut)
+	res := Result{
+		Device:      dev,
+		TransferSec: tIn + tOut,
+		TransferJ:   eIn + eOut,
+	}
+	res.Total = dev
+	res.Total.TimeSec += res.TransferSec
+	res.Total.EnergyJ += res.TransferJ
+	if res.Total.TimeSec > 0 {
+		res.Efficiency = dev.TimeSec / res.Total.TimeSec
+	}
+	return res
+}
+
+// RunStatic offloads under a fixed device configuration.
+func (r *Runner) RunStatic(cfg config.Config, off Offload) (Result, error) {
+	if off.Workload.Trace == nil {
+		return Result{}, fmt.Errorf("host: offload has no workload")
+	}
+	dev := core.RunStatic(r.Chip, r.BW, cfg, off.Workload, r.EpochScale).Total
+	return r.finish(dev, off), nil
+}
+
+// RunAdaptive offloads under SparseAdapt control with the given model.
+func (r *Runner) RunAdaptive(model *core.Ensemble, opts core.Options, start config.Config, off Offload) (Result, error) {
+	if off.Workload.Trace == nil {
+		return Result{}, fmt.Errorf("host: offload has no workload")
+	}
+	if opts.EpochScale <= 0 {
+		opts.EpochScale = r.EpochScale
+	}
+	m := sim.New(r.Chip, r.BW, start)
+	dev := core.NewController(model, opts).Run(m, off.Workload).Total
+	return r.finish(dev, off), nil
+}
+
+// BreakEvenBytes estimates, for a measured device run, the operand size at
+// which transfer time equals compute time — the classic offload
+// amortization threshold the host's dispatch logic weighs.
+func (r *Runner) BreakEvenBytes(dev power.Metrics) int {
+	if r.Link.BandwidthBytesPerSec <= 0 {
+		return 0
+	}
+	t := dev.TimeSec - 2*r.Link.LatencySec
+	if t <= 0 {
+		return 0
+	}
+	return int(t * r.Link.BandwidthBytesPerSec)
+}

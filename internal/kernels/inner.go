@@ -1,0 +1,186 @@
+package kernels
+
+import (
+	"sparseadapt/internal/matrix"
+	"sparseadapt/internal/sim"
+)
+
+// Static instruction IDs for the inner-product kernel.
+const (
+	pcInAPtr = iota + 20
+	pcInAIdx
+	pcInAVal
+	pcInBPtr
+	pcInBIdx
+	pcInBVal
+	pcInOut
+	pcInQueue
+)
+
+// SpMSpMInner computes C = A·B with the inner-product formulation and
+// index-compression (the alternative algorithm the paper's host runtime
+// can dispatch to, Section 5.4, citing Sparse-TPU): for every nonempty row
+// i of A and nonempty column j of B, the two sorted index lists are
+// intersected with a two-pointer merge. No partial-product storage and no
+// separate merge phase — but the candidate-pair space is quadratic, so it
+// only wins over the outer-product algorithm at higher densities.
+//
+// A is consumed in CSR and B in CSC (the transposed layout of the
+// outer-product kernel).
+func SpMSpMInner(a *matrix.CSR, b *matrix.CSC, nGPE, nLCP int) (*matrix.CSR, Workload) {
+	if a.Cols != b.Rows {
+		panic("kernels: SpMSpMInner shape mismatch")
+	}
+	tb := sim.NewBuilder(nGPE, nLCP)
+	regAPtr := tb.AllocRegion("A.rowptr", (a.Rows+1)*iBytes, sim.RegionStream, 9)
+	regAIdx := tb.AllocRegion("A.colidx", maxInt(a.NNZ(), 1)*iBytes, sim.RegionReuse, 1)
+	regAVal := tb.AllocRegion("A.val", maxInt(a.NNZ(), 1)*fBytes, sim.RegionReuse, 1)
+	regBPtr := tb.AllocRegion("B.colptr", (b.Cols+1)*iBytes, sim.RegionStream, 9)
+	regBIdx := tb.AllocRegion("B.rowidx", maxInt(b.NNZ(), 1)*iBytes, sim.RegionReuse, 2)
+	regBVal := tb.AllocRegion("B.val", maxInt(b.NNZ(), 1)*fBytes, sim.RegionReuse, 2)
+	regQueue := tb.AllocRegion("work-queue", 4096, sim.RegionBookkeep, 3)
+	regOut := tb.AllocRegion("C", maxInt(a.Rows, 1)*16, sim.RegionStream, 9)
+
+	// Compression: enumerate nonempty rows/cols once so empty candidates
+	// are never visited.
+	var rowsNE, colsNE []int
+	for i := 0; i < a.Rows; i++ {
+		if a.RowPtr[i+1] > a.RowPtr[i] {
+			rowsNE = append(rowsNE, i)
+		}
+	}
+	for j := 0; j < b.Cols; j++ {
+		if b.ColPtr[j+1] > b.ColPtr[j] {
+			colsNE = append(colsNE, j)
+		}
+	}
+
+	out := matrix.NewCOO(a.Rows, b.Cols)
+	tb.Phase("inner")
+	lcp := func(u int) int { return nGPE + (u % nLCP) }
+	outPos := 0
+	for wi, i := range rowsNE {
+		g := wi % nGPE
+		tb.On(lcp(wi))
+		tb.Int(2)
+		tb.StoreI(pcInQueue, regQueue.Lo+uint32((wi%256)*iBytes))
+
+		tb.On(g)
+		tb.LoadI(pcInAPtr, regAPtr.Lo+uint32(i*iBytes))
+		tb.LoadI(pcInAPtr, regAPtr.Lo+uint32((i+1)*iBytes))
+		aCols, aVals := a.Row(i)
+		for _, j := range colsNE {
+			tb.LoadI(pcInBPtr, regBPtr.Lo+uint32(j*iBytes))
+			tb.LoadI(pcInBPtr, regBPtr.Lo+uint32((j+1)*iBytes))
+			bRows, bVals := b.Col(j)
+			// Two-pointer intersection of the sorted index lists.
+			sum := 0.0
+			hit := false
+			ai, bi := 0, 0
+			aOff, bOff := a.RowPtr[i], b.ColPtr[j]
+			for ai < len(aCols) && bi < len(bRows) {
+				tb.LoadI(pcInAIdx, regAIdx.Lo+uint32((aOff+ai)*iBytes))
+				tb.LoadI(pcInBIdx, regBIdx.Lo+uint32((bOff+bi)*iBytes))
+				tb.Int(1) // compare
+				switch {
+				case aCols[ai] == bRows[bi]:
+					tb.LoadF(pcInAVal, regAVal.Lo+uint32((aOff+ai)*fBytes))
+					tb.LoadF(pcInBVal, regBVal.Lo+uint32((bOff+bi)*fBytes))
+					tb.FP(2) // multiply + accumulate
+					sum += aVals[ai] * bVals[bi]
+					hit = true
+					ai++
+					bi++
+				case aCols[ai] < bRows[bi]:
+					ai++
+				default:
+					bi++
+				}
+			}
+			if hit {
+				tb.StoreF(pcInOut, regOut.Lo+uint32((outPos%a.Rows)*16))
+				tb.StoreI(pcInOut, regOut.Lo+uint32((outPos%a.Rows)*16+fBytes))
+				out.Add(i, j, sum)
+				outPos++
+			}
+		}
+	}
+	return out.ToCSR(), Workload{Name: "spmspm-inner", Trace: tb.Build(), EpochFPOps: EpochSpMSpM}
+}
+
+// Algorithm identifies a SpMSpM formulation the host can dispatch.
+type Algorithm int
+
+const (
+	// OuterProduct is the OP-SpMSpM of Pal et al. (multiply + merge).
+	OuterProduct Algorithm = iota
+	// InnerProduct is the compressed inner-product formulation.
+	InnerProduct
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	if a == InnerProduct {
+		return "inner-product"
+	}
+	return "outer-product"
+}
+
+// EstimateSpMSpMCost returns rough work estimates (traced operations) for
+// both formulations on the given operands, the quantity the host runtime's
+// algorithmic-selection step compares (Section 3.1).
+func EstimateSpMSpMCost(a *matrix.CSC, b *matrix.CSR) (outer, inner float64) {
+	// Outer product: one partial product per (nonzero of col k of A ×
+	// nonzero of row k of B). Each is written to memory, read back and
+	// sort-merged, so the per-partial cost carries the merge's log factor —
+	// the memory-traffic overhead that lets the inner product win on small
+	// dense operands despite its larger candidate space.
+	pp := 0.0
+	for k := 0; k < a.Cols; k++ {
+		ca := float64(a.ColPtr[k+1] - a.ColPtr[k])
+		cb := float64(b.RowPtr[k+1] - b.RowPtr[k])
+		pp += ca * cb
+	}
+	perRow := pp / float64(maxInt(a.Rows, 1))
+	logf := 1.0
+	for v := perRow; v > 2; v /= 2 {
+		logf++
+	}
+	outer = pp * (2 + logf)
+
+	// Inner product: every nonempty (row, col) candidate walks both index
+	// lists.
+	rowsNE, colsNE, nnzRows, nnzCols := 0, 0, 0.0, 0.0
+	ar := a.ToCSR()
+	for i := 0; i < ar.Rows; i++ {
+		if n := ar.RowPtr[i+1] - ar.RowPtr[i]; n > 0 {
+			rowsNE++
+			nnzRows += float64(n)
+		}
+	}
+	bc := b.ToCSC()
+	for j := 0; j < bc.Cols; j++ {
+		if n := bc.ColPtr[j+1] - bc.ColPtr[j]; n > 0 {
+			colsNE++
+			nnzCols += float64(n)
+		}
+	}
+	if rowsNE > 0 && colsNE > 0 {
+		avgRow := nnzRows / float64(rowsNE)
+		avgCol := nnzCols / float64(colsNE)
+		inner = float64(rowsNE) * float64(colsNE) * (avgRow + avgCol)
+	}
+	return outer, inner
+}
+
+// ChooseSpMSpM is the host's dispatch decision: the formulation with the
+// lower estimated cost. For the density levels of the paper's evaluation
+// the outer product wins (Section 5.4); inner product takes over for
+// small, dense operands.
+func ChooseSpMSpM(a *matrix.CSC, b *matrix.CSR) Algorithm {
+	outer, inner := EstimateSpMSpMCost(a, b)
+	if inner < outer {
+		return InnerProduct
+	}
+	return OuterProduct
+}

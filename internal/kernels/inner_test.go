@@ -1,0 +1,94 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparseadapt/internal/matrix"
+)
+
+func TestSpMSpMInnerCorrectSmall(t *testing.T) {
+	coo := matrix.NewCOO(4, 4)
+	coo.Add(0, 1, 2)
+	coo.Add(1, 2, 3)
+	coo.Add(2, 0, 4)
+	coo.Add(0, 2, -1)
+	a := coo.ToCSR()
+	b := coo.ToCSC()
+	got, w := SpMSpMInner(a, b, nGPE, nLCP)
+	want := denseMul(a.Dense(), b.ToCSR().Dense())
+	if !approxEq(got.Dense(), want, 1e-9) {
+		t.Fatalf("inner product wrong:\n got %v\nwant %v", got.Dense(), want)
+	}
+	if w.Name != "spmspm-inner" || w.Trace.FPOps == 0 {
+		t.Fatalf("workload malformed: %+v", w)
+	}
+}
+
+// Property: both SpMSpM formulations agree with each other and the dense
+// reference.
+func TestQuickInnerMatchesOuter(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		am := matrix.Uniform(rng, n, n, n*3)
+		bm := matrix.Uniform(rng, n, n, n*3)
+		inner, _ := SpMSpMInner(am.ToCSR(), bm.ToCSC(), nGPE, nLCP)
+		outer, _ := SpMSpM(am.ToCSC(), bm.ToCSR(), nGPE, nLCP)
+		// The formulations may differ in explicit zeros (inner drops exact
+		// zero dot products only if no index matched); compare dense forms.
+		return approxEq(inner.Dense(), outer.Dense(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithmSelectionCrossover(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Sparse large operands: outer product must win.
+	sparse := matrix.Uniform(rng, 512, 512, 1024)
+	if got := ChooseSpMSpM(sparse.ToCSC(), sparse.ToCSR()); got != OuterProduct {
+		t.Fatalf("sparse input chose %v", got)
+	}
+	// Small dense-ish operands: inner product avoids the partial-product
+	// explosion.
+	dense := matrix.UniformDensity(rng, 24, 24, 0.8)
+	if got := ChooseSpMSpM(dense.ToCSC(), dense.ToCSR()); got != InnerProduct {
+		outer, inner := EstimateSpMSpMCost(dense.ToCSC(), dense.ToCSR())
+		t.Fatalf("dense input chose %v (outer=%v inner=%v)", got, outer, inner)
+	}
+}
+
+func TestEstimateCostMonotoneInDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prevRatio := 0.0
+	for i, d := range []float64{0.01, 0.05, 0.2, 0.6} {
+		m := matrix.UniformDensity(rng, 64, 64, d)
+		outer, inner := EstimateSpMSpMCost(m.ToCSC(), m.ToCSR())
+		if outer <= 0 || inner <= 0 {
+			t.Fatalf("degenerate estimates at density %v", d)
+		}
+		ratio := outer / inner
+		if i > 0 && ratio < prevRatio {
+			t.Fatalf("outer/inner cost ratio should grow with density: %v -> %v at %v",
+				prevRatio, ratio, d)
+		}
+		prevRatio = ratio
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if OuterProduct.String() == InnerProduct.String() {
+		t.Fatal("algorithm names must differ")
+	}
+}
+
+func TestInnerEmptyOperands(t *testing.T) {
+	empty := matrix.NewCOO(6, 6)
+	c, _ := SpMSpMInner(empty.ToCSR(), empty.ToCSC(), nGPE, nLCP)
+	if c.NNZ() != 0 {
+		t.Fatal("empty product must be empty")
+	}
+}

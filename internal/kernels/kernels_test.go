@@ -1,0 +1,277 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/matrix"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
+)
+
+const (
+	nGPE = 16
+	nLCP = 2
+)
+
+// denseMul multiplies dense expansions for verification.
+func denseMul(a, b [][]float64) [][]float64 {
+	n, k, mCols := len(a), len(b), len(b[0])
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, mCols)
+		for kk := 0; kk < k; kk++ {
+			if a[i][kk] == 0 {
+				continue
+			}
+			for j := 0; j < mCols; j++ {
+				out[i][j] += a[i][kk] * b[kk][j]
+			}
+		}
+	}
+	return out
+}
+
+func approxEq(a, b [][]float64, tol float64) bool {
+	for i := range a {
+		for j := range a[i] {
+			if math.Abs(a[i][j]-b[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestSpMSpMCorrectSmall(t *testing.T) {
+	coo := matrix.NewCOO(4, 4)
+	coo.Add(0, 1, 2)
+	coo.Add(1, 2, 3)
+	coo.Add(2, 0, 4)
+	coo.Add(3, 3, 5)
+	coo.Add(0, 2, -1)
+	a := coo.ToCSC()
+	b := coo.ToCSR()
+	got, w := SpMSpM(a, b, nGPE, nLCP)
+	want := denseMul(a.ToCSR().Dense(), b.Dense())
+	if !approxEq(got.Dense(), want, 1e-9) {
+		t.Fatalf("SpMSpM wrong:\n got %v\nwant %v", got.Dense(), want)
+	}
+	if w.Trace.FPOps == 0 {
+		t.Fatal("no FP ops traced")
+	}
+	if len(w.Trace.Phases) != 2 || w.Trace.Phases[0].Name != "multiply" || w.Trace.Phases[1].Name != "merge" {
+		t.Fatalf("explicit phases wrong: %+v", w.Trace.Phases)
+	}
+}
+
+func TestQuickSpMSpMMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(24)
+		am := matrix.Uniform(rng, n, n, n*2)
+		bm := matrix.Uniform(rng, n, n, n*2)
+		a := am.ToCSC()
+		b := bm.ToCSR()
+		got, _ := SpMSpM(a, b, nGPE, nLCP)
+		want := denseMul(a.ToCSR().Dense(), b.Dense())
+		return approxEq(got.Dense(), want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSpMSpVMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		am := matrix.Uniform(rng, n, n, n*3)
+		a := am.ToCSC()
+		x := matrix.RandomVec(rng, n, 0.5)
+		got, _ := SpMSpV(a, x, nGPE, nLCP)
+		ad := a.ToCSR().Dense()
+		xd := x.Dense()
+		want := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want[i] += ad[i][j] * xd[j]
+			}
+		}
+		gd := got.Dense()
+		for i := range want {
+			if math.Abs(gd[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpMSpVTransposeProduct(t *testing.T) {
+	// The paper's SpMSpM evaluation computes C = A·Aᵀ; check via kernels.
+	rng := rand.New(rand.NewSource(3))
+	am := matrix.Uniform(rng, 20, 20, 60)
+	a := am.ToCSC()
+	at := am.ToCSR().Transpose() // Aᵀ in CSR... Transpose returns CSR of Aᵀ
+	got, _ := SpMSpM(a, at, nGPE, nLCP)
+	want := denseMul(am.ToCSR().Dense(), at.Dense())
+	if !approxEq(got.Dense(), want, 1e-9) {
+		t.Fatal("A·Aᵀ mismatch")
+	}
+}
+
+func TestTraceEventsLieInRegions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	am := matrix.Uniform(rng, 32, 32, 128)
+	a := am.ToCSC()
+	_, w := SpMSpM(a, am.ToCSR(), nGPE, nLCP)
+	for i, e := range w.Trace.Events {
+		if !e.Kind.IsMem() {
+			continue
+		}
+		if w.Trace.RegionOf(e.Addr) == nil {
+			t.Fatalf("event %d addr %#x outside all regions", i, e.Addr)
+		}
+		if e.PC == 0 {
+			t.Fatalf("memory event %d has reserved PC 0", i)
+		}
+	}
+}
+
+func TestWorkDistributedAcrossGPEs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	am := matrix.Uniform(rng, 64, 64, 512)
+	a := am.ToCSC()
+	x := matrix.RandomVec(rng, 64, 0.5)
+	_, w := SpMSpV(a, x, nGPE, nLCP)
+	seen := make([]int, nGPE+nLCP)
+	for _, e := range w.Trace.Events {
+		seen[e.Core]++
+	}
+	for g := 0; g < nGPE; g++ {
+		if seen[g] == 0 {
+			t.Fatalf("GPE %d received no work: %v", g, seen)
+		}
+	}
+	if seen[nGPE] == 0 {
+		t.Fatal("LCP 0 did no scheduling")
+	}
+}
+
+func TestWorkloadEpochs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	am := matrix.Uniform(rng, 128, 128, 2048)
+	a := am.ToCSC()
+	_, w := SpMSpM(a, am.ToCSR(), nGPE, nLCP)
+	eps := w.Epochs(0.02) // scaled-down epoch for the small input
+	if len(eps) < 4 {
+		t.Fatalf("too few epochs: %d", len(eps))
+	}
+	// Multiply epochs precede merge epochs.
+	sawMerge := false
+	for _, ep := range eps {
+		if ep.Phase == "merge" {
+			sawMerge = true
+		} else if sawMerge && ep.Phase == "multiply" {
+			t.Fatal("phase order violated")
+		}
+	}
+	if !sawMerge {
+		t.Fatal("no merge epochs")
+	}
+}
+
+func TestKernelsRunOnMachine(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	chip := power.Chip{Tiles: 2, GPEsPerTile: 8}
+	am := matrix.Uniform(rng, 96, 96, 800)
+	a := am.ToCSC()
+	x := matrix.RandomVec(rng, 96, 0.5)
+	for _, build := range []func() Workload{
+		func() Workload { _, w := SpMSpM(a, am.ToCSR(), chip.NGPE(), chip.Tiles); return w },
+		func() Workload { _, w := SpMSpV(a, x, chip.NGPE(), chip.Tiles); return w },
+	} {
+		w := build()
+		m := sim.New(chip, sim.DefaultBandwidth, config.Baseline)
+		m.BindTrace(w.Trace)
+		var total power.Metrics
+		for _, ep := range w.Epochs(0.05) {
+			r := m.RunEpoch(ep)
+			total.Add(r.Metrics)
+		}
+		if total.TimeSec <= 0 || total.EnergyJ <= 0 || total.FPOps <= 0 {
+			t.Fatalf("%s: degenerate metrics %+v", w.Name, total)
+		}
+		if total.GFLOPS() <= 0 {
+			t.Fatalf("%s: no throughput", w.Name)
+		}
+	}
+}
+
+func TestMergeRow(t *testing.T) {
+	in := []pp{{3, 1}, {1, 2}, {3, 4}, {0, 5}, {1, -2}}
+	out := mergeRow(in)
+	if len(out) != 3 {
+		t.Fatalf("merged %d entries, want 3", len(out))
+	}
+	if out[0].col != 0 || out[0].val != 5 {
+		t.Fatalf("out[0] = %+v", out[0])
+	}
+	if out[1].col != 1 || out[1].val != 0 {
+		t.Fatalf("out[1] = %+v", out[1])
+	}
+	if out[2].col != 3 || out[2].val != 5 {
+		t.Fatalf("out[2] = %+v", out[2])
+	}
+}
+
+func TestQuickMergeRowSortedUnique(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60)
+		in := make([]pp, n)
+		for i := range in {
+			in[i] = pp{col: rng.Intn(12), val: rng.Float64()}
+		}
+		out := mergeRow(in)
+		for i := 1; i < len(out); i++ {
+			if out[i].col <= out[i-1].col {
+				return false
+			}
+		}
+		// Sum preservation.
+		var a, b float64
+		for _, e := range in {
+			a += e.val
+		}
+		for _, e := range out {
+			b += e.val
+		}
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	empty := matrix.NewCOO(8, 8).ToCSC()
+	c, w := SpMSpM(empty, matrix.NewCOO(8, 8).ToCSR(), nGPE, nLCP)
+	if c.NNZ() != 0 {
+		t.Fatal("empty product must be empty")
+	}
+	if w.Trace == nil {
+		t.Fatal("trace must exist even for empty input")
+	}
+	y, _ := SpMSpV(empty, matrix.NewSparseVec(8, []int{1}, []float64{1}), nGPE, nLCP)
+	if y.NNZ() != 0 {
+		t.Fatal("empty matvec must be empty")
+	}
+}

@@ -1,0 +1,118 @@
+package kernels
+
+import (
+	"sparseadapt/internal/sim"
+)
+
+// Static instruction IDs for the regular kernels (distinct from the sparse
+// kernels' PCs so prefetcher behaviour is comparable when traces are mixed
+// in tests).
+const (
+	pcGemmA = iota + 40
+	pcGemmB
+	pcGemmC
+	pcConvIn
+	pcConvK
+	pcConvOut
+)
+
+// EpochRegular is the epoch size used for the regular kernels (same as
+// SpMSpM: coarse phases, plentiful FP ops).
+const EpochRegular = 5000
+
+// GeMM computes the dense product C = A·B with a blocked loop nest and
+// returns the result plus its trace. The paper's Discussion (Section 7)
+// observes that for regular kernels like GeMM the gap between Ideal Static
+// and Oracle is under 5%, making dynamic control unnecessary — the
+// `disc7` experiment reproduces that claim with this kernel.
+func GeMM(a, b [][]float64, nGPE, nLCP int) ([][]float64, Workload) {
+	n, k := len(a), len(b)
+	if n == 0 || k == 0 || len(a[0]) != k {
+		panic("kernels: GeMM shape mismatch")
+	}
+	mCols := len(b[0])
+	tb := sim.NewBuilder(nGPE, nLCP)
+	regA := tb.AllocRegion("A", n*k*fBytes, sim.RegionStream, 9)
+	regB := tb.AllocRegion("B", k*mCols*fBytes, sim.RegionReuse, 1)
+	regC := tb.AllocRegion("C", n*mCols*fBytes, sim.RegionReuse, 0)
+	regQueue := tb.AllocRegion("work-queue", 4096, sim.RegionBookkeep, 2)
+
+	c := make([][]float64, n)
+	for i := range c {
+		c[i] = make([]float64, mCols)
+	}
+
+	tb.Phase("gemm")
+	lcp := func(u int) int { return nGPE + (u % nLCP) }
+	for i := 0; i < n; i++ {
+		g := i % nGPE
+		tb.On(lcp(i))
+		tb.Int(2)
+		tb.StoreI(pcGemmC, regQueue.Lo+uint32((i%256)*4))
+
+		tb.On(g)
+		for kk := 0; kk < k; kk++ {
+			tb.LoadF(pcGemmA, regA.Lo+uint32((i*k+kk)*fBytes))
+			av := a[i][kk]
+			if av == 0 {
+				tb.Int(1)
+				continue
+			}
+			for j := 0; j < mCols; j++ {
+				tb.LoadF(pcGemmB, regB.Lo+uint32((kk*mCols+j)*fBytes))
+				tb.LoadF(pcGemmC, regC.Lo+uint32((i*mCols+j)*fBytes))
+				tb.FP(2) // multiply-accumulate
+				tb.StoreF(pcGemmC, regC.Lo+uint32((i*mCols+j)*fBytes))
+				c[i][j] += av * b[kk][j]
+			}
+		}
+	}
+	return c, Workload{Name: "gemm", Trace: tb.Build(), EpochFPOps: EpochRegular}
+}
+
+// Conv2D computes a dense 2-D convolution (valid padding, stride 1) of a
+// h×w input with a kh×kw kernel — the second regular workload of the
+// paper's Discussion. Rows of the output are distributed across GPEs.
+func Conv2D(in [][]float64, kernel [][]float64, nGPE, nLCP int) ([][]float64, Workload) {
+	h, w := len(in), len(in[0])
+	kh, kw := len(kernel), len(kernel[0])
+	oh, ow := h-kh+1, w-kw+1
+	if oh <= 0 || ow <= 0 {
+		panic("kernels: Conv2D kernel larger than input")
+	}
+	tb := sim.NewBuilder(nGPE, nLCP)
+	regIn := tb.AllocRegion("input", h*w*fBytes, sim.RegionStream, 9)
+	regK := tb.AllocRegion("kernel", kh*kw*fBytes, sim.RegionReuse, 0)
+	regOut := tb.AllocRegion("output", oh*ow*fBytes, sim.RegionStream, 9)
+	regQueue := tb.AllocRegion("work-queue", 4096, sim.RegionBookkeep, 2)
+
+	out := make([][]float64, oh)
+	for i := range out {
+		out[i] = make([]float64, ow)
+	}
+
+	tb.Phase("conv")
+	lcp := func(u int) int { return nGPE + (u % nLCP) }
+	for oy := 0; oy < oh; oy++ {
+		g := oy % nGPE
+		tb.On(lcp(oy))
+		tb.Int(2)
+		tb.StoreI(pcConvOut, regQueue.Lo+uint32((oy%256)*4))
+
+		tb.On(g)
+		for ox := 0; ox < ow; ox++ {
+			acc := 0.0
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					tb.LoadF(pcConvIn, regIn.Lo+uint32(((oy+ky)*w+ox+kx)*fBytes))
+					tb.LoadF(pcConvK, regK.Lo+uint32((ky*kw+kx)*fBytes))
+					tb.FP(2)
+					acc += in[oy+ky][ox+kx] * kernel[ky][kx]
+				}
+			}
+			tb.StoreF(pcConvOut, regOut.Lo+uint32((oy*ow+ox)*fBytes))
+			out[oy][ox] = acc
+		}
+	}
+	return out, Workload{Name: "conv2d", Trace: tb.Build(), EpochFPOps: EpochRegular}
+}

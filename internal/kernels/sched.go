@@ -1,0 +1,79 @@
+package kernels
+
+// Scheduler models the LCPs' work-distribution policy (Section 3.1: the
+// local control processors issue work to GPEs and load-balance). Kernels
+// ask for a GPE per work unit, passing a cost hint (the unit's nonzero
+// count); how the hint is used is the policy.
+type Scheduler interface {
+	// Assign returns the GPE that should execute a work unit of the given
+	// estimated cost.
+	Assign(costHint int) int
+	// Reset clears accumulated load state (called between phases).
+	Reset()
+}
+
+// RoundRobin assigns work units cyclically, ignoring cost — simple
+// hardware, but skewed inputs (power-law columns) leave some GPEs with far
+// more work.
+type RoundRobin struct {
+	n    int
+	next int
+}
+
+// NewRoundRobin builds a round-robin scheduler over n GPEs.
+func NewRoundRobin(n int) *RoundRobin {
+	if n < 1 {
+		n = 1
+	}
+	return &RoundRobin{n: n}
+}
+
+// Assign returns GPEs in cyclic order.
+func (s *RoundRobin) Assign(int) int {
+	g := s.next
+	s.next = (s.next + 1) % s.n
+	return g
+}
+
+// Reset restarts the cycle.
+func (s *RoundRobin) Reset() { s.next = 0 }
+
+// LeastLoaded greedily assigns each unit to the GPE with the least
+// accumulated estimated cost — the LCP's dynamic load balancing.
+type LeastLoaded struct {
+	load []int
+}
+
+// NewLeastLoaded builds a least-loaded scheduler over n GPEs.
+func NewLeastLoaded(n int) *LeastLoaded {
+	if n < 1 {
+		n = 1
+	}
+	return &LeastLoaded{load: make([]int, n)}
+}
+
+// Assign picks the GPE with minimum accumulated cost (lowest index wins
+// ties, keeping traces deterministic).
+func (s *LeastLoaded) Assign(costHint int) int {
+	if costHint < 1 {
+		costHint = 1
+	}
+	best := 0
+	for g := 1; g < len(s.load); g++ {
+		if s.load[g] < s.load[best] {
+			best = g
+		}
+	}
+	s.load[best] += costHint
+	return best
+}
+
+// Reset zeroes accumulated load.
+func (s *LeastLoaded) Reset() {
+	for i := range s.load {
+		s.load[i] = 0
+	}
+}
+
+// Loads exposes the per-GPE accumulated cost (for imbalance analysis).
+func (s *LeastLoaded) Loads() []int { return append([]int{}, s.load...) }

@@ -1,0 +1,101 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparseadapt/internal/matrix"
+)
+
+func TestRoundRobinCycles(t *testing.T) {
+	s := NewRoundRobin(4)
+	for i := 0; i < 12; i++ {
+		if g := s.Assign(100); g != i%4 {
+			t.Fatalf("assign %d = %d", i, g)
+		}
+	}
+	s.Reset()
+	if s.Assign(1) != 0 {
+		t.Fatal("reset must restart the cycle")
+	}
+}
+
+func TestLeastLoadedBalances(t *testing.T) {
+	s := NewLeastLoaded(4)
+	// One huge unit followed by many small ones: the huge GPE is avoided.
+	first := s.Assign(1000)
+	for i := 0; i < 30; i++ {
+		if g := s.Assign(10); g == first {
+			t.Fatalf("least-loaded reassigned to the overloaded GPE at %d", i)
+		}
+	}
+	loads := s.Loads()
+	if loads[first] != 1000 {
+		t.Fatalf("loads %v", loads)
+	}
+	s.Reset()
+	for _, l := range s.Loads() {
+		if l != 0 {
+			t.Fatal("reset must clear loads")
+		}
+	}
+}
+
+func TestLeastLoadedDeterministicTies(t *testing.T) {
+	a := NewLeastLoaded(8)
+	b := NewLeastLoaded(8)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		c := 1 + rng.Intn(50)
+		if a.Assign(c) != b.Assign(c) {
+			t.Fatal("scheduling not deterministic")
+		}
+	}
+}
+
+// imbalance returns max/mean of per-GPE FP-op counts in a trace.
+func imbalance(w Workload, nGPE int) float64 {
+	per := make([]int, nGPE)
+	for _, e := range w.Trace.Events {
+		if int(e.Core) < nGPE && e.Kind.IsFP() {
+			per[e.Core]++
+		}
+	}
+	max, sum := 0, 0
+	for _, p := range per {
+		if p > max {
+			max = p
+		}
+		sum += p
+	}
+	if sum == 0 {
+		return 1
+	}
+	return float64(max) / (float64(sum) / float64(nGPE))
+}
+
+func TestLeastLoadedReducesImbalanceOnPowerLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	am := matrix.RMATDefault(rng, 256, 4000)
+	a := am.ToCSC()
+	x := matrix.RandomVec(rng, 256, 0.5)
+
+	_, rr := SpMSpVSched(a, x, nGPE, nLCP, NewRoundRobin(nGPE))
+	_, ll := SpMSpVSched(a, x, nGPE, nLCP, NewLeastLoaded(nGPE))
+	ir, il := imbalance(rr, nGPE), imbalance(ll, nGPE)
+	if il >= ir {
+		t.Fatalf("least-loaded should reduce imbalance on power-law input: %v vs %v", il, ir)
+	}
+}
+
+func TestSchedVariantsSameResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	am := matrix.Uniform(rng, 48, 48, 300)
+	a := am.ToCSC()
+	b := am.ToCSR()
+	c1, _ := SpMSpMSched(a, b, nGPE, nLCP, NewRoundRobin(nGPE))
+	c2, _ := SpMSpMSched(a, b, nGPE, nLCP, NewLeastLoaded(nGPE))
+	if !c1.Equal(c2, 1e-12) {
+		t.Fatal("scheduling policy must not change the numerical result")
+	}
+}

@@ -1,0 +1,162 @@
+package matrix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// StructureClass labels the sparsity-structure family a dataset entry is
+// generated from. The paper's real-world matrices (Table 5) come from
+// SuiteSparse and SNAP, which are not redistributable offline; each is
+// replaced by a synthetic generator of the same structural class at the
+// published dimension and NNZ (see DESIGN.md, substitution table).
+type StructureClass int
+
+const (
+	StructUniform StructureClass = iota
+	StructPowerLaw
+	StructBanded
+	StructClustered
+	StructGrid
+	StructHub
+	StructBlockTridiag
+	StructDenseStrips
+)
+
+// String returns a short human-readable class name.
+func (s StructureClass) String() string {
+	switch s {
+	case StructUniform:
+		return "uniform"
+	case StructPowerLaw:
+		return "power-law"
+	case StructBanded:
+		return "banded"
+	case StructClustered:
+		return "clustered"
+	case StructGrid:
+		return "grid"
+	case StructHub:
+		return "hub"
+	case StructBlockTridiag:
+		return "block-tridiag"
+	case StructDenseStrips:
+		return "dense-strips"
+	default:
+		return "unknown"
+	}
+}
+
+// DatasetEntry describes one matrix of the evaluation suite (Table 5).
+type DatasetEntry struct {
+	ID     string
+	Name   string
+	Domain string
+	Dim    int
+	NNZ    int
+	Class  StructureClass
+}
+
+// Dataset is the evaluation suite of Table 5: synthetic U1–U3 and P1–P3 on
+// top, real-world stand-ins R01–R16 below, each at the published dimension
+// and NNZ.
+var Dataset = []DatasetEntry{
+	{"U1", "uniform-25k", "Synthetic", 8192, 25000, StructUniform},
+	{"U2", "uniform-50k", "Synthetic", 8192, 50000, StructUniform},
+	{"U3", "uniform-100k", "Synthetic", 8192, 100000, StructUniform},
+	{"P1", "rmat-25k", "Synthetic", 8192, 25000, StructPowerLaw},
+	{"P2", "rmat-50k", "Synthetic", 8192, 50000, StructPowerLaw},
+	{"P3", "rmat-100k", "Synthetic", 8192, 100000, StructPowerLaw},
+
+	{"R01", "California", "Directed Graph", 9700, 16200, StructHub},
+	{"R02", "Si2", "Quant. Chemistry", 800, 17800, StructClustered},
+	{"R03", "bayer09", "Chemical Simulation", 3100, 11800, StructClustered},
+	{"R04", "bcsstk08", "Structural Problem", 1100, 13000, StructBanded},
+	{"R05", "coater1", "Comp. Fluid Dyn.", 1300, 19500, StructBanded},
+	{"R06", "gemat12", "Power Network", 4900, 33000, StructBanded},
+	{"R07", "p2p-Gnutella08", "Directed Graph", 6300, 20800, StructPowerLaw},
+	{"R08", "spaceStation_11", "Optimal Control", 1400, 19000, StructBlockTridiag},
+
+	{"R09", "EX3", "Comp. Fluid Dyn.", 1800, 52700, StructBanded},
+	{"R10", "Oregon-1", "Undirected Graph", 11500, 46800, StructPowerLaw},
+	{"R11", "as-22july06", "Undirected Graph", 23000, 96900, StructPowerLaw},
+	{"R12", "crack", "2D/3D Problem", 10200, 60800, StructGrid},
+	{"R13", "kineticBatchReactor_3", "Optimal Control", 5100, 53200, StructBlockTridiag},
+	{"R14", "nopoly", "Undirected Graph", 10800, 70800, StructPowerLaw},
+	{"R15", "soc-sign-bitcoin-otc", "Directed Graph", 5900, 35600, StructPowerLaw},
+	{"R16", "wiki-Vote_11", "Directed Graph", 8300, 103700, StructHub},
+}
+
+// Entry looks up a dataset entry by ID (e.g. "R07", "P3").
+func Entry(id string) (DatasetEntry, error) {
+	for _, e := range Dataset {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return DatasetEntry{}, fmt.Errorf("matrix: unknown dataset entry %q", id)
+}
+
+// IDs returns the IDs of all dataset entries, sorted.
+func IDs() []string {
+	out := make([]string, len(Dataset))
+	for i, e := range Dataset {
+		out[i] = e.ID
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Generate materializes the dataset entry at the given scale. scale=1
+// reproduces the published dimension and NNZ; smaller scales shrink both
+// proportionally (dimension by scale, NNZ by scale) so simulation cost in
+// tests stays bounded while the structure class is preserved. Generation is
+// deterministic for a given seed.
+func (e DatasetEntry) Generate(scale float64, seed int64) *COO {
+	if scale <= 0 {
+		scale = 1
+	}
+	dim := int(float64(e.Dim) * scale)
+	if dim < 16 {
+		dim = 16
+	}
+	nnz := int(float64(e.NNZ) * scale)
+	if nnz < dim {
+		nnz = dim
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch e.Class {
+	case StructUniform:
+		return Uniform(rng, dim, dim, nnz)
+	case StructPowerLaw:
+		return RMATDefault(rng, dim, nnz)
+	case StructBanded:
+		band := dim / 32
+		if band < 4 {
+			band = 4
+		}
+		return Banded(rng, dim, nnz, band)
+	case StructClustered:
+		blocks := 8
+		return Clustered(rng, dim, nnz, blocks, 0.1)
+	case StructGrid:
+		return Grid2D(rng, dim, nnz/8)
+	case StructHub:
+		hubs := dim / 64
+		if hubs < 4 {
+			hubs = 4
+		}
+		return Bipartitish(rng, dim, nnz, hubs)
+	case StructBlockTridiag:
+		bs := dim / 16
+		if bs < 4 {
+			bs = 4
+		}
+		return BlockTridiag(rng, dim, nnz, bs)
+	case StructDenseStrips:
+		return DenseStrips(rng, dim, float64(nnz)/float64(dim)/float64(dim), 8)
+	default:
+		return Uniform(rng, dim, dim, nnz)
+	}
+}

@@ -1,0 +1,251 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Uniform generates an n×m matrix with approximately nnz uniformly random
+// nonzeros (duplicates merged, so the realized NNZ can be slightly lower for
+// dense targets), mirroring scipy.sparse.random used for the paper's
+// synthetic training and evaluation inputs (Section 5.4).
+func Uniform(rng *rand.Rand, n, m, nnz int) *COO {
+	out := NewCOO(n, m)
+	for i := 0; i < nnz; i++ {
+		out.Add(rng.Intn(n), rng.Intn(m), 0.5+rng.Float64())
+	}
+	return out
+}
+
+// UniformDensity generates an n×m matrix at the given density.
+func UniformDensity(rng *rand.Rand, n, m int, density float64) *COO {
+	return Uniform(rng, n, m, int(density*float64(n)*float64(m)))
+}
+
+// RMAT generates a power-law matrix with the recursive R-MAT model
+// (Chakrabarti et al.), the generator the paper uses for its power-law
+// inputs with parameters A = C = 0.1, B = 0.4 (Section 5.4). dim must be a
+// power of two; if it is not, it is rounded up internally and coordinates
+// outside the requested dim are rejected.
+func RMAT(rng *rand.Rand, dim, nnz int, a, b, c float64) *COO {
+	levels := 0
+	for 1<<levels < dim {
+		levels++
+	}
+	out := NewCOO(dim, dim)
+	for out.NNZ() < nnz {
+		r, col := 0, 0
+		for l := 0; l < levels; l++ {
+			p := rng.Float64()
+			switch {
+			case p < a: // top-left
+			case p < a+b: // top-right
+				col |= 1 << l
+			case p < a+b+c: // bottom-left
+				r |= 1 << l
+			default: // bottom-right
+				r |= 1 << l
+				col |= 1 << l
+			}
+		}
+		if r < dim && col < dim {
+			out.Add(r, col, 0.5+rng.Float64())
+		}
+	}
+	return out
+}
+
+// RMATDefault generates a power-law matrix with the paper's R-MAT
+// parameters A = C = 0.1, B = 0.4 (and D = 0.4).
+func RMATDefault(rng *rand.Rand, dim, nnz int) *COO {
+	return RMAT(rng, dim, nnz, 0.1, 0.4, 0.1)
+}
+
+// DenseStrips reproduces the motivating matrix of Figure 1: dense columns
+// separating `strips` sparse strips, so that outer products alternate
+// between dense (column × dense row) and sparse work, creating implicit
+// phase changes during the SpMSpM multiply phase. density is the overall
+// target density.
+func DenseStrips(rng *rand.Rand, n int, density float64, strips int) *COO {
+	out := NewCOO(n, n)
+	if strips < 1 {
+		strips = 1
+	}
+	stripW := n / strips
+	if stripW < 2 {
+		stripW = 2
+	}
+	// Half the nonzero budget goes into the dense separator columns, half
+	// into the sparse strips.
+	budget := int(density * float64(n) * float64(n))
+	denseCols := make([]int, 0, strips)
+	for s := 0; s < strips; s++ {
+		denseCols = append(denseCols, s*stripW)
+	}
+	perDense := budget / 2 / len(denseCols)
+	if perDense > n {
+		perDense = n
+	}
+	for _, c := range denseCols {
+		for k := 0; k < perDense; k++ {
+			out.Add(rng.Intn(n), c, 0.5+rng.Float64())
+		}
+	}
+	sparseBudget := budget - out.NNZ()
+	for k := 0; k < sparseBudget; k++ {
+		c := rng.Intn(n)
+		out.Add(rng.Intn(n), c, 0.5+rng.Float64())
+	}
+	return out
+}
+
+// Banded generates a banded matrix: every nonzero lies within `band`
+// diagonals of the main diagonal. This models FEM / structural problems
+// (e.g. matrices R04, R09, R12 in the paper) whose nonzeros hug the
+// diagonal and therefore show strong spatial locality.
+func Banded(rng *rand.Rand, n, nnz, band int) *COO {
+	out := NewCOO(n, n)
+	for i := 0; i < nnz; i++ {
+		r := rng.Intn(n)
+		off := rng.Intn(2*band+1) - band
+		c := r + off
+		if c < 0 {
+			c = 0
+		}
+		if c >= n {
+			c = n - 1
+		}
+		out.Add(r, c, 0.5+rng.Float64())
+	}
+	return out
+}
+
+// Clustered generates a block-clustered matrix: nonzeros concentrate in
+// `blocks` dense-ish diagonal blocks with a sprinkle of off-block entries.
+// This models chemistry / economics matrices with community structure
+// (e.g. R02, R03, R05).
+func Clustered(rng *rand.Rand, n, nnz, blocks int, offBlockFrac float64) *COO {
+	out := NewCOO(n, n)
+	if blocks < 1 {
+		blocks = 1
+	}
+	bw := n / blocks
+	if bw < 1 {
+		bw = 1
+	}
+	for i := 0; i < nnz; i++ {
+		if rng.Float64() < offBlockFrac {
+			out.Add(rng.Intn(n), rng.Intn(n), 0.5+rng.Float64())
+			continue
+		}
+		b := rng.Intn(blocks)
+		lo := b * bw
+		hi := lo + bw
+		if hi > n {
+			hi = n
+		}
+		out.Add(lo+rng.Intn(hi-lo), lo+rng.Intn(hi-lo), 0.5+rng.Float64())
+	}
+	return out
+}
+
+// Grid2D generates the adjacency-like pattern of a 2D five-point stencil
+// mesh with sqrt(n)×sqrt(n) nodes, optionally with extra random edges. It
+// models "2D/3D problem" matrices (R12 crack) and gives near-uniform
+// diagonal locality.
+func Grid2D(rng *rand.Rand, n, extraNNZ int) *COO {
+	side := int(math.Sqrt(float64(n)))
+	if side < 2 {
+		side = 2
+	}
+	dim := side * side
+	out := NewCOO(dim, dim)
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			v := r*side + c
+			out.Add(v, v, 4)
+			if c+1 < side {
+				out.Add(v, v+1, -1)
+				out.Add(v+1, v, -1)
+			}
+			if r+1 < side {
+				out.Add(v, v+side, -1)
+				out.Add(v+side, v, -1)
+			}
+		}
+	}
+	for i := 0; i < extraNNZ; i++ {
+		out.Add(rng.Intn(dim), rng.Intn(dim), 0.5+rng.Float64())
+	}
+	return out
+}
+
+// Bipartitish generates a matrix with a few ultra-dense hub rows/columns on
+// top of a sparse background, approximating social-network / peer-to-peer
+// graphs (R01, R07, R10, R11, R15, R16) whose degree distribution is heavy
+// tailed.
+func Bipartitish(rng *rand.Rand, n, nnz, hubs int) *COO {
+	out := NewCOO(n, n)
+	if hubs < 1 {
+		hubs = 1
+	}
+	hubBudget := nnz / 2
+	for i := 0; i < hubBudget; i++ {
+		h := rng.Intn(hubs)
+		if rng.Intn(2) == 0 {
+			out.Add(h, rng.Intn(n), 0.5+rng.Float64())
+		} else {
+			out.Add(rng.Intn(n), h, 0.5+rng.Float64())
+		}
+	}
+	for out.NNZ() < nnz {
+		out.Add(rng.Intn(n), rng.Intn(n), 0.5+rng.Float64())
+	}
+	return out
+}
+
+// BlockTridiag generates a block-tridiagonal pattern typical of optimal
+// control problems (R08 spaceStation, R13 kineticBatchReactor): dense
+// blocks along the diagonal plus coupling blocks above and below.
+func BlockTridiag(rng *rand.Rand, n, nnz, blockSize int) *COO {
+	out := NewCOO(n, n)
+	if blockSize < 2 {
+		blockSize = 2
+	}
+	blocks := n / blockSize
+	if blocks < 1 {
+		blocks = 1
+	}
+	for i := 0; i < nnz; i++ {
+		b := rng.Intn(blocks)
+		db := rng.Intn(3) - 1 // -1, 0, +1 → sub/main/super block diagonal
+		tb := b + db
+		if tb < 0 || tb >= blocks {
+			tb = b
+		}
+		r := b*blockSize + rng.Intn(blockSize)
+		c := tb*blockSize + rng.Intn(blockSize)
+		if r < n && c < n {
+			out.Add(r, c, 0.5+rng.Float64())
+		}
+	}
+	return out
+}
+
+// RandomVec generates a sparse vector of length n with the given density,
+// as used for the SpMSpV operand (50% dense in the paper's Figure 5).
+func RandomVec(rng *rand.Rand, n int, density float64) *SparseVec {
+	var idx []int
+	var val []float64
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			idx = append(idx, i)
+			val = append(val, 0.5+rng.Float64())
+		}
+	}
+	if len(idx) == 0 {
+		idx = append(idx, rng.Intn(n))
+		val = append(val, 1)
+	}
+	return NewSparseVec(n, idx, val)
+}

@@ -1,0 +1,316 @@
+// Package matrix provides the sparse matrix substrate used throughout the
+// SparseAdapt reproduction: compressed formats (CSR, CSC, COO), sparse
+// vectors, conversions, and the synthetic dataset generators that stand in
+// for the paper's SciPy / R-MAT / SuiteSparse / SNAP inputs.
+//
+// The paper stores matrix A in compressed sparse column (CSC) and matrix B
+// in compressed sparse row (CSR) for the outer-product SpMSpM kernel
+// (Section 5.4); the formats here mirror that usage.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// COO is a coordinate-format sparse matrix. It is the interchange format
+// produced by all generators; kernels consume CSR/CSC built from it.
+type COO struct {
+	Rows, Cols int
+	R, C       []int
+	V          []float64
+}
+
+// NewCOO returns an empty COO matrix of the given shape.
+func NewCOO(rows, cols int) *COO {
+	return &COO{Rows: rows, Cols: cols}
+}
+
+// Add appends one entry. Duplicate coordinates are allowed; they are summed
+// during conversion to a compressed format, matching SciPy semantics.
+func (m *COO) Add(r, c int, v float64) {
+	m.R = append(m.R, r)
+	m.C = append(m.C, c)
+	m.V = append(m.V, v)
+}
+
+// NNZ returns the number of stored entries (before duplicate merging).
+func (m *COO) NNZ() int { return len(m.V) }
+
+// Validate checks coordinate bounds and slice-length agreement.
+func (m *COO) Validate() error {
+	if len(m.R) != len(m.C) || len(m.R) != len(m.V) {
+		return errors.New("matrix: COO slice lengths disagree")
+	}
+	for i := range m.R {
+		if m.R[i] < 0 || m.R[i] >= m.Rows || m.C[i] < 0 || m.C[i] >= m.Cols {
+			return fmt.Errorf("matrix: COO entry %d (%d,%d) out of bounds %dx%d",
+				i, m.R[i], m.C[i], m.Rows, m.Cols)
+		}
+	}
+	return nil
+}
+
+// CSR is a compressed sparse row matrix. Column indices within each row are
+// sorted ascending and unique.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int // len Rows+1
+	ColIdx     []int // len NNZ
+	Val        []float64
+}
+
+// CSC is a compressed sparse column matrix. Row indices within each column
+// are sorted ascending and unique.
+type CSC struct {
+	Rows, Cols int
+	ColPtr     []int // len Cols+1
+	RowIdx     []int // len NNZ
+	Val        []float64
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSC) NNZ() int { return len(m.Val) }
+
+// Row returns the column indices and values of row r as sub-slices; callers
+// must not mutate them.
+func (m *CSR) Row(r int) (cols []int, vals []float64) {
+	lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+	return m.ColIdx[lo:hi], m.Val[lo:hi]
+}
+
+// Col returns the row indices and values of column c as sub-slices; callers
+// must not mutate them.
+func (m *CSC) Col(c int) (rows []int, vals []float64) {
+	lo, hi := m.ColPtr[c], m.ColPtr[c+1]
+	return m.RowIdx[lo:hi], m.Val[lo:hi]
+}
+
+type cooEntry struct {
+	r, c int
+	v    float64
+}
+
+// compress sorts COO entries in (major, minor) order and merges duplicates.
+func compress(m *COO, rowMajor bool) []cooEntry {
+	es := make([]cooEntry, len(m.V))
+	for i := range m.V {
+		es[i] = cooEntry{m.R[i], m.C[i], m.V[i]}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if rowMajor {
+			if a.r != b.r {
+				return a.r < b.r
+			}
+			return a.c < b.c
+		}
+		if a.c != b.c {
+			return a.c < b.c
+		}
+		return a.r < b.r
+	})
+	out := es[:0]
+	for _, e := range es {
+		if n := len(out); n > 0 && out[n-1].r == e.r && out[n-1].c == e.c {
+			out[n-1].v += e.v
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// ToCSR converts the COO matrix to CSR form, summing duplicates.
+func (m *COO) ToCSR() *CSR {
+	es := compress(m, true)
+	out := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: make([]int, m.Rows+1),
+		ColIdx: make([]int, len(es)),
+		Val:    make([]float64, len(es)),
+	}
+	for i, e := range es {
+		out.RowPtr[e.r+1]++
+		out.ColIdx[i] = e.c
+		out.Val[i] = e.v
+	}
+	for r := 0; r < m.Rows; r++ {
+		out.RowPtr[r+1] += out.RowPtr[r]
+	}
+	return out
+}
+
+// ToCSC converts the COO matrix to CSC form, summing duplicates.
+func (m *COO) ToCSC() *CSC {
+	es := compress(m, false)
+	out := &CSC{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		ColPtr: make([]int, m.Cols+1),
+		RowIdx: make([]int, len(es)),
+		Val:    make([]float64, len(es)),
+	}
+	for i, e := range es {
+		out.ColPtr[e.c+1]++
+		out.RowIdx[i] = e.r
+		out.Val[i] = e.v
+	}
+	for c := 0; c < m.Cols; c++ {
+		out.ColPtr[c+1] += out.ColPtr[c]
+	}
+	return out
+}
+
+// ToCOO expands the CSR matrix back to coordinate form.
+func (m *CSR) ToCOO() *COO {
+	out := NewCOO(m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		cols, vals := m.Row(r)
+		for i, c := range cols {
+			out.Add(r, c, vals[i])
+		}
+	}
+	return out
+}
+
+// ToCOO expands the CSC matrix back to coordinate form.
+func (m *CSC) ToCOO() *COO {
+	out := NewCOO(m.Rows, m.Cols)
+	for c := 0; c < m.Cols; c++ {
+		rows, vals := m.Col(c)
+		for i, r := range rows {
+			out.Add(r, c, vals[i])
+		}
+	}
+	return out
+}
+
+// ToCSC converts CSR to CSC.
+func (m *CSR) ToCSC() *CSC { return m.ToCOO().ToCSC() }
+
+// ToCSR converts CSC to CSR.
+func (m *CSC) ToCSR() *CSR { return m.ToCOO().ToCSR() }
+
+// Transpose returns the transpose of the matrix in CSR form. Since the CSC
+// representation of Aᵀ has the same layout as the CSR representation of A,
+// this is a relabelling plus a format flip.
+func (m *CSR) Transpose() *CSR {
+	return (&CSC{
+		Rows:   m.Cols,
+		Cols:   m.Rows,
+		ColPtr: m.RowPtr,
+		RowIdx: m.ColIdx,
+		Val:    m.Val,
+	}).ToCSR()
+}
+
+// Transpose returns the transpose in CSC form.
+func (m *CSC) Transpose() *CSC {
+	return (&CSR{
+		Rows:   m.Cols,
+		Cols:   m.Rows,
+		RowPtr: m.ColPtr,
+		ColIdx: m.RowIdx,
+		Val:    m.Val,
+	}).ToCSC()
+}
+
+// Dense expands the matrix to a dense row-major [][]float64. Only intended
+// for test verification on small matrices.
+func (m *CSR) Dense() [][]float64 {
+	d := make([][]float64, m.Rows)
+	for r := range d {
+		d[r] = make([]float64, m.Cols)
+		cols, vals := m.Row(r)
+		for i, c := range cols {
+			d[r][c] = vals[i]
+		}
+	}
+	return d
+}
+
+// Density returns NNZ / (Rows*Cols).
+func (m *CSR) Density() float64 {
+	return float64(m.NNZ()) / (float64(m.Rows) * float64(m.Cols))
+}
+
+// Equal reports whether two CSR matrices have identical structure and values
+// within tolerance tol.
+func (m *CSR) Equal(o *CSR, tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols || m.NNZ() != o.NNZ() {
+		return false
+	}
+	for i := range m.RowPtr {
+		if m.RowPtr[i] != o.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range m.ColIdx {
+		if m.ColIdx[i] != o.ColIdx[i] {
+			return false
+		}
+		if d := m.Val[i] - o.Val[i]; d > tol || d < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// SparseVec is a sorted index/value sparse vector, the array-of-tuples form
+// the paper uses for the SpMSpV operand B (Section 5.4).
+type SparseVec struct {
+	N   int
+	Idx []int
+	Val []float64
+}
+
+// NewSparseVec builds a sparse vector from parallel index/value slices,
+// sorting by index and merging duplicates.
+func NewSparseVec(n int, idx []int, val []float64) *SparseVec {
+	type iv struct {
+		i int
+		v float64
+	}
+	es := make([]iv, len(idx))
+	for k := range idx {
+		es[k] = iv{idx[k], val[k]}
+	}
+	sort.Slice(es, func(a, b int) bool { return es[a].i < es[b].i })
+	out := &SparseVec{N: n}
+	for _, e := range es {
+		if k := len(out.Idx); k > 0 && out.Idx[k-1] == e.i {
+			out.Val[k-1] += e.v
+			continue
+		}
+		out.Idx = append(out.Idx, e.i)
+		out.Val = append(out.Val, e.v)
+	}
+	return out
+}
+
+// NNZ returns the number of stored entries.
+func (v *SparseVec) NNZ() int { return len(v.Idx) }
+
+// Dense expands the vector for test verification.
+func (v *SparseVec) Dense() []float64 {
+	d := make([]float64, v.N)
+	for k, i := range v.Idx {
+		d[i] = v.Val[k]
+	}
+	return d
+}
+
+// Get returns the value at index i (0 if absent) using binary search.
+func (v *SparseVec) Get(i int) float64 {
+	k := sort.SearchInts(v.Idx, i)
+	if k < len(v.Idx) && v.Idx[k] == i {
+		return v.Val[k]
+	}
+	return 0
+}

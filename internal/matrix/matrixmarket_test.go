@@ -1,0 +1,126 @@
+package matrix
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadMatrixMarketGeneral(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 3
+1 1 2.5
+3 4 -1
+2 2 7
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 4 || m.NNZ() != 3 {
+		t.Fatalf("shape %dx%d nnz %d", m.Rows, m.Cols, m.NNZ())
+	}
+	d := m.ToCSR().Dense()
+	if d[0][0] != 2.5 || d[2][3] != -1 || d[1][1] != 7 {
+		t.Fatalf("values wrong: %v", d)
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+3 3 2
+2 1 4
+3 3 9
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.ToCSR().Dense()
+	if d[1][0] != 4 || d[0][1] != 4 {
+		t.Fatalf("symmetric mirror missing: %v", d)
+	}
+	if d[2][2] != 9 {
+		t.Fatal("diagonal must not be duplicated")
+	}
+	if m.ToCSR().NNZ() != 3 {
+		t.Fatalf("NNZ %d, want 3", m.ToCSR().NNZ())
+	}
+}
+
+func TestReadMatrixMarketSkewSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate integer skew-symmetric
+2 2 1
+2 1 5
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.ToCSR().Dense()
+	if d[1][0] != 5 || d[0][1] != -5 {
+		t.Fatalf("skew mirror wrong: %v", d)
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.ToCSR().Dense()
+	if d[0][1] != 1 || d[1][0] != 1 {
+		t.Fatalf("pattern values wrong: %v", d)
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"garbage header\n1 1 1\n",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n0 0 0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1\n", // out of bounds
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n", // truncated
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n", // unparsable
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",   // missing value
+	}
+	for i, c := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted:\n%s", i, c)
+		}
+	}
+}
+
+// Property: write → read round trip preserves the dense expansion.
+func TestQuickMatrixMarketRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomCOO(rng, 10, 30)
+		if m.Rows == 0 || m.Cols == 0 {
+			return true
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			return false
+		}
+		got, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			return false
+		}
+		return denseEq(denseOf(m), got.ToCSR().Dense())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

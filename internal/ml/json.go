@@ -1,0 +1,82 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// treeJSON is the serialized form of a Tree.
+type treeJSON struct {
+	Nodes      []nodeJSON `json:"nodes"`
+	NFeatures  int        `json:"n_features"`
+	NClasses   int        `json:"n_classes"`
+	Importance []float64  `json:"importance"`
+	Params     paramsJSON `json:"params"`
+}
+
+type nodeJSON struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t"`
+	Left      int     `json:"l"`
+	Right     int     `json:"r"`
+	Label     int     `json:"y"`
+	Samples   int     `json:"n"`
+}
+
+type paramsJSON struct {
+	Criterion      int `json:"criterion"`
+	MaxDepth       int `json:"max_depth"`
+	MinSamplesLeaf int `json:"min_samples_leaf"`
+}
+
+// MarshalJSON serializes the tree (model persistence for the CLI tools).
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	out := treeJSON{
+		NFeatures:  t.nFeatures,
+		NClasses:   t.nClasses,
+		Importance: t.importance,
+		Params: paramsJSON{
+			Criterion:      int(t.params.Criterion),
+			MaxDepth:       t.params.MaxDepth,
+			MinSamplesLeaf: t.params.MinSamplesLeaf,
+		},
+	}
+	for _, n := range t.nodes {
+		out.Nodes = append(out.Nodes, nodeJSON{
+			Feature: n.feature, Threshold: n.threshold,
+			Left: n.left, Right: n.right, Label: n.label, Samples: n.samples,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a serialized tree.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var in treeJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if len(in.Nodes) == 0 {
+		return fmt.Errorf("ml: serialized tree has no nodes")
+	}
+	t.nFeatures = in.NFeatures
+	t.nClasses = in.NClasses
+	t.importance = in.Importance
+	t.params = TreeParams{
+		Criterion:      Criterion(in.Params.Criterion),
+		MaxDepth:       in.Params.MaxDepth,
+		MinSamplesLeaf: in.Params.MinSamplesLeaf,
+	}
+	t.nodes = t.nodes[:0]
+	for i, n := range in.Nodes {
+		if n.Feature >= in.NFeatures ||
+			(n.Feature >= 0 && (n.Left <= 0 || n.Left >= len(in.Nodes) || n.Right <= 0 || n.Right >= len(in.Nodes))) {
+			return fmt.Errorf("ml: serialized tree node %d is malformed", i)
+		}
+		t.nodes = append(t.nodes, node{
+			feature: n.Feature, threshold: n.Threshold,
+			left: n.Left, right: n.Right, label: n.Label, samples: n.Samples,
+		})
+	}
+	return nil
+}

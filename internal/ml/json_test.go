@@ -1,0 +1,87 @@
+package ml
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := synthXOR(rng, 400)
+	tr, err := TrainTree(x, y, TreeParams{Criterion: Entropy, MaxDepth: 8, MinSamplesLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Tree
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Depth() != tr.Depth() || got.NodeCount() != tr.NodeCount() {
+		t.Fatalf("shape changed: depth %d->%d nodes %d->%d",
+			tr.Depth(), got.Depth(), tr.NodeCount(), got.NodeCount())
+	}
+	for i := 0; i < 200; i++ {
+		p := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		if got.Predict(p) != tr.Predict(p) {
+			t.Fatalf("prediction changed at %v", p)
+		}
+	}
+	ia, ib := tr.FeatureImportance(), got.FeatureImportance()
+	for i := range ia {
+		if ia[i] != ib[i] {
+			t.Fatal("importance changed")
+		}
+	}
+}
+
+// Property: any trained tree survives a JSON round trip with identical
+// predictions on its own training data.
+func TestQuickTreeJSONRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x, y := synthAxis(rng, 50+rng.Intn(100), 2+rng.Intn(3), 2+rng.Intn(3))
+		tr, err := TrainTree(x, y, TreeParams{MaxDepth: 6, MinSamplesLeaf: 1 + rng.Intn(4)})
+		if err != nil {
+			return false
+		}
+		data, err := json.Marshal(tr)
+		if err != nil {
+			return false
+		}
+		var got Tree
+		if err := json.Unmarshal(data, &got); err != nil {
+			return false
+		}
+		for i := range x {
+			if got.Predict(x[i]) != tr.Predict(x[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeJSONRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{"nodes":[],"n_features":1,"n_classes":1}`,                             // no nodes
+		`{"nodes":[{"f":5,"l":0,"r":0}],"n_features":2,"n_classes":1}`,          // feature out of range
+		`{"nodes":[{"f":0,"l":9,"r":9},{"f":-1}],"n_features":2,"n_classes":1}`, // child out of range
+		`{"nodes":[{"f":0,"l":0,"r":1},{"f":-1}],"n_features":2,"n_classes":1}`, // self-loop child
+		`not json at all`,
+	}
+	for i, c := range cases {
+		var tr Tree
+		if err := json.Unmarshal([]byte(c), &tr); err == nil {
+			t.Fatalf("case %d accepted: %s", i, c)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Forest is a random-forest classifier: bagged CART trees over random
+// feature subsets, majority vote.
+type Forest struct {
+	trees     []*Tree
+	nFeatures int
+	nClasses  int
+}
+
+// ForestParams configure random-forest training.
+type ForestParams struct {
+	Trees       int
+	Tree        TreeParams
+	FeatureFrac float64 // fraction of features considered per tree (0 = sqrt)
+	Seed        int64
+}
+
+// TrainForest fits a random forest.
+func TrainForest(x [][]float64, y []int, p ForestParams) (*Forest, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("ml: bad training set")
+	}
+	if p.Trees < 1 {
+		p.Trees = 10
+	}
+	nf := len(x[0])
+	sub := int(p.FeatureFrac * float64(nf))
+	if p.FeatureFrac <= 0 {
+		sub = int(math.Sqrt(float64(nf))) + 1
+	}
+	if sub < 1 {
+		sub = 1
+	}
+	if sub > nf {
+		sub = nf
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	f := &Forest{nFeatures: nf}
+	for _, yy := range y {
+		if yy+1 > f.nClasses {
+			f.nClasses = yy + 1
+		}
+	}
+	for k := 0; k < p.Trees; k++ {
+		// Bootstrap sample.
+		bx := make([][]float64, len(x))
+		by := make([]int, len(y))
+		for i := range bx {
+			j := rng.Intn(len(x))
+			// Mask out non-selected features so splits ignore them, while
+			// keeping the feature-vector shape for prediction.
+			feats := rng.Perm(nf)[:sub]
+			row := make([]float64, nf)
+			for _, ff := range feats {
+				row[ff] = x[j][ff]
+			}
+			bx[i] = row
+			by[i] = y[j]
+		}
+		t, err := TrainTree(bx, by, p.Tree)
+		if err != nil {
+			return nil, err
+		}
+		f.trees = append(f.trees, t)
+	}
+	return f, nil
+}
+
+// Predict returns the majority vote across trees.
+func (f *Forest) Predict(x []float64) int {
+	votes := make([]int, f.nClasses)
+	for _, t := range f.trees {
+		votes[t.Predict(x)]++
+	}
+	return majority(votes)
+}
+
+// Trees returns the ensemble size.
+func (f *Forest) Trees() int { return len(f.trees) }
+
+// LinearClassifier predicts by rounding a least-squares regression of the
+// class index onto the features — the linear-regression baseline of the
+// paper's model comparison (Section 4.3).
+type LinearClassifier struct {
+	w        []float64 // nFeatures + 1 (bias last)
+	nClasses int
+}
+
+// TrainLinear fits the least-squares classifier via the normal equations
+// (ridge-stabilized Gaussian elimination).
+func TrainLinear(x [][]float64, y []int) (*LinearClassifier, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("ml: bad training set")
+	}
+	nf := len(x[0])
+	d := nf + 1
+	ata := make([][]float64, d)
+	for i := range ata {
+		ata[i] = make([]float64, d)
+	}
+	atb := make([]float64, d)
+	row := make([]float64, d)
+	nc := 0
+	for i := range x {
+		copy(row, x[i])
+		row[nf] = 1
+		for a := 0; a < d; a++ {
+			for b := 0; b < d; b++ {
+				ata[a][b] += row[a] * row[b]
+			}
+			atb[a] += row[a] * float64(y[i])
+		}
+		if y[i]+1 > nc {
+			nc = y[i] + 1
+		}
+	}
+	for a := 0; a < d; a++ {
+		ata[a][a] += 1e-6 // ridge term for rank-deficient designs
+	}
+	w, err := solve(ata, atb)
+	if err != nil {
+		return nil, err
+	}
+	return &LinearClassifier{w: w, nClasses: nc}, nil
+}
+
+// Predict rounds the regression output to the nearest valid class.
+func (l *LinearClassifier) Predict(x []float64) int {
+	s := l.w[len(l.w)-1]
+	for i, v := range x {
+		s += l.w[i] * v
+	}
+	c := int(math.Round(s))
+	if c < 0 {
+		c = 0
+	}
+	if c >= l.nClasses {
+		c = l.nClasses - 1
+	}
+	return c
+}
+
+// solve performs Gaussian elimination with partial pivoting.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64{}, a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-12 {
+			return nil, fmt.Errorf("ml: singular system")
+		}
+		m[col], m[p] = m[p], m[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m[i][n] / m[i][i]
+	}
+	return out, nil
+}
+
+// LogisticClassifier is a one-vs-rest logistic-regression classifier
+// trained with gradient descent — the logistic baseline of Section 4.3.
+type LogisticClassifier struct {
+	w        [][]float64 // per class: nFeatures + 1 (bias last)
+	mean     []float64
+	scale    []float64
+	nClasses int
+}
+
+// LogisticParams configure gradient-descent training.
+type LogisticParams struct {
+	Epochs int
+	LR     float64
+}
+
+// TrainLogistic fits one sigmoid per class on standardized features.
+func TrainLogistic(x [][]float64, y []int, p LogisticParams) (*LogisticClassifier, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("ml: bad training set")
+	}
+	if p.Epochs <= 0 {
+		p.Epochs = 100
+	}
+	if p.LR <= 0 {
+		p.LR = 0.1
+	}
+	nf := len(x[0])
+	nc := 0
+	for _, yy := range y {
+		if yy+1 > nc {
+			nc = yy + 1
+		}
+	}
+	lc := &LogisticClassifier{nClasses: nc, mean: make([]float64, nf), scale: make([]float64, nf)}
+	for _, row := range x {
+		for f, v := range row {
+			lc.mean[f] += v
+		}
+	}
+	for f := range lc.mean {
+		lc.mean[f] /= float64(len(x))
+	}
+	for _, row := range x {
+		for f, v := range row {
+			d := v - lc.mean[f]
+			lc.scale[f] += d * d
+		}
+	}
+	for f := range lc.scale {
+		lc.scale[f] = math.Sqrt(lc.scale[f]/float64(len(x))) + 1e-9
+	}
+	std := make([][]float64, len(x))
+	for i, row := range x {
+		std[i] = make([]float64, nf)
+		for f, v := range row {
+			std[i][f] = (v - lc.mean[f]) / lc.scale[f]
+		}
+	}
+	lc.w = make([][]float64, nc)
+	for c := 0; c < nc; c++ {
+		w := make([]float64, nf+1)
+		for ep := 0; ep < p.Epochs; ep++ {
+			for i, row := range std {
+				z := w[nf]
+				for f, v := range row {
+					z += w[f] * v
+				}
+				pred := 1 / (1 + math.Exp(-z))
+				target := 0.0
+				if y[i] == c {
+					target = 1
+				}
+				g := pred - target
+				for f, v := range row {
+					w[f] -= p.LR * g * v
+				}
+				w[nf] -= p.LR * g
+			}
+		}
+		lc.w[c] = w
+	}
+	return lc, nil
+}
+
+// Predict returns the class with the highest sigmoid response.
+func (l *LogisticClassifier) Predict(x []float64) int {
+	nf := len(l.mean)
+	best, bs := 0, math.Inf(-1)
+	for c, w := range l.w {
+		z := w[nf]
+		for f := 0; f < nf; f++ {
+			z += w[f] * (x[f] - l.mean[f]) / l.scale[f]
+		}
+		if z > bs {
+			best, bs = c, z
+		}
+	}
+	return best
+}

@@ -1,0 +1,280 @@
+// Package phase implements SimPoint-style program-phase detection over
+// telemetry sequences: online boundary detection and offline k-means phase
+// classification. The paper's central motivating argument (Sections 2.2,
+// 4) is that such detectors, which prior work like ProfileAdapt depends
+// on, capture explicit (code-driven) phases but miss the short-lived
+// implicit (data-driven) phases of sparse computation; the `phasedet`
+// experiment quantifies that with this package.
+package phase
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Normalize z-scores each feature column across the sequence (constant
+// columns become zero), so distances weight features comparably.
+func Normalize(features [][]float64) [][]float64 {
+	if len(features) == 0 {
+		return nil
+	}
+	nf := len(features[0])
+	mean := make([]float64, nf)
+	std := make([]float64, nf)
+	for _, row := range features {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(features))
+	}
+	for _, row := range features {
+		for j, v := range row {
+			d := v - mean[j]
+			std[j] += d * d
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(len(features)))
+	}
+	out := make([][]float64, len(features))
+	for i, row := range features {
+		out[i] = make([]float64, nf)
+		for j, v := range row {
+			if std[j] > 1e-12 {
+				out[i][j] = (v - mean[j]) / std[j]
+			}
+		}
+	}
+	return out
+}
+
+func dist2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Detector finds phase boundaries online: a boundary is declared when the
+// distance between the running phase centroid and the current observation
+// exceeds Threshold (in normalized feature units), with at least MinLen
+// observations between boundaries (phase detectors assume phases are
+// long-lived — exactly the assumption implicit phases violate).
+type Detector struct {
+	// Threshold is the RMS feature distance that starts a new phase.
+	Threshold float64
+	// MinLen is the minimum phase length in observations.
+	MinLen int
+	// Window is the number of recent observations averaged before the
+	// distance test (smooths single-epoch noise; phases shorter than the
+	// window are invisible — the implicit-phase blind spot).
+	Window int
+}
+
+// DefaultDetector returns a detector tuned for the Table 2 telemetry.
+func DefaultDetector() Detector { return Detector{Threshold: 0.9, MinLen: 4, Window: 3} }
+
+// Boundaries returns the indices at which new phases start (always
+// including 0). Input features should be raw; normalization is applied
+// internally over the whole sequence (the offline profile a SimPoint-like
+// tool would have).
+func (d Detector) Boundaries(features [][]float64) []int {
+	if len(features) == 0 {
+		return nil
+	}
+	if d.MinLen < 1 {
+		d.MinLen = 1
+	}
+	if d.Window < 1 {
+		d.Window = 1
+	}
+	norm := Normalize(features)
+	nf := len(norm[0])
+	out := []int{0}
+	centroid := append([]float64{}, norm[0]...)
+	n := 1
+	since := 1
+	winMean := make([]float64, nf)
+	for i := 1; i < len(norm); i++ {
+		// Mean of the trailing window ending at i.
+		lo := i - d.Window + 1
+		if lo < 0 {
+			lo = 0
+		}
+		for j := range winMean {
+			winMean[j] = 0
+		}
+		for w := lo; w <= i; w++ {
+			for j, v := range norm[w] {
+				winMean[j] += v
+			}
+		}
+		for j := range winMean {
+			winMean[j] /= float64(i - lo + 1)
+		}
+		rms := math.Sqrt(dist2(centroid, winMean) / float64(nf))
+		if rms > d.Threshold && since >= d.MinLen {
+			out = append(out, i)
+			centroid = append(centroid[:0], norm[i]...)
+			n = 1
+			since = 1
+			continue
+		}
+		// Fold the observation into the running centroid.
+		n++
+		for j := range centroid {
+			centroid[j] += (norm[i][j] - centroid[j]) / float64(n)
+		}
+		since++
+	}
+	return out
+}
+
+// KMeans clusters observations into k phases (SimPoint's classification
+// step) and returns per-observation assignments plus the centroids, using
+// deterministic k-means++ seeding.
+func KMeans(features [][]float64, k, iters int, seed int64) ([]int, [][]float64, error) {
+	n := len(features)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("phase: empty sequence")
+	}
+	if k < 1 {
+		return nil, nil, fmt.Errorf("phase: k must be positive")
+	}
+	if k > n {
+		k = n
+	}
+	if iters < 1 {
+		iters = 20
+	}
+	norm := Normalize(features)
+	rng := rand.New(rand.NewSource(seed))
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, append([]float64{}, norm[rng.Intn(n)]...))
+	for len(centroids) < k {
+		weights := make([]float64, n)
+		total := 0.0
+		for i, row := range norm {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := dist2(row, c); d < best {
+					best = d
+				}
+			}
+			weights[i] = best
+			total += best
+		}
+		if total <= 0 {
+			// All points identical: duplicate the first centroid.
+			centroids = append(centroids, append([]float64{}, norm[0]...))
+			continue
+		}
+		r := rng.Float64() * total
+		pick := 0
+		for i, w := range weights {
+			r -= w
+			if r <= 0 {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64{}, norm[pick]...))
+	}
+
+	assign := make([]int, n)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, row := range norm {
+			best, bd := 0, math.Inf(1)
+			for c := range centroids {
+				if d := dist2(row, centroids[c]); d < bd {
+					best, bd = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, len(centroids))
+		for c := range centroids {
+			for j := range centroids[c] {
+				centroids[c][j] = 0
+			}
+		}
+		for i, row := range norm {
+			c := assign[i]
+			counts[c]++
+			for j, v := range row {
+				centroids[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] /= float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return assign, centroids, nil
+}
+
+// BoundaryRecall reports the fraction of reference boundaries that have a
+// detected boundary within tol observations — how well a detector finds
+// the *explicit* phases.
+func BoundaryRecall(detected, reference []int, tol int) float64 {
+	if len(reference) == 0 {
+		return 1
+	}
+	hit := 0
+	for _, r := range reference {
+		for _, d := range detected {
+			if abs(d-r) <= tol {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(len(reference))
+}
+
+// IntraPhaseChanges counts, given a per-observation "best configuration"
+// sequence, how many configuration changes fall strictly inside detected
+// phases (not at boundaries) — the adaptation opportunities a
+// phase-boundary-driven scheme like ProfileAdapt-ideal cannot see.
+func IntraPhaseChanges(bestSeq []int, boundaries []int) (intra, total int) {
+	isBoundary := map[int]bool{}
+	for _, b := range boundaries {
+		isBoundary[b] = true
+	}
+	for i := 1; i < len(bestSeq); i++ {
+		if bestSeq[i] == bestSeq[i-1] {
+			continue
+		}
+		total++
+		if !isBoundary[i] {
+			intra++
+		}
+	}
+	return intra, total
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

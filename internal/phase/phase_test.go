@@ -1,0 +1,176 @@
+package phase
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synthSeq builds a sequence with two clearly different regimes separated
+// at index cut.
+func synthSeq(rng *rand.Rand, n, cut, nf int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		row := make([]float64, nf)
+		base := 0.0
+		if i >= cut {
+			base = 10
+		}
+		for j := range row {
+			row[j] = base + rng.NormFloat64()*0.3
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func TestNormalize(t *testing.T) {
+	in := [][]float64{{1, 5}, {3, 5}, {5, 5}}
+	n := Normalize(in)
+	// Column 0: mean 3, std sqrt(8/3); column 1 constant → zeros.
+	if n[0][1] != 0 || n[1][1] != 0 {
+		t.Fatal("constant column must normalize to zero")
+	}
+	if math.Abs(n[1][0]) > 1e-12 {
+		t.Fatalf("mean row should be 0, got %v", n[1][0])
+	}
+	if n[0][0] >= 0 || n[2][0] <= 0 {
+		t.Fatal("normalized signs wrong")
+	}
+	if Normalize(nil) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}
+
+func TestDetectorFindsExplicitBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	seq := synthSeq(rng, 60, 30, 5)
+	b := DefaultDetector().Boundaries(seq)
+	if len(b) < 2 {
+		t.Fatalf("no boundary detected: %v", b)
+	}
+	if BoundaryRecall(b, []int{0, 30}, 2) < 1 {
+		t.Fatalf("explicit boundary missed: detected %v", b)
+	}
+}
+
+func TestDetectorIgnoresNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	seq := make([][]float64, 50)
+	for i := range seq {
+		seq[i] = []float64{rng.NormFloat64() * 0.1, rng.NormFloat64() * 0.1}
+	}
+	b := DefaultDetector().Boundaries(seq)
+	if len(b) > 3 {
+		t.Fatalf("stationary noise produced %d phases", len(b))
+	}
+}
+
+func TestDetectorMinLen(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Rapidly alternating regimes every 2 observations: with MinLen 4 the
+	// detector cannot track them (the implicit-phase failure mode).
+	seq := make([][]float64, 40)
+	for i := range seq {
+		base := 0.0
+		if (i/2)%2 == 1 {
+			base = 10
+		}
+		seq[i] = []float64{base + rng.NormFloat64()*0.2}
+	}
+	d := Detector{Threshold: 1.0, MinLen: 8}
+	b := d.Boundaries(seq)
+	// 20 regime switches exist; the detector sees at most a handful.
+	if len(b) > 6 {
+		t.Fatalf("MinLen not enforced: %d boundaries", len(b))
+	}
+}
+
+func TestKMeansSeparatesRegimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	seq := synthSeq(rng, 80, 40, 4)
+	assign, centroids, err := KMeans(seq, 2, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centroids) != 2 {
+		t.Fatalf("centroids %d", len(centroids))
+	}
+	// All of regime A in one cluster, regime B in the other.
+	for i := 1; i < 40; i++ {
+		if assign[i] != assign[0] {
+			t.Fatalf("regime A split at %d", i)
+		}
+	}
+	for i := 41; i < 80; i++ {
+		if assign[i] != assign[40] {
+			t.Fatalf("regime B split at %d", i)
+		}
+	}
+	if assign[0] == assign[40] {
+		t.Fatal("regimes merged")
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, _, err := KMeans(nil, 2, 10, 1); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+	if _, _, err := KMeans([][]float64{{1}}, 0, 10, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	// k larger than n clamps.
+	assign, _, err := KMeans([][]float64{{1}, {2}}, 5, 10, 1)
+	if err != nil || len(assign) != 2 {
+		t.Fatalf("clamped k failed: %v %v", assign, err)
+	}
+}
+
+func TestBoundaryRecall(t *testing.T) {
+	if r := BoundaryRecall([]int{0, 10, 20}, []int{0, 11}, 1); r != 1 {
+		t.Fatalf("recall %v, want 1", r)
+	}
+	if r := BoundaryRecall([]int{0}, []int{0, 50}, 2); r != 0.5 {
+		t.Fatalf("recall %v, want 0.5", r)
+	}
+	if r := BoundaryRecall(nil, nil, 1); r != 1 {
+		t.Fatal("empty reference must be perfect recall")
+	}
+}
+
+func TestIntraPhaseChanges(t *testing.T) {
+	best := []int{0, 0, 1, 1, 2, 2}
+	// Boundaries at 0 and 2: the 0→1 change (index 2) is at a boundary,
+	// the 1→2 change (index 4) is inside a phase.
+	intra, total := IntraPhaseChanges(best, []int{0, 2})
+	if total != 2 || intra != 1 {
+		t.Fatalf("intra %d total %d", intra, total)
+	}
+}
+
+// Property: k-means assignments are within range and every index appears.
+func TestQuickKMeansAssignmentsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		k := 1 + rng.Intn(4)
+		seq := make([][]float64, n)
+		for i := range seq {
+			seq[i] = []float64{rng.Float64(), rng.Float64()}
+		}
+		assign, centroids, err := KMeans(seq, k, 15, seed)
+		if err != nil || len(assign) != n {
+			return false
+		}
+		for _, a := range assign {
+			if a < 0 || a >= len(centroids) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

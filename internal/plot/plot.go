@@ -1,0 +1,285 @@
+// Package plot renders experiment reports as standalone SVG line/bar
+// charts — the reproduction's equivalent of the artifact's PDF figures
+// (Appendix A.6). Pure stdlib, deterministic output, one file per figure.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one sample.
+type Point struct{ X, Y float64 }
+
+// Chart is a simple line chart with linear or log₁₀ x-axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	LogX   bool
+	// Width and Height default to 720×420.
+	Width, Height int
+}
+
+// palette holds distinguishable stroke colors.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#17becf", "#7f7f7f", "#bcbd22", "#e377c2",
+}
+
+const (
+	marginL = 64
+	marginR = 16
+	marginT = 36
+	marginB = 48
+)
+
+type scaler struct {
+	min, max   float64
+	lo, hi     float64 // pixel range
+	log        bool
+	descending bool
+}
+
+func (s scaler) pos(v float64) float64 {
+	x := v
+	if s.log {
+		x = math.Log10(math.Max(v, 1e-300))
+	}
+	mn, mx := s.min, s.max
+	if s.log {
+		mn, mx = math.Log10(math.Max(s.min, 1e-300)), math.Log10(math.Max(s.max, 1e-300))
+	}
+	if mx == mn {
+		return (s.lo + s.hi) / 2
+	}
+	f := (x - mn) / (mx - mn)
+	if s.descending {
+		f = 1 - f
+	}
+	return s.lo + f*(s.hi-s.lo)
+}
+
+// SVG renders the chart.
+func (c *Chart) SVG() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 720
+	}
+	if h <= 0 {
+		h = 420
+	}
+	var xs, ys []float64
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			xs = append(xs, p.X)
+			ys = append(ys, p.Y)
+		}
+	}
+	if len(xs) == 0 {
+		xs, ys = []float64{0, 1}, []float64{0, 1}
+	}
+	xmin, xmax := minMax(xs)
+	ymin, ymax := minMax(ys)
+	if ymin > 0 {
+		ymin = 0 // anchor gains at zero
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	sx := scaler{min: xmin, max: xmax, lo: marginL, hi: float64(w - marginR), log: c.LogX}
+	sy := scaler{min: ymin, max: ymax, lo: float64(h - marginB), hi: marginT}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, h-marginB, w-marginR, h-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, h-marginB)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+		(marginL+w-marginR)/2, h-12, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		(marginT+h-marginB)/2, (marginT+h-marginB)/2, esc(c.YLabel))
+
+	// Y ticks (5).
+	for i := 0; i <= 4; i++ {
+		v := ymin + (ymax-ymin)*float64(i)/4
+		y := sy.pos(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y, w-marginR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%.3g</text>`+"\n", marginL-6, y+4, v)
+	}
+	// X ticks from distinct xs (≤8).
+	ticks := distinct(xs, 8)
+	for _, v := range ticks {
+		x := sx.pos(v)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%.3g</text>`+"\n", x, h-marginB+16, v)
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var path strings.Builder
+		for i, p := range s.Points {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, sx.pos(p.X), sy.pos(p.Y))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.TrimSpace(path.String()), color)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				sx.pos(p.X), sy.pos(p.Y), color)
+		}
+		// Legend.
+		ly := marginT + 16*si
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			w-marginR-150, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", w-marginR-135, ly+9, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// WriteFile renders the chart to an SVG file.
+func (c *Chart) WriteFile(path string) error {
+	return os.WriteFile(path, []byte(c.SVG()), 0o644)
+}
+
+// BarChart renders labelled value groups as grouped vertical bars.
+type BarChart struct {
+	Title  string
+	YLabel string
+	// Groups are the x-axis categories; Series are the bar colors within
+	// each group. Values[s][g] is series s at group g.
+	Groups        []string
+	Series        []string
+	Values        [][]float64
+	Width, Height int
+}
+
+// SVG renders the bar chart.
+func (c *BarChart) SVG() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 720
+	}
+	if h <= 0 {
+		h = 420
+	}
+	ymax := 1.0
+	for _, row := range c.Values {
+		for _, v := range row {
+			if v > ymax {
+				ymax = v
+			}
+		}
+	}
+	sy := scaler{min: 0, max: ymax, lo: float64(h - marginB), hi: marginT}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, h-marginB, w-marginR, h-marginB)
+	for i := 0; i <= 4; i++ {
+		v := ymax * float64(i) / 4
+		y := sy.pos(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y, w-marginR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%.3g</text>`+"\n", marginL-6, y+4, v)
+	}
+	ng, ns := len(c.Groups), len(c.Series)
+	if ng == 0 || ns == 0 {
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	groupW := float64(w-marginL-marginR) / float64(ng)
+	barW := groupW * 0.8 / float64(ns)
+	for g, label := range c.Groups {
+		gx := float64(marginL) + groupW*float64(g)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW/2, h-marginB+16, esc(label))
+		for s := 0; s < ns; s++ {
+			if s >= len(c.Values) || g >= len(c.Values[s]) {
+				continue
+			}
+			v := c.Values[s][g]
+			y := sy.pos(v)
+			x := gx + groupW*0.1 + barW*float64(s)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, barW, float64(h-marginB)-y, palette[s%len(palette)])
+		}
+	}
+	for s, name := range c.Series {
+		ly := marginT + 16*s
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			w-marginR-150, ly, palette[s%len(palette)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", w-marginR-135, ly+9, esc(name))
+	}
+	fmt.Fprintf(&b, `<text x="14" y="%d" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		(marginT+h-marginB)/2, (marginT+h-marginB)/2, esc(c.YLabel))
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// WriteFile renders the bar chart to an SVG file.
+func (c *BarChart) WriteFile(path string) error {
+	return os.WriteFile(path, []byte(c.SVG()), 0o644)
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func minMax(vs []float64) (float64, float64) {
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}
+
+func distinct(vs []float64, max int) []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, v := range vs {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Float64s(out)
+	if len(out) > max {
+		step := float64(len(out)-1) / float64(max-1)
+		picked := make([]float64, 0, max)
+		for i := 0; i < max; i++ {
+			picked = append(picked, out[int(float64(i)*step+0.5)])
+		}
+		out = picked
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package plot
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestChartSVGStructure(t *testing.T) {
+	c := &Chart{
+		Title:  "demo <chart>",
+		XLabel: "bandwidth",
+		YLabel: "gain",
+		Series: []Series{
+			{Name: "sparseadapt", Points: []Point{{1, 1}, {10, 2}, {100, 3}}},
+			{Name: "baseline", Points: []Point{{1, 1}, {10, 1}, {100, 1}}},
+		},
+		LogX: true,
+	}
+	svg := c.SVG()
+	for _, frag := range []string{"<svg", "</svg>", "demo &lt;chart&gt;", "sparseadapt", "baseline", "<path", "<circle"} {
+		if !strings.Contains(svg, frag) {
+			t.Fatalf("SVG missing %q", frag)
+		}
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("SVG contains non-finite coordinates")
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if svg := c.SVG(); !strings.Contains(svg, "</svg>") {
+		t.Fatal("empty chart must still render")
+	}
+}
+
+func TestChartWriteFile(t *testing.T) {
+	c := &Chart{Title: "f", Series: []Series{{Name: "s", Points: []Point{{0, 0}, {1, 1}}}}}
+	path := filepath.Join(t.TempDir(), "out.svg")
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Fatal("file is not SVG")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := &BarChart{
+		Title:  "gains",
+		YLabel: "x over baseline",
+		Groups: []string{"R01", "R02"},
+		Series: []string{"best-avg", "sparseadapt"},
+		Values: [][]float64{{1.1, 0.9}, {1.4, 1.5}},
+	}
+	svg := c.SVG()
+	if strings.Count(svg, "<rect") < 5 { // background + legend + 4 bars
+		t.Fatalf("missing bars:\n%s", svg)
+	}
+	for _, frag := range []string{"R01", "R02", "best-avg", "sparseadapt"} {
+		if !strings.Contains(svg, frag) {
+			t.Fatalf("missing %q", frag)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "bars.svg")
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarChartDegenerate(t *testing.T) {
+	c := &BarChart{Title: "none"}
+	if svg := c.SVG(); !strings.Contains(svg, "</svg>") {
+		t.Fatal("degenerate bar chart must render")
+	}
+}
+
+func TestScalerLog(t *testing.T) {
+	s := scaler{min: 1, max: 100, lo: 0, hi: 200, log: true}
+	mid := s.pos(10)
+	if mid < 99 || mid > 101 {
+		t.Fatalf("log midpoint %v, want ~100", mid)
+	}
+	// Degenerate range centers.
+	d := scaler{min: 5, max: 5, lo: 0, hi: 10}
+	if p := d.pos(5); p != 5 {
+		t.Fatalf("degenerate pos %v", p)
+	}
+}
+
+func TestDistinctTicks(t *testing.T) {
+	vs := []float64{5, 1, 3, 1, 5, 2, 4}
+	got := distinct(vs, 8)
+	if len(got) != 5 {
+		t.Fatalf("distinct %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("ticks not sorted")
+		}
+	}
+	many := make([]float64, 50)
+	for i := range many {
+		many[i] = float64(i)
+	}
+	if got := distinct(many, 8); len(got) != 8 {
+		t.Fatalf("cap not applied: %d", len(got))
+	}
+}

@@ -1,0 +1,67 @@
+package power
+
+import (
+	"fmt"
+	"strings"
+
+	"sparseadapt/internal/config"
+)
+
+// Breakdown decomposes an epoch's energy by component, all in joules and
+// already DVFS-scaled, so the parts sum to Energy(...) for the same
+// inputs. The paper's analysis of configuration choices (Section 6.1.5) is
+// about exactly these trade-offs: leakage vs cache capacity, DRAM traffic
+// vs prefetching, core energy vs clock.
+type Breakdown struct {
+	CoresJ   float64 // GPE + LCP instruction energy
+	L1J      float64 // L1 cache / scratchpad access energy
+	L2J      float64
+	XbarJ    float64 // crossbar transfers + contention
+	DRAMJ    float64 // off-chip traffic (not rail-scaled)
+	LeakageJ float64
+}
+
+// TotalJ sums the components.
+func (b Breakdown) TotalJ() float64 {
+	return b.CoresJ + b.L1J + b.L2J + b.XbarJ + b.DRAMJ + b.LeakageJ
+}
+
+// String renders the breakdown with percentages.
+func (b Breakdown) String() string {
+	tot := b.TotalJ()
+	if tot <= 0 {
+		return "breakdown{empty}"
+	}
+	var sb strings.Builder
+	sb.WriteString("breakdown{")
+	for i, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"cores", b.CoresJ}, {"l1", b.L1J}, {"l2", b.L2J},
+		{"xbar", b.XbarJ}, {"dram", b.DRAMJ}, {"leak", b.LeakageJ},
+	} {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%s=%.1f%%", c.name, 100*c.v/tot)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// EnergyBreakdown computes the per-component decomposition of Energy for
+// the same chip, configuration, counts and duration.
+func EnergyBreakdown(chip Chip, cfg config.Config, cnt Counts, timeSec float64) Breakdown {
+	scale := Scale(cfg.ClockMHz())
+	b := Breakdown{
+		CoresJ: (float64(cnt.GPEInstrs)*eGPEInstr + float64(cnt.LCPInstrs)*eLCPInstr) * scale,
+		L1J: (float64(cnt.L1Accesses)*CacheAccessJ(cfg.L1CapKB()) +
+			float64(cnt.SPMAccesses)*SPMAccessJ(cfg.L1CapKB())) * scale,
+		L2J:   float64(cnt.L2Accesses) * l2Factor * CacheAccessJ(cfg.L2CapKB()) * scale,
+		XbarJ: (float64(cnt.XbarTransfers)*eXbar + float64(cnt.XbarConts)*eXbarCont) * scale,
+		DRAMJ: float64(cnt.DRAMReadBytes)*eDRAMBytRd + float64(cnt.DRAMWriteBytes)*eDRAMBytWr,
+	}
+	b.LeakageJ = chip.LeakageW(cfg) * timeSec * scale
+	return b
+}

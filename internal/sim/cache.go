@@ -1,0 +1,275 @@
+package sim
+
+// LineSize is the cache line size in bytes throughout the hierarchy.
+const LineSize = 64
+
+// Ways is the set associativity of every R-DCache bank.
+const Ways = 4
+
+// line is one cache line's bookkeeping state.
+type line struct {
+	tag        uint32
+	lru        uint32
+	valid      bool
+	dirty      bool
+	prefetched bool // filled by prefetch, not yet demanded
+}
+
+// Bank models one reconfigurable data-cache (R-DCache) bank: set-associative
+// with LRU replacement, exact tags, dirty bits and resizable capacity
+// (Section 3.2.2: each logical bank is a set of physical sub-banks, so
+// capacity increases keep resident lines).
+type Bank struct {
+	sets  int
+	lines []line // sets × Ways
+	tick  uint32
+
+	// Per-epoch counters, reset by the machine after telemetry (Table 2).
+	Accesses   int
+	Misses     int
+	Prefetches int // prefetch fills issued
+	PrefUseful int // prefetched lines later hit by a demand access
+}
+
+// NewBank creates a bank of the given capacity in bytes.
+func NewBank(capacityBytes int) *Bank {
+	b := &Bank{}
+	b.init(capacityBytes)
+	return b
+}
+
+func (b *Bank) init(capacityBytes int) {
+	sets := capacityBytes / (LineSize * Ways)
+	if sets < 1 {
+		sets = 1
+	}
+	b.sets = sets
+	b.lines = make([]line, sets*Ways)
+	b.tick = 0
+}
+
+// CapacityBytes returns the current bank capacity.
+func (b *Bank) CapacityBytes() int { return b.sets * Ways * LineSize }
+
+// set returns the slice of ways for the set holding lineAddr.
+func (b *Bank) set(lineAddr uint32) ([]line, uint32) {
+	s := int(lineAddr) % b.sets
+	tag := lineAddr / uint32(b.sets)
+	return b.lines[s*Ways : s*Ways+Ways], tag
+}
+
+// Lookup probes the bank without counting a demand access. It reports
+// whether the line is resident.
+func (b *Bank) Lookup(lineAddr uint32) bool {
+	ws, tag := b.set(lineAddr)
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a demand access to lineAddr. On a hit it updates LRU and
+// the dirty bit; on a miss it reports hit=false and the caller must Insert
+// the line after fetching it from the next level. prefHit reports that the
+// hit consumed a prefetched line for the first time, which prefetch
+// policies use to extend a run.
+func (b *Bank) Access(lineAddr uint32, store bool) (hit, prefHit bool) {
+	b.Accesses++
+	b.tick++
+	ws, tag := b.set(lineAddr)
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			if ws[i].prefetched {
+				b.PrefUseful++
+				ws[i].prefetched = false
+				prefHit = true
+			}
+			ws[i].lru = b.tick
+			if store {
+				ws[i].dirty = true
+			}
+			return true, prefHit
+		}
+	}
+	b.Misses++
+	return false, false
+}
+
+// Evicted describes a line displaced from a bank.
+type Evicted struct {
+	LineAddr uint32
+	Dirty    bool
+	Valid    bool
+}
+
+// Insert fills lineAddr into the bank (after a miss or as a prefetch) and
+// returns the displaced victim, if any. prefetched marks prefetch fills for
+// usefulness accounting; dirty marks write-allocated or written-back lines.
+func (b *Bank) Insert(lineAddr uint32, dirty, prefetched bool) Evicted {
+	b.tick++
+	ws, tag := b.set(lineAddr)
+	// Already resident (e.g. racing prefetch): just update.
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			if dirty {
+				ws[i].dirty = true
+			}
+			ws[i].lru = b.tick
+			return Evicted{}
+		}
+	}
+	victim := 0
+	for i := 1; i < len(ws); i++ {
+		if !ws[victim].valid {
+			break
+		}
+		if !ws[i].valid || ws[i].lru < ws[victim].lru {
+			victim = i
+		}
+	}
+	ev := Evicted{}
+	if ws[victim].valid {
+		ev = Evicted{
+			LineAddr: ws[victim].tag*uint32(b.sets) + uint32(int(lineAddr)%b.sets),
+			Dirty:    ws[victim].dirty,
+			Valid:    true,
+		}
+	}
+	ws[victim] = line{tag: tag, lru: b.tick, valid: true, dirty: dirty, prefetched: prefetched}
+	if prefetched {
+		b.Prefetches++
+	}
+	return ev
+}
+
+// Occupancy returns the fraction of valid lines, the "cache occupancy"
+// counter of Table 2.
+func (b *Bank) Occupancy() float64 {
+	n := 0
+	for i := range b.lines {
+		if b.lines[i].valid {
+			n++
+		}
+	}
+	return float64(n) / float64(len(b.lines))
+}
+
+// DirtyLines returns the number of dirty resident lines.
+func (b *Bank) DirtyLines() int {
+	n := 0
+	for i := range b.lines {
+		if b.lines[i].valid && b.lines[i].dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates the whole bank and returns the addresses of the dirty
+// lines that must be written back to the next level.
+func (b *Bank) Flush() []uint32 {
+	var dirty []uint32
+	for s := 0; s < b.sets; s++ {
+		for w := 0; w < Ways; w++ {
+			l := &b.lines[s*Ways+w]
+			if l.valid && l.dirty {
+				dirty = append(dirty, l.tag*uint32(b.sets)+uint32(s))
+			}
+			l.valid = false
+		}
+	}
+	return dirty
+}
+
+// Resize changes the bank capacity. Growing keeps resident lines (they are
+// re-indexed into the larger structure, matching the sub-banked design of
+// Section 3.2.2, which makes capacity increases super-fine). Shrinking
+// keeps what fits and returns dirty casualties for writeback.
+func (b *Bank) Resize(capacityBytes int) (dirtyWB []uint32) {
+	if capacityBytes == b.CapacityBytes() {
+		return nil
+	}
+	old := b.lines
+	oldSets := b.sets
+	b.init(capacityBytes)
+	for s := 0; s < oldSets; s++ {
+		for w := 0; w < Ways; w++ {
+			l := old[s*Ways+w]
+			if !l.valid {
+				continue
+			}
+			addr := l.tag*uint32(oldSets) + uint32(s)
+			ev := b.Insert(addr, l.dirty, false)
+			if ev.Valid && ev.Dirty {
+				dirtyWB = append(dirtyWB, ev.LineAddr)
+			}
+		}
+	}
+	return dirtyWB
+}
+
+// ResetCounters zeroes the per-epoch counters after telemetry, matching the
+// hardware counters that "are reset after they are queried" (Section 3.3).
+func (b *Bank) ResetCounters() {
+	b.Accesses, b.Misses, b.Prefetches, b.PrefUseful = 0, 0, 0, 0
+}
+
+// prefEntry is one stride-prefetcher table entry.
+type prefEntry struct {
+	pc     uint16
+	last   uint32
+	stride int32
+	conf   uint8
+}
+
+// prefTableSize is the per-bank PC-indexed table size.
+const prefTableSize = 64
+
+// Prefetcher is the PC-indexed stride prefetcher attached to each cache
+// layer (Section 3.2.5). Degree 0 disables it.
+type Prefetcher struct {
+	table [prefTableSize]prefEntry
+}
+
+// Observe records a demand access by static instruction pc to lineAddr and
+// returns the line addresses to prefetch (up to degree lines ahead) once a
+// stable stride has been established. Repeated accesses to the same line
+// (sub-line strides) do not perturb the learned stride.
+func (p *Prefetcher) Observe(pc uint16, lineAddr uint32, degree int) []uint32 {
+	e := &p.table[pc%prefTableSize]
+	if e.pc != pc {
+		*e = prefEntry{pc: pc, last: lineAddr}
+		return nil
+	}
+	if lineAddr == e.last {
+		return nil
+	}
+	stride := int32(lineAddr) - int32(e.last)
+	if stride == e.stride && stride != 0 {
+		if e.conf < 3 {
+			e.conf++
+		}
+	} else {
+		e.conf = 0
+		e.stride = stride
+	}
+	e.last = lineAddr
+	if degree <= 0 || e.conf < 2 {
+		return nil
+	}
+	out := make([]uint32, 0, degree)
+	a := int64(lineAddr)
+	for i := 1; i <= degree; i++ {
+		a += int64(e.stride)
+		if a < 0 {
+			break
+		}
+		out = append(out, uint32(a))
+	}
+	return out
+}
+
+// Reset clears the prefetcher state (on reconfiguration of aggressiveness).
+func (p *Prefetcher) Reset() { p.table = [prefTableSize]prefEntry{} }

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBankHitMiss(t *testing.T) {
+	b := NewBank(4 * 1024) // 16 sets × 4 ways
+	if hit, _ := b.Access(100, false); hit {
+		t.Fatal("cold access must miss")
+	}
+	b.Insert(100, false, false)
+	if hit, _ := b.Access(100, false); !hit {
+		t.Fatal("second access must hit")
+	}
+	if b.Accesses != 2 || b.Misses != 1 {
+		t.Fatalf("counters %d/%d", b.Accesses, b.Misses)
+	}
+}
+
+func TestBankDirtyAndWriteback(t *testing.T) {
+	b := NewBank(4 * 1024)
+	b.Insert(7, false, false)
+	b.Access(7, true) // store marks dirty
+	if b.DirtyLines() != 1 {
+		t.Fatalf("dirty lines %d", b.DirtyLines())
+	}
+	dirty := b.Flush()
+	if len(dirty) != 1 || dirty[0] != 7 {
+		t.Fatalf("flush returned %v", dirty)
+	}
+	if b.Occupancy() != 0 {
+		t.Fatal("flush must invalidate everything")
+	}
+}
+
+func TestBankLRUEviction(t *testing.T) {
+	b := NewBank(LineSize * Ways) // one set
+	for i := uint32(0); i < Ways; i++ {
+		b.Insert(i, false, false)
+	}
+	b.Access(0, false) // refresh line 0
+	ev := b.Insert(100, false, false)
+	if !ev.Valid || ev.LineAddr != 1 {
+		t.Fatalf("expected LRU victim line 1, got %+v", ev)
+	}
+	if !b.Lookup(0) {
+		t.Fatal("recently used line 0 must survive")
+	}
+}
+
+func TestBankVictimAddressReconstruction(t *testing.T) {
+	b := NewBank(8 * 1024)   // 32 sets
+	addr := uint32(5*32 + 9) // tag 5, set 9
+	b.Insert(addr, true, false)
+	// Fill the set to force eviction of addr.
+	for tag := uint32(10); tag < 10+Ways; tag++ {
+		ev := b.Insert(tag*32+9, false, false)
+		if ev.Valid && ev.Dirty {
+			if ev.LineAddr != addr {
+				t.Fatalf("victim address %d, want %d", ev.LineAddr, addr)
+			}
+			return
+		}
+	}
+	t.Fatal("dirty victim never evicted")
+}
+
+func TestBankResizeGrowKeepsLines(t *testing.T) {
+	b := NewBank(4 * 1024)
+	for i := uint32(0); i < 40; i++ {
+		b.Insert(i, i%2 == 0, false)
+	}
+	resident := 0
+	for i := uint32(0); i < 40; i++ {
+		if b.Lookup(i) {
+			resident++
+		}
+	}
+	wb := b.Resize(64 * 1024)
+	if len(wb) != 0 {
+		t.Fatalf("grow must not write back, got %d casualties", len(wb))
+	}
+	after := 0
+	for i := uint32(0); i < 40; i++ {
+		if b.Lookup(i) {
+			after++
+		}
+	}
+	if after < resident {
+		t.Fatalf("grow lost lines: %d -> %d", resident, after)
+	}
+}
+
+func TestBankResizeShrink(t *testing.T) {
+	b := NewBank(64 * 1024)
+	for i := uint32(0); i < 2000; i++ {
+		b.Insert(i, true, false)
+	}
+	wb := b.Resize(4 * 1024)
+	if b.CapacityBytes() != 4*1024 {
+		t.Fatalf("capacity %d", b.CapacityBytes())
+	}
+	// The 64 kB bank holds 1024 lines; shrinking to 64 lines must write back
+	// nearly all of the resident dirty lines.
+	if len(wb) < 1024-64 {
+		t.Fatalf("shrink returned only %d writebacks", len(wb))
+	}
+}
+
+func TestBankOccupancy(t *testing.T) {
+	b := NewBank(4 * 1024) // 64 lines
+	if b.Occupancy() != 0 {
+		t.Fatal("empty bank occupancy must be 0")
+	}
+	for i := uint32(0); i < 32; i++ {
+		b.Insert(i, false, false)
+	}
+	if occ := b.Occupancy(); occ < 0.4 || occ > 0.6 {
+		t.Fatalf("occupancy %v, want ~0.5", occ)
+	}
+}
+
+func TestPrefetchedUsefulness(t *testing.T) {
+	b := NewBank(4 * 1024)
+	b.Insert(50, false, true)
+	if b.Prefetches != 1 {
+		t.Fatalf("prefetches %d", b.Prefetches)
+	}
+	b.Access(50, false)
+	if b.PrefUseful != 1 {
+		t.Fatal("demanded prefetched line must count as useful")
+	}
+	b.Access(50, false)
+	if b.PrefUseful != 1 {
+		t.Fatal("usefulness must count once")
+	}
+}
+
+// Property: a bank never holds two lines with the same address, and
+// occupancy is always within [0,1].
+func TestQuickBankInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBank((1 + rng.Intn(16)) * 1024)
+		for i := 0; i < 500; i++ {
+			a := uint32(rng.Intn(300))
+			if hit, _ := b.Access(a, rng.Intn(2) == 0); !hit {
+				b.Insert(a, rng.Intn(2) == 0, false)
+			}
+			if !b.Lookup(a) {
+				return false // just-inserted line must be resident
+			}
+		}
+		occ := b.Occupancy()
+		return occ >= 0 && occ <= 1 && b.Misses <= b.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetcherStrideDetection(t *testing.T) {
+	p := &Prefetcher{}
+	var got []uint32
+	for a := uint32(0); a < 10; a += 2 {
+		got = p.Observe(7, a, 4)
+	}
+	if len(got) != 4 {
+		t.Fatalf("prefetch count %d, want 4", len(got))
+	}
+	if got[0] != 10 || got[3] != 16 {
+		t.Fatalf("prefetch addrs %v", got)
+	}
+}
+
+func TestPrefetcherIrregularNoPrefetch(t *testing.T) {
+	p := &Prefetcher{}
+	rng := rand.New(rand.NewSource(9))
+	issued := 0
+	for i := 0; i < 200; i++ {
+		issued += len(p.Observe(3, uint32(rng.Intn(1_000_000)), 8))
+	}
+	if issued > 10 {
+		t.Fatalf("random stream should not trigger steady prefetching, issued %d", issued)
+	}
+}
+
+func TestPrefetcherDegreeZeroDisabled(t *testing.T) {
+	p := &Prefetcher{}
+	for a := uint32(0); a < 20; a++ {
+		if len(p.Observe(1, a, 0)) != 0 {
+			t.Fatal("degree 0 must never prefetch")
+		}
+	}
+}
+
+func TestPrefetcherReset(t *testing.T) {
+	p := &Prefetcher{}
+	for a := uint32(0); a < 10; a++ {
+		p.Observe(1, a, 4)
+	}
+	p.Reset()
+	if len(p.Observe(1, 11, 4)) != 0 {
+		t.Fatal("reset must clear learned strides")
+	}
+}

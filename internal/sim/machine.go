@@ -1,0 +1,535 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/power"
+)
+
+// Timing constants (cycles unless noted). The evaluated system is clocked
+// by the global DVFS clock, so DRAM latency in cycles shrinks with the
+// clock — the mechanism that makes low clocks cheap for memory-bound
+// phases.
+const (
+	latL1Private = 1
+	latL1Shared  = 2 // includes crossbar arbitration (Section 3.2.3)
+	latL2Private = 8
+	latL2Shared  = 10
+	dramLatNs    = 80.0
+	// flushCyclesPerLine approximates the per-dirty-line writeback cost of
+	// a fine-grained reconfiguration (Section 5.2 reports 100–961k cycles
+	// for full L1 flushes of up to 16×64 kB, i.e. ≈60 cycles/line).
+	flushCyclesPerLine = 60
+	// telemetryCycles is the per-epoch host decision+communication cost
+	// (Section 3.4: 50–100 host cycles).
+	telemetryCycles = 100
+	// spmOrchestration is the extra bookkeeping cost per scratchpad line
+	// fill (SPM trades tag lookups for explicit data orchestration,
+	// Section 3.2.4).
+	spmOrchestration = 2
+	// overlapLeak is the fraction of the non-bottleneck time component that
+	// is exposed on top of the roofline max (imperfect compute/memory
+	// overlap on in-order cores).
+	overlapLeak = 0.25
+)
+
+// DefaultBandwidth is the evaluated off-chip bandwidth (Section 5.2: 1 GB/s
+// to keep the 2×8 system's compute-to-memory ratio representative).
+const DefaultBandwidth = 1e9
+
+// Machine is the Transmuter model: it holds the reconfigurable memory
+// hierarchy state and replays trace epochs under the current configuration.
+type Machine struct {
+	chip power.Chip
+	bw   float64 // off-chip bytes/sec
+	cfg  config.Config
+
+	l1   []*Bank // one per GPE
+	l2   []*Bank // one per tile
+	l1pf []*Prefetcher
+	l2pf []*Prefetcher
+
+	// SPM residency state (L1 scratchpad mode).
+	spmRanges []Region
+	spmFilled map[uint32]bool
+	// Per-core staged stream line for non-resident SPM traffic.
+	streamLine  []uint32
+	streamValid []bool
+
+	trace *Trace
+
+	// Pending reconfiguration penalty, folded into the next epoch.
+	pendCycles float64
+	pendCounts power.Counts
+
+	// Per-epoch scratch state.
+	cyc        []int64 // per-core cycles
+	bankAcc    []int   // per-L1-bank accesses (contention model)
+	l2BankAcc  []int
+	epCnt      power.Counts
+	gpeInstr   int
+	lcpInstr   int
+	gpeFP      int
+	readBytes  int
+	writeBytes int
+}
+
+type bankTotals struct {
+	acc, miss, pref, useful int
+}
+
+// New constructs a machine with the given chip topology, off-chip bandwidth
+// in bytes/second and initial configuration.
+func New(chip power.Chip, bwBytesPerSec float64, cfg config.Config) *Machine {
+	if !cfg.Valid() {
+		panic("sim: invalid configuration")
+	}
+	m := &Machine{chip: chip, bw: bwBytesPerSec, cfg: cfg}
+	m.l1 = make([]*Bank, chip.L1Banks())
+	m.l1pf = make([]*Prefetcher, chip.L1Banks())
+	for i := range m.l1 {
+		m.l1[i] = NewBank(cfg.L1CapKB() * 1024)
+		m.l1pf[i] = &Prefetcher{}
+	}
+	m.l2 = make([]*Bank, chip.L2Banks())
+	m.l2pf = make([]*Prefetcher, chip.L2Banks())
+	for i := range m.l2 {
+		m.l2[i] = NewBank(cfg.L2CapKB() * 1024)
+		m.l2pf[i] = &Prefetcher{}
+	}
+	m.cyc = make([]int64, chip.NGPE()+chip.Tiles)
+	m.bankAcc = make([]int, chip.L1Banks())
+	m.l2BankAcc = make([]int, chip.L2Banks())
+	m.spmFilled = make(map[uint32]bool)
+	m.streamLine = make([]uint32, chip.NGPE())
+	m.streamValid = make([]bool, chip.NGPE())
+	return m
+}
+
+// Chip returns the machine's physical topology.
+func (m *Machine) Chip() power.Chip { return m.chip }
+
+// Bandwidth returns the off-chip bandwidth in bytes/second.
+func (m *Machine) Bandwidth() float64 { return m.bw }
+
+// Config returns the active configuration.
+func (m *Machine) Config() config.Config { return m.cfg }
+
+// BindTrace prepares the machine for replaying tr: in scratchpad mode it
+// selects which reuse regions are SPM-resident (lowest priority value
+// first) until the aggregate scratchpad capacity is exhausted.
+func (m *Machine) BindTrace(tr *Trace) {
+	if tr.NCores != m.chip.NGPE() {
+		panic(fmt.Sprintf("sim: trace generated for %d GPEs, machine has %d", tr.NCores, m.chip.NGPE()))
+	}
+	m.trace = tr
+	m.rebuildSPMResidency()
+}
+
+func (m *Machine) rebuildSPMResidency() {
+	m.spmRanges = m.spmRanges[:0]
+	if m.trace == nil || !m.cfg.L1IsSPM() {
+		return
+	}
+	budget := uint32(m.chip.L1Banks() * m.cfg.L1CapKB() * 1024)
+	regions := make([]Region, 0, len(m.trace.Regions))
+	for _, r := range m.trace.Regions {
+		if r.Kind == RegionReuse {
+			regions = append(regions, r)
+		}
+	}
+	sort.Slice(regions, func(i, j int) bool {
+		if regions[i].Priority != regions[j].Priority {
+			return regions[i].Priority < regions[j].Priority
+		}
+		return regions[i].Lo < regions[j].Lo
+	})
+	for _, r := range regions {
+		if budget == 0 {
+			break
+		}
+		sz := r.Hi - r.Lo
+		if sz > budget {
+			r.Hi = r.Lo + budget
+			sz = budget
+		}
+		budget -= sz
+		m.spmRanges = append(m.spmRanges, r)
+	}
+	sort.Slice(m.spmRanges, func(i, j int) bool { return m.spmRanges[i].Lo < m.spmRanges[j].Lo })
+}
+
+// spmResident reports whether addr falls in an SPM-pinned range.
+func (m *Machine) spmResident(addr uint32) bool {
+	lo, hi := 0, len(m.spmRanges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if addr >= m.spmRanges[mid].Hi {
+			lo = mid + 1
+		} else if addr < m.spmRanges[mid].Lo {
+			hi = mid
+		} else {
+			return true
+		}
+	}
+	return false
+}
+
+// tileOf returns the tile index of a core (GPE or LCP).
+func (m *Machine) tileOf(core int) int {
+	if core < m.chip.NGPE() {
+		return core / m.chip.GPEsPerTile
+	}
+	return core - m.chip.NGPE()
+}
+
+// l2Access routes one access to the L2 layer from a tile, returning the
+// latency charged to the requester. Misses fetch from DRAM; dirty victims
+// write back. store marks full-line writebacks from L1 (no fill read).
+//
+// In shared mode lines interleave across banks on the low line bits; the
+// bank then indexes its sets on the remaining (bank-local) bits so the full
+// set space is used.
+func (m *Machine) l2Access(tile int, lineAddr uint32, store bool, pc uint16) int {
+	var bank int
+	local := lineAddr
+	lat := latL2Private
+	nb := uint32(m.chip.L2Banks())
+	if m.cfg.L2Shared() {
+		bank = int(lineAddr % nb)
+		local = lineAddr / nb
+		lat = latL2Shared
+	} else {
+		bank = tile % m.chip.L2Banks()
+	}
+	m.l2BankAcc[bank]++
+	m.epCnt.L2Accesses++
+	m.epCnt.XbarTransfers++
+	b := m.l2[bank]
+	if hit, _ := b.Access(local, store); hit {
+		return lat
+	}
+	// L2 miss.
+	if store {
+		// Full-line writeback from L1: allocate without a DRAM fill.
+		ev := b.Insert(local, true, false)
+		if ev.Valid && ev.Dirty {
+			m.writeBytes += LineSize
+		}
+		return lat
+	}
+	m.readBytes += LineSize
+	ev := b.Insert(local, false, false)
+	if ev.Valid && ev.Dirty {
+		m.writeBytes += LineSize
+	}
+	// L2 stride prefetcher fills from DRAM. PC 0 (writeback traffic) does
+	// not train it.
+	if deg := m.cfg.PrefetchDegree(); deg > 0 && pc != 0 {
+		for _, pa := range m.l2pf[bank].Observe(pc, local, deg) {
+			if !b.Lookup(pa) {
+				m.readBytes += LineSize
+				m.epCnt.L2Accesses++
+				pev := b.Insert(pa, false, true)
+				if pev.Valid && pev.Dirty {
+					m.writeBytes += LineSize
+				}
+			}
+		}
+	}
+	return lat + m.dramCycles()
+}
+
+// corePC folds the requesting core into the static instruction ID so that
+// interleaved per-core streams occupy distinct prefetcher table entries.
+// PC 0 is reserved for non-demand traffic (writebacks), which must not
+// train the prefetchers.
+func corePC(pc uint16, core uint8) uint16 {
+	if pc == 0 {
+		return 0
+	}
+	return pc + uint16(core)*131
+}
+
+// dramCycles returns DRAM access latency in cycles at the current clock.
+func (m *Machine) dramCycles() int {
+	return int(dramLatNs * m.cfg.ClockMHz() / 1e3)
+}
+
+// l1BankFor returns the L1 bank servicing an access by a GPE.
+func (m *Machine) l1BankFor(core int, lineAddr uint32) int {
+	g := m.chip.GPEsPerTile
+	tile := core / g
+	if m.cfg.L1Shared() {
+		return tile*g + int(lineAddr)%g
+	}
+	return core
+}
+
+// memAccess simulates one memory event and returns the cycles charged to
+// the issuing core.
+func (m *Machine) memAccess(e Event) int {
+	lineAddr := e.Addr / LineSize
+	core := int(e.Core)
+	tile := m.tileOf(core)
+	store := e.Kind.IsStore()
+
+	// LCP accesses (bookkeeping) bypass the GPE-layer L1 and go to L2.
+	if core >= m.chip.NGPE() {
+		return 1 + m.l2Access(tile, lineAddr, store, corePC(e.PC, e.Core))
+	}
+
+	// Scratchpad mode.
+	if m.cfg.L1IsSPM() {
+		if m.spmResident(e.Addr) {
+			m.epCnt.SPMAccesses++
+			if m.spmFilled[lineAddr] {
+				return 1 + latL1Private
+			}
+			// First touch: explicit fill from L2 plus orchestration.
+			m.spmFilled[lineAddr] = true
+			return 1 + latL1Private + spmOrchestration + m.l2Access(tile, lineAddr, false, corePC(e.PC, e.Core))
+		}
+		// Non-resident data is streamed through a per-core line buffer (the
+		// SPM algorithm variant stages streamed lines explicitly): repeated
+		// accesses to the staged line cost one cycle; a new line is fetched
+		// from L2.
+		if m.streamValid[core] && m.streamLine[core] == lineAddr {
+			m.epCnt.SPMAccesses++
+			return 1 + latL1Private
+		}
+		m.streamLine[core] = lineAddr
+		m.streamValid[core] = true
+		return 1 + m.l2Access(tile, lineAddr, store, corePC(e.PC, e.Core))
+	}
+
+	// Cache mode. In shared mode the bank is selected by the low line bits
+	// and the bank indexes on the remaining (bank-local) bits.
+	bank := m.l1BankFor(core, lineAddr)
+	local := lineAddr
+	g := uint32(m.chip.GPEsPerTile)
+	if m.cfg.L1Shared() {
+		local = lineAddr / g
+	}
+	// toGlobal recovers the global line address of a bank-local one for
+	// writeback routing.
+	toGlobal := func(l uint32) uint32 {
+		if m.cfg.L1Shared() {
+			return l*g + uint32(bank)%g
+		}
+		return l
+	}
+	m.bankAcc[bank]++
+	m.epCnt.L1Accesses++
+	lat := latL1Private
+	if m.cfg.L1Shared() {
+		lat = latL1Shared
+		m.epCnt.XbarTransfers++
+	}
+	b := m.l1[bank]
+	hit, prefHit := b.Access(local, store)
+	cost := 1 + lat
+	if !hit {
+		ev := b.Insert(local, store, false)
+		if ev.Valid && ev.Dirty {
+			// Dirty victim written back to L2, off the critical path.
+			m.epCnt.L1Accesses++
+			m.l2Access(tile, toGlobal(ev.LineAddr), true, 0)
+		}
+		cost += m.l2Access(tile, lineAddr, false, corePC(e.PC, e.Core))
+	}
+	// L1 stride prefetcher observes demand accesses but only issues fills on
+	// a miss or on the first hit to a prefetched line (run extension), the
+	// classic policy that avoids re-issuing over resident data. The table
+	// index folds in the requester so interleaved per-core streams don't
+	// alias.
+	if deg := m.cfg.PrefetchDegree(); deg > 0 && (!hit || prefHit) {
+		for _, pa := range m.l1pf[bank].Observe(corePC(e.PC, e.Core), local, deg) {
+			if !b.Lookup(pa) {
+				m.epCnt.L1Accesses++
+				pev := b.Insert(pa, false, true)
+				if pev.Valid && pev.Dirty {
+					m.epCnt.L1Accesses++
+					m.l2Access(tile, toGlobal(pev.LineAddr), true, 0)
+				}
+				m.l2Access(tile, toGlobal(pa), false, 0)
+			}
+		}
+	}
+	return cost
+}
+
+// EpochResult is the outcome of replaying one epoch: the metrics the
+// objective is computed from, the Table 2 counters the controller observes,
+// and the dirty-line state the oracle needs for transition costs.
+type EpochResult struct {
+	Metrics  power.Metrics
+	Counters Counters
+	// Counts are the raw energy-relevant event totals (including any
+	// pending reconfiguration work folded into this epoch), from which
+	// power.EnergyBreakdown decomposes the energy.
+	Counts  power.Counts
+	Phase   string
+	DirtyL1 int
+	DirtyL2 int
+}
+
+// RunEpoch replays the trace events of ep under the current configuration
+// and returns the epoch result. Any pending reconfiguration penalty from a
+// preceding Reconfigure call is folded into this epoch, mirroring how the
+// paper charges reconfiguration at epoch boundaries.
+func (m *Machine) RunEpoch(ep EpochRange) EpochResult {
+	if m.trace == nil {
+		panic("sim: BindTrace before RunEpoch")
+	}
+	for i := range m.cyc {
+		m.cyc[i] = 0
+	}
+	for i := range m.bankAcc {
+		m.bankAcc[i] = 0
+	}
+	for i := range m.l2BankAcc {
+		m.l2BankAcc[i] = 0
+	}
+	m.epCnt = power.Counts{}
+	m.gpeInstr, m.lcpInstr, m.gpeFP = 0, 0, 0
+	m.readBytes, m.writeBytes = 0, 0
+	m.snapshotBankCounters()
+
+	nGPE := m.chip.NGPE()
+	for i := ep.Start; i < ep.End; i++ {
+		e := m.trace.Events[i]
+		core := int(e.Core)
+		var cost int
+		if e.Kind.IsMem() {
+			cost = m.memAccess(e)
+		} else {
+			cost = 1
+		}
+		m.cyc[core] += int64(cost)
+		if core < nGPE {
+			m.gpeInstr++
+			if e.Kind.IsFP() {
+				m.gpeFP++
+			}
+			m.epCnt.GPEInstrs++
+		} else {
+			m.lcpInstr++
+			m.epCnt.LCPInstrs++
+		}
+	}
+
+	// Crossbar contention: per-bank access imbalance within each arbitration
+	// domain approximates collision counts (hot banks serialize requesters).
+	l1Cont := 0
+	if m.cfg.L1Shared() {
+		l1Cont = contentionOf(m.bankAcc, m.chip.GPEsPerTile)
+	}
+	l2Cont := 0
+	if m.cfg.L2Shared() && m.chip.L2Banks() > 1 {
+		l2Cont = contentionOf(m.l2BankAcc, m.chip.L2Banks())
+	}
+	m.epCnt.XbarConts = l1Cont + l2Cont
+
+	var maxCyc int64
+	for _, c := range m.cyc {
+		if c > maxCyc {
+			maxCyc = c
+		}
+	}
+	active := int64(nGPE)
+	cycles := float64(maxCyc) + float64(l1Cont+l2Cont)/float64(active) + telemetryCycles + m.pendCycles
+
+	f := m.cfg.ClockHz()
+	tCompute := cycles / f
+	tMem := float64(m.readBytes+m.writeBytes) / m.bw
+	// Imperfect overlap of compute and memory: the in-order GPEs hide only
+	// part of whichever side is not the bottleneck, so the epoch costs the
+	// roofline max plus a fraction of the other component. This keeps DVFS
+	// on memory-bound phases cheap (not free) — matching the paper's
+	// "negligible" but nonzero performance loss.
+	t := tCompute
+	lo := tMem
+	if tMem > t {
+		t, lo = tMem, tCompute
+	}
+	t += overlapLeak * lo
+
+	m.epCnt.DRAMReadBytes = m.readBytes
+	m.epCnt.DRAMWriteBytes = m.writeBytes
+	cnt := m.epCnt
+	cnt.Add(m.pendCounts)
+	m.pendCycles = 0
+	m.pendCounts = power.Counts{}
+
+	energy := power.Energy(m.chip, m.cfg, cnt, t)
+
+	res := EpochResult{
+		Metrics: power.Metrics{TimeSec: t, EnergyJ: energy, FPOps: float64(ep.FPOps)},
+		Counts:  cnt,
+		Phase:   ep.Phase,
+	}
+	res.Counters = m.buildCounters(cycles, t, cnt, l1Cont, l2Cont)
+	for _, b := range m.l1 {
+		res.DirtyL1 += b.DirtyLines()
+	}
+	for _, b := range m.l2 {
+		res.DirtyL2 += b.DirtyLines()
+	}
+	return res
+}
+
+// contentionOf estimates collisions from per-bank access imbalance: any
+// accesses a bank receives beyond its fair share of the domain traffic had
+// to be serialized against another requester.
+func contentionOf(bankAcc []int, requesters int) int {
+	total := 0
+	for _, a := range bankAcc {
+		total += a
+	}
+	if total == 0 || len(bankAcc) == 0 {
+		return 0
+	}
+	fair := total / len(bankAcc)
+	cont := 0
+	for _, a := range bankAcc {
+		if a > fair {
+			cont += a - fair
+		}
+	}
+	// Scale by how many requesters compete in the domain.
+	return cont * (requesters - 1) / requesters
+}
+
+// prevBankTotals snapshots aggregate bank counters so per-epoch deltas can
+// be derived (the hardware resets counters on query; the model accumulates
+// and diffs, which is equivalent).
+func (m *Machine) snapshotBankCounters() {
+	for _, b := range m.l1 {
+		b.ResetCounters()
+	}
+	for _, b := range m.l2 {
+		b.ResetCounters()
+	}
+}
+
+func sumBanks(banks []*Bank) bankTotals {
+	var t bankTotals
+	for _, b := range banks {
+		t.acc += b.Accesses
+		t.miss += b.Misses
+		t.pref += b.Prefetches
+		t.useful += b.PrefUseful
+	}
+	return t
+}
+
+func occupancyOf(banks []*Bank) float64 {
+	s := 0.0
+	for _, b := range banks {
+		s += b.Occupancy()
+	}
+	return s / float64(len(banks))
+}

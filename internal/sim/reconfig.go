@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"fmt"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/power"
+)
+
+// ReconfigCost summarizes what one reconfiguration cost: cycles charged at
+// the new clock, dirty lines moved between levels, and the DRAM writeback
+// traffic it generated.
+type ReconfigCost struct {
+	Cycles     float64
+	L1Flushed  int // dirty L1 lines written to L2
+	L2Flushed  int // dirty L2 lines written to DRAM
+	DRAMWrites int // bytes
+}
+
+// TimeSec returns the wall time of the reconfiguration at clock fHz,
+// accounting for the off-chip bandwidth bound on L2 writebacks.
+func (rc ReconfigCost) TimeSec(fHz, bw float64) float64 {
+	t := rc.Cycles / fHz
+	if bt := float64(rc.DRAMWrites) / bw; bt > t {
+		t = bt
+	}
+	return t
+}
+
+// Reconfigure transitions the machine to a new configuration, applying the
+// cost taxonomy of Section 3.4: super-fine parameters cost a fixed 100
+// cycles each; fine-grained parameters flush the affected level
+// (pessimistically assuming the level is dirty, with the actual dirty lines
+// written back through the hierarchy); coarse parameters cannot change at
+// runtime. The penalty is held pending and folded into the next RunEpoch.
+func (m *Machine) Reconfigure(to config.Config) (ReconfigCost, error) {
+	tr := config.Classify(m.cfg, to)
+	if tr.Coarse {
+		return ReconfigCost{}, fmt.Errorf("sim: coarse parameter change %v requires recompilation", tr.Changed)
+	}
+	var rc ReconfigCost
+	rc.Cycles = float64(tr.SuperFineChanges) * config.SuperFineCycles
+
+	// Note: flush L1 before L2 so L1 writebacks land in L2 (and are flushed
+	// onward if the L2 flushes too).
+	var cnt power.Counts
+	if tr.FlushL1 && !m.cfg.L1IsSPM() {
+		for _, b := range m.l1 {
+			for _, lineAddr := range b.Flush() {
+				rc.L1Flushed++
+				cnt.L1Accesses++
+				// Writebacks go to the tile-appropriate L2 bank; routing uses
+				// the *new* sharing mode since the flush accompanies it.
+				bank := 0
+				if to.L2Shared() {
+					bank = int(lineAddr) % m.chip.L2Banks()
+				}
+				ev := m.l2[bank].Insert(lineAddr, true, false)
+				cnt.L2Accesses++
+				if ev.Valid && ev.Dirty {
+					rc.DRAMWrites += LineSize
+				}
+			}
+		}
+		rc.Cycles += float64(rc.L1Flushed) * flushCyclesPerLine
+	}
+	if tr.FlushL1 && m.cfg.L1IsSPM() {
+		// Scratchpad "flush": resident filled lines are drained; roughly
+		// half carry modified data.
+		n := len(m.spmFilled)
+		rc.L1Flushed = n / 2
+		cnt.SPMAccesses += n
+		cnt.L2Accesses += n / 2
+		rc.Cycles += float64(n/2) * flushCyclesPerLine
+		m.spmFilled = make(map[uint32]bool)
+	}
+	if tr.FlushL2 {
+		for _, b := range m.l2 {
+			dirty := b.Flush()
+			rc.L2Flushed += len(dirty)
+			cnt.L2Accesses += len(dirty)
+			rc.DRAMWrites += len(dirty) * LineSize
+		}
+		rc.Cycles += float64(rc.L2Flushed) * flushCyclesPerLine
+	}
+
+	// Apply capacity changes. After a flush the bank is empty and resize is
+	// free of casualties; on a pure increase (super-fine) resident lines
+	// are preserved by the sub-banked design.
+	for _, b := range m.l1 {
+		for _, wb := range b.Resize(to.L1CapKB() * 1024) {
+			_ = wb
+			// Shrink without a flush cannot happen (classified fine), but
+			// guard anyway: treat casualties as L2 writebacks.
+			cnt.L2Accesses++
+		}
+	}
+	for _, b := range m.l2 {
+		for range b.Resize(to.L2CapKB() * 1024) {
+			rc.DRAMWrites += LineSize
+		}
+	}
+	if m.cfg.PrefetchDegree() != to.PrefetchDegree() {
+		for _, p := range m.l1pf {
+			p.Reset()
+		}
+		for _, p := range m.l2pf {
+			p.Reset()
+		}
+	}
+
+	cnt.DRAMWriteBytes = rc.DRAMWrites
+	m.cfg = to
+	m.rebuildSPMResidency()
+	m.pendCycles += rc.Cycles
+	m.pendCounts.Add(cnt)
+	return rc, nil
+}
+
+// TransitionPenalty computes, without machine state, the time and energy
+// penalty of switching from one configuration to another given the dirty
+// line counts observed at the boundary. The oracle and ProfileAdapt
+// constructions (Appendix A.7) use this when stitching recorded epoch
+// segments. Time is charged at the destination clock; cores are
+// power-gated during flushes (Section 5.2), modelled as 30% leakage.
+func TransitionPenalty(chip power.Chip, from, to config.Config, dirtyL1, dirtyL2 int, bw float64) (timeSec, energyJ float64) {
+	tr := config.Classify(from, to)
+	if tr.IsNoop() {
+		return 0, 0
+	}
+	cycles := float64(tr.SuperFineChanges) * config.SuperFineCycles
+	var cnt power.Counts
+	if tr.FlushL1 {
+		cycles += float64(dirtyL1) * flushCyclesPerLine
+		cnt.L1Accesses += dirtyL1
+		cnt.L2Accesses += dirtyL1
+	}
+	if tr.FlushL2 {
+		cycles += float64(dirtyL2) * flushCyclesPerLine
+		cnt.L2Accesses += dirtyL2
+		cnt.DRAMWriteBytes += dirtyL2 * LineSize
+	}
+	timeSec = cycles / to.ClockHz()
+	if bt := float64(cnt.DRAMWriteBytes) / bw; bt > timeSec {
+		timeSec = bt
+	}
+	dyn := float64(cnt.L1Accesses)*power.CacheAccessJ(to.L1CapKB()) +
+		float64(cnt.L2Accesses)*1.5*power.CacheAccessJ(to.L2CapKB())
+	leak := 0.3 * chip.LeakageW(to) * timeSec
+	energyJ = (dyn+leak)*power.Scale(to.ClockMHz()) + float64(cnt.DRAMWriteBytes)*28e-12
+	return timeSec, energyJ
+}

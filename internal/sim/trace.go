@@ -1,0 +1,241 @@
+// Package sim is the Transmuter machine model: a trace-driven simulator of
+// the tiled CGRA the paper evaluates (Section 3). Kernels execute once,
+// functionally, emitting a compact instruction/access trace; the Machine
+// then replays any epoch of that trace under any hardware configuration,
+// simulating the reconfigurable cache hierarchy exactly (per-access tags,
+// LRU, prefetching, crossbar contention) and deriving epoch timing, energy
+// and the Table 2 performance counters.
+//
+// This substitutes for the paper's gem5 model (see DESIGN.md): the
+// controller only ever observes epoch-aggregate counters, so what must be
+// faithful is how those counters respond to data structure and to the
+// configuration knobs, which the exact cache simulation provides.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventKind classifies one traced instruction.
+type EventKind uint8
+
+const (
+	// KLoadF is a floating-point load (counts toward FP-ops, Section 4).
+	KLoadF EventKind = iota
+	// KStoreF is a floating-point store (counts toward FP-ops).
+	KStoreF
+	// KLoadI is an integer/index load.
+	KLoadI
+	// KStoreI is an integer/index store.
+	KStoreI
+	// KFP is a floating-point ALU operation (counts toward FP-ops).
+	KFP
+	// KInt is an integer/bookkeeping ALU operation.
+	KInt
+)
+
+// IsMem reports whether the event accesses memory.
+func (k EventKind) IsMem() bool { return k <= KStoreI }
+
+// IsStore reports whether the event writes memory.
+func (k EventKind) IsStore() bool { return k == KStoreF || k == KStoreI }
+
+// IsFP reports whether the event counts as a floating-point operation under
+// the paper's epoch definition (FP ALU ops plus FP loads and stores).
+func (k EventKind) IsFP() bool { return k == KLoadF || k == KStoreF || k == KFP }
+
+// Event is one traced instruction: 12 bytes, kept small because traces for
+// the larger inputs run to tens of millions of events.
+type Event struct {
+	Addr uint32 // byte address (memory events only)
+	PC   uint16 // static instruction ID, used by the stride prefetcher
+	Core uint8  // issuing core: GPEs [0,nGPE), LCPs [nGPE, nGPE+tiles)
+	Kind EventKind
+}
+
+// RegionKind classifies an address range by its reuse behaviour, which the
+// machine uses to decide SPM residency when the L1 is configured as
+// scratchpad (Section 3.2.4).
+type RegionKind uint8
+
+const (
+	// RegionStream holds streamed-once input/output data (low reuse).
+	RegionStream RegionKind = iota
+	// RegionReuse holds heavily reused working structures (accumulators,
+	// partial-product buffers, the SpMSpV result hash) — the structures a
+	// programmer would pin in scratchpad.
+	RegionReuse
+	// RegionBookkeep holds scheduling/bookkeeping state.
+	RegionBookkeep
+)
+
+// Region is a tagged address range of the kernel's data layout.
+type Region struct {
+	Name     string
+	Lo, Hi   uint32 // [Lo, Hi)
+	Kind     RegionKind
+	Priority int // lower = pinned to SPM first
+}
+
+// PhaseMark labels the start of an explicit program phase (e.g. the
+// multiply → merge transition of OP-SpMSpM).
+type PhaseMark struct {
+	Event int // index of first event of the phase
+	Name  string
+}
+
+// Trace is one kernel execution: the event stream, the data-layout regions
+// and the explicit phase marks.
+type Trace struct {
+	Events  []Event
+	Regions []Region
+	Phases  []PhaseMark
+	NCores  int // GPE count the trace was generated for
+	NLCP    int
+	// FPOps is the total FP-op count (ALU + FP loads/stores).
+	FPOps int
+}
+
+// PhaseAt returns the name of the explicit phase containing event i.
+func (t *Trace) PhaseAt(i int) string {
+	name := ""
+	for _, p := range t.Phases {
+		if p.Event > i {
+			break
+		}
+		name = p.Name
+	}
+	return name
+}
+
+// RegionOf returns the region containing addr, or nil.
+func (t *Trace) RegionOf(addr uint32) *Region {
+	for i := range t.Regions {
+		if addr >= t.Regions[i].Lo && addr < t.Regions[i].Hi {
+			return &t.Regions[i]
+		}
+	}
+	return nil
+}
+
+// EpochRange is a half-open event index range forming one control epoch.
+type EpochRange struct {
+	Start, End int
+	FPOps      int
+	Phase      string // explicit phase the epoch starts in
+}
+
+// Epochs segments the trace into FP-op-based epochs: an epoch ends when the
+// number of FP operations executed, averaged across GPEs, exceeds
+// fpOpsPerGPE (Section 4: 500 for SpMSpV, 5000 for SpMSpM). The FP-op
+// boundaries are configuration-independent, which is what lets dynamic
+// schemes, oracles and static runs be compared epoch-by-epoch (Appendix
+// A.7).
+func (t *Trace) Epochs(fpOpsPerGPE int) []EpochRange {
+	if fpOpsPerGPE <= 0 {
+		panic("sim: epoch size must be positive")
+	}
+	target := fpOpsPerGPE * t.NCores
+	var out []EpochRange
+	start, fp := 0, 0
+	for i, e := range t.Events {
+		if e.Kind.IsFP() {
+			fp++
+		}
+		if fp >= target {
+			out = append(out, EpochRange{Start: start, End: i + 1, FPOps: fp, Phase: t.PhaseAt(start)})
+			start, fp = i+1, 0
+		}
+	}
+	if start < len(t.Events) {
+		out = append(out, EpochRange{Start: start, End: len(t.Events), FPOps: fp, Phase: t.PhaseAt(start)})
+	}
+	return out
+}
+
+// Builder incrementally constructs a Trace. Kernels set the active core
+// with On and then emit events; work units handed to different GPEs in
+// round-robin order produce the fine-grained interleaving the replay
+// machine expects.
+type Builder struct {
+	t    Trace
+	core uint8
+	next uint32 // region allocation cursor
+}
+
+// NewBuilder returns a Builder for a machine with nGPE worker cores and
+// nLCP control cores.
+func NewBuilder(nGPE, nLCP int) *Builder {
+	return &Builder{
+		t:    Trace{NCores: nGPE, NLCP: nLCP},
+		next: 1 << 12, // leave page zero unused
+	}
+}
+
+// AllocRegion reserves bytes of address space for a named structure,
+// rounded up to whole cache lines, and records its reuse class.
+func (b *Builder) AllocRegion(name string, bytes int, kind RegionKind, priority int) Region {
+	if bytes <= 0 {
+		bytes = 1
+	}
+	sz := (uint32(bytes) + LineSize - 1) &^ (LineSize - 1)
+	r := Region{Name: name, Lo: b.next, Hi: b.next + sz, Kind: kind, Priority: priority}
+	b.t.Regions = append(b.t.Regions, r)
+	b.next += sz + LineSize // guard line between regions
+	return r
+}
+
+// On selects the core that issues subsequent events. GPE indices are
+// [0, nGPE); LCP c of tile t is nGPE+t.
+func (b *Builder) On(core int) { b.core = uint8(core) }
+
+// Phase marks the beginning of a named explicit phase.
+func (b *Builder) Phase(name string) {
+	b.t.Phases = append(b.t.Phases, PhaseMark{Event: len(b.t.Events), Name: name})
+}
+
+func (b *Builder) emit(kind EventKind, pc uint16, addr uint32) {
+	b.t.Events = append(b.t.Events, Event{Addr: addr, PC: pc, Core: b.core, Kind: kind})
+	if kind.IsFP() {
+		b.t.FPOps++
+	}
+}
+
+// LoadF emits a floating-point load from addr by static instruction pc.
+func (b *Builder) LoadF(pc uint16, addr uint32) { b.emit(KLoadF, pc, addr) }
+
+// StoreF emits a floating-point store.
+func (b *Builder) StoreF(pc uint16, addr uint32) { b.emit(KStoreF, pc, addr) }
+
+// LoadI emits an integer load.
+func (b *Builder) LoadI(pc uint16, addr uint32) { b.emit(KLoadI, pc, addr) }
+
+// StoreI emits an integer store.
+func (b *Builder) StoreI(pc uint16, addr uint32) { b.emit(KStoreI, pc, addr) }
+
+// FP emits n floating-point ALU operations.
+func (b *Builder) FP(n int) {
+	for i := 0; i < n; i++ {
+		b.emit(KFP, 0, 0)
+	}
+}
+
+// Int emits n integer ALU operations.
+func (b *Builder) Int(n int) {
+	for i := 0; i < n; i++ {
+		b.emit(KInt, 0, 0)
+	}
+}
+
+// Build finalizes and returns the trace. The builder must not be reused.
+func (b *Builder) Build() *Trace {
+	sort.Slice(b.t.Regions, func(i, j int) bool { return b.t.Regions[i].Lo < b.t.Regions[j].Lo })
+	return &b.t
+}
+
+// String summarizes the trace.
+func (t *Trace) String() string {
+	return fmt.Sprintf("trace{events=%d fpops=%d regions=%d phases=%d cores=%d}",
+		len(t.Events), t.FPOps, len(t.Regions), len(t.Phases), t.NCores)
+}

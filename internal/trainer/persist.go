@@ -1,0 +1,66 @@
+package trainer
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/core"
+)
+
+// SaveDataset writes the dataset to a JSON file.
+func SaveDataset(path string, ds *Dataset) error {
+	data, err := json.Marshal(ds)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadDataset reads a dataset from a JSON file.
+func LoadDataset(path string) (*Dataset, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{}
+	if err := json.Unmarshal(data, ds); err != nil {
+		return nil, fmt.Errorf("trainer: parsing %s: %w", path, err)
+	}
+	return ds, nil
+}
+
+// WriteCSV exports the dataset in the artifact's CSV layout (feature
+// columns followed by one label column per runtime parameter).
+func WriteCSV(path string, ds *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := core.FeatureNames()
+	for _, p := range config.RuntimeParams {
+		header = append(header, "best-"+p.String())
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, e := range ds.Examples {
+		for i, v := range e.X {
+			row[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		for j, p := range config.RuntimeParams {
+			row[len(e.X)+j] = strconv.Itoa(e.Y[p])
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

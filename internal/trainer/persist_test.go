@@ -1,0 +1,163 @@
+package trainer
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/core"
+	"sparseadapt/internal/ml"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
+)
+
+func tinyDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate(tinySweep("spmspv"), power.EnergyEfficient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestDatasetJSONRoundTrip(t *testing.T) {
+	ds := tinyDataset(t)
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := SaveDataset(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != ds.Mode || got.L1Type != ds.L1Type || len(got.Examples) != len(ds.Examples) {
+		t.Fatalf("metadata lost: %+v vs %+v", got.Mode, ds.Mode)
+	}
+	for i := range ds.Examples {
+		if got.Examples[i].Y != ds.Examples[i].Y {
+			t.Fatalf("label %d changed", i)
+		}
+		for j := range ds.Examples[i].X {
+			if got.Examples[i].X[j] != ds.Examples[i].X[j] {
+				t.Fatalf("feature (%d,%d) changed", i, j)
+			}
+		}
+	}
+	// A model trained on the reloaded dataset behaves identically.
+	a, err := Train(ds, ml.DefaultTreeParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(got, ml.DefaultTreeParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := core.BuildFeatures(config.Baseline, sim.Counters{ClockMHz: 1000, MemReadUtil: 0.9})
+	for _, p := range config.RuntimeParams {
+		if a.Trees[p].Predict(probe) != b.Trees[p].Predict(probe) {
+			t.Fatalf("parameter %v predicts differently after round trip", p)
+		}
+	}
+}
+
+func TestLoadDatasetErrors(t *testing.T) {
+	if _, err := LoadDataset(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDataset(bad); err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+}
+
+func TestWriteCSVLayout(t *testing.T) {
+	ds := tinyDataset(t)
+	path := filepath.Join(t.TempDir(), "ds.csv")
+	if err := WriteCSV(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() {
+		t.Fatal("empty CSV")
+	}
+	header := strings.Split(sc.Text(), ",")
+	wantCols := core.NumFeatures + len(config.RuntimeParams)
+	if len(header) != wantCols {
+		t.Fatalf("header has %d columns, want %d", len(header), wantCols)
+	}
+	if header[0] != "cfg-l1-share" || header[len(header)-1] != "best-prefetch" {
+		t.Fatalf("header boundaries wrong: %s ... %s", header[0], header[len(header)-1])
+	}
+	rows := 0
+	for sc.Scan() {
+		if cols := strings.Count(sc.Text(), ",") + 1; cols != wantCols {
+			t.Fatalf("row %d has %d columns", rows, cols)
+		}
+		rows++
+	}
+	if rows != len(ds.Examples) {
+		t.Fatalf("CSV rows %d, examples %d", rows, len(ds.Examples))
+	}
+}
+
+func TestEnsemblePersistRoundTrip(t *testing.T) {
+	ds := tinyDataset(t)
+	ens, err := Train(ds, ml.DefaultTreeParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := core.SaveEnsemble(path, ens); err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.LoadEnsemble(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != ens.Mode || len(got.Trees) != len(ens.Trees) {
+		t.Fatalf("ensemble shape lost")
+	}
+	// Identical predictions across a grid of probe inputs.
+	for clk := 0; clk < 6; clk++ {
+		cfg := config.Baseline
+		cfg[config.Clock] = clk
+		for _, util := range []float64{0, 0.5, 1} {
+			c := sim.Counters{ClockMHz: cfg.ClockMHz(), MemReadUtil: util, GPEIPC: 0.01}
+			if got.Predict(cfg, c) != ens.Predict(cfg, c) {
+				t.Fatalf("prediction changed after round trip (clk=%d util=%v)", clk, util)
+			}
+		}
+	}
+	// Gini importances survive.
+	for _, p := range config.RuntimeParams {
+		a, b := ens.Importance(p), got.Importance(p)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("importance %v[%d] changed", p, i)
+			}
+		}
+	}
+}
+
+func TestLoadEnsembleErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := core.LoadEnsemble(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"mode":0,"trees":{"bogus-param":{"nodes":[{"f":-1}] ,"n_features":1,"n_classes":1}}}`), 0o644)
+	if _, err := core.LoadEnsemble(bad); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+}

@@ -1,0 +1,177 @@
+// Package trainer implements the offline training pipeline of Sections 4.1,
+// 4.2 and 5.1: it sweeps workload parameters (Table 3), searches for the
+// "best" configuration of each program phase with the three-step
+// random-sample → neighbour → dimension-sweep procedure, constructs the
+// training dataset whose inputs include the current configuration (the
+// paper's key departure from ProfileAdapt), and trains the per-parameter
+// decision-tree ensemble.
+package trainer
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/kernels"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
+)
+
+// Eval is the outcome of executing one program phase under one
+// configuration: the objective metrics and the telemetry observed.
+type Eval struct {
+	Config   config.Config
+	Metrics  power.Metrics
+	Counters sim.Counters
+	// Window holds the per-epoch telemetry of the measured window in
+	// execution order, used by the history-based extension.
+	Window []sim.Counters
+}
+
+// Evaluator runs a workload's phases under arbitrary configurations. Each
+// evaluation uses a fresh (cold) machine, runs Warmup epochs to stabilize
+// behaviour — the paper runs "until the program behavior stabilizes" — and
+// measures the next Measure epochs.
+type Evaluator struct {
+	Chip       power.Chip
+	BW         float64
+	Workload   kernels.Workload
+	EpochScale float64
+	Warmup     int
+	Measure    int
+
+	phases     []string
+	epsByPhase map[string][]sim.EpochRange
+	cache      map[cacheKey]Eval
+}
+
+type cacheKey struct {
+	cfgIdx int
+	phase  string
+}
+
+// NewEvaluator prepares an evaluator for one workload.
+func NewEvaluator(chip power.Chip, bw float64, w kernels.Workload, epochScale float64, warmup, measure int) *Evaluator {
+	if warmup < 0 {
+		warmup = 0
+	}
+	if measure < 1 {
+		measure = 1
+	}
+	ev := &Evaluator{
+		Chip: chip, BW: bw, Workload: w, EpochScale: epochScale,
+		Warmup: warmup, Measure: measure,
+		epsByPhase: map[string][]sim.EpochRange{},
+		cache:      map[cacheKey]Eval{},
+	}
+	for _, ep := range w.Epochs(epochScale) {
+		if _, ok := ev.epsByPhase[ep.Phase]; !ok {
+			ev.phases = append(ev.phases, ep.Phase)
+		}
+		ev.epsByPhase[ep.Phase] = append(ev.epsByPhase[ep.Phase], ep)
+	}
+	return ev
+}
+
+// Phases returns the workload's explicit phases in execution order.
+func (ev *Evaluator) Phases() []string { return ev.phases }
+
+// Eval measures phase under cfg (cached per configuration).
+func (ev *Evaluator) Eval(cfg config.Config, phase string) (Eval, error) {
+	key := cacheKey{cfg.Index(), phase}
+	if e, ok := ev.cache[key]; ok {
+		return e, nil
+	}
+	eps, ok := ev.epsByPhase[phase]
+	if !ok {
+		return Eval{}, fmt.Errorf("trainer: unknown phase %q", phase)
+	}
+	m := sim.New(ev.Chip, ev.BW, cfg)
+	m.BindTrace(ev.Workload.Trace)
+	warm := ev.Warmup
+	if warm >= len(eps) {
+		warm = len(eps) - 1
+	}
+	for _, ep := range eps[:warm] {
+		m.RunEpoch(ep)
+	}
+	var met power.Metrics
+	var cs []sim.Counters
+	n := 0
+	for _, ep := range eps[warm:] {
+		if n >= ev.Measure {
+			break
+		}
+		r := m.RunEpoch(ep)
+		met.Add(r.Metrics)
+		cs = append(cs, r.Counters)
+		n++
+	}
+	e := Eval{Config: cfg, Metrics: met, Counters: sim.AverageCounters(cs), Window: cs}
+	ev.cache[key] = e
+	return e, nil
+}
+
+// BestConfig performs the three-step search of Section 4.1 for the given
+// phase: (1) evaluate K random configurations, (2) evaluate the best one's
+// hyper-sphere neighbours, (3) sweep each runtime dimension independently
+// from the neighbourhood optimum and combine the per-dimension winners
+// under the conditional-independence assumption. It returns the final
+// configuration and every evaluation performed along the way.
+func (ev *Evaluator) BestConfig(rng *rand.Rand, k, l1Type int, phase string, mode power.Mode) (config.Config, []Eval, error) {
+	score := func(e Eval) float64 { return e.Metrics.Score(mode) }
+	var all []Eval
+
+	evalOne := func(cfg config.Config) (Eval, error) {
+		e, err := ev.Eval(cfg, phase)
+		if err != nil {
+			return Eval{}, err
+		}
+		all = append(all, e)
+		return e, nil
+	}
+
+	// Step 1: random sampling.
+	best := Eval{Metrics: power.Metrics{}}
+	bestSet := false
+	for _, cfg := range config.Sample(rng, k, l1Type) {
+		e, err := evalOne(cfg)
+		if err != nil {
+			return config.Config{}, nil, err
+		}
+		if !bestSet || score(e) > score(best) {
+			best, bestSet = e, true
+		}
+	}
+	if !bestSet {
+		return config.Config{}, nil, fmt.Errorf("trainer: empty sample")
+	}
+
+	// Step 2: neighbour evaluation.
+	for _, cfg := range config.Neighbors(best.Config) {
+		e, err := evalOne(cfg)
+		if err != nil {
+			return config.Config{}, nil, err
+		}
+		if score(e) > score(best) {
+			best = e
+		}
+	}
+
+	// Step 3: independent dimension sweeps from the neighbourhood optimum.
+	final := best.Config
+	for _, p := range config.RuntimeParams {
+		bestV, bestS := best.Config[p], -1.0
+		for _, cfg := range config.Sweep(best.Config, p) {
+			e, err := evalOne(cfg)
+			if err != nil {
+				return config.Config{}, nil, err
+			}
+			if s := score(e); s > bestS {
+				bestV, bestS = cfg[p], s
+			}
+		}
+		final[p] = bestV
+	}
+	return final, all, nil
+}

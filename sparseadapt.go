@@ -1,0 +1,296 @@
+// Package sparseadapt is the public API of the SparseAdapt reproduction: a
+// machine-learning runtime controller (MICRO '21, Pal et al., DOI
+// 10.1145/3466752.3480134) that reconfigures a simulated Transmuter CGRA —
+// cache capacities, sharing modes, prefetcher aggressiveness and DVFS — at
+// fine epoch granularity to track the explicit and implicit phases of
+// sparse linear algebra.
+//
+// The facade wraps the internal packages into a small surface:
+//
+//	sys := sparseadapt.NewSystem(sparseadapt.DefaultSystemConfig())
+//	model, _ := sys.Train(sparseadapt.TrainSpec{Kernel: sparseadapt.KernelSpMSpV})
+//	w, result, _ := sys.SpMSpV(a, x)                 // functional result + workload
+//	run := sys.RunAdaptive(model, w)                  // SparseAdapt control
+//	base := sys.RunStatic(sparseadapt.Baseline(), w)  // static comparison
+//	fmt.Println(run.Total.GFLOPSPerW() / base.Total.GFLOPSPerW())
+//
+// Sparse matrices come from the matrix helpers re-exported here
+// (NewCOO/Uniform/RMAT/Dataset…). For regenerating the paper's figures and
+// tables use cmd/sparseadapt or the internal/experiments registry.
+package sparseadapt
+
+import (
+	"fmt"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/core"
+	"sparseadapt/internal/graph"
+	"sparseadapt/internal/kernels"
+	"sparseadapt/internal/matrix"
+	"sparseadapt/internal/ml"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
+	"sparseadapt/internal/trainer"
+)
+
+// Re-exported core types. These aliases are the stable public names; the
+// internal packages remain the implementation.
+type (
+	// COO / CSR / CSC are the sparse matrix formats.
+	COO = matrix.COO
+	CSR = matrix.CSR
+	CSC = matrix.CSC
+	// SparseVec is the sparse vector operand of SpMSpV.
+	SparseVec = matrix.SparseVec
+	// Config is one hardware configuration point (Table 1).
+	Config = config.Config
+	// Metrics is the (time, energy, FP-ops) result triple.
+	Metrics = power.Metrics
+	// Mode selects the optimization objective.
+	Mode = power.Mode
+	// Model is the trained per-parameter decision-tree ensemble.
+	Model = core.Ensemble
+	// RunResult is a full execution under some control scheme.
+	RunResult = core.RunResult
+	// Workload is a traced kernel execution replayable under any Config.
+	Workload = kernels.Workload
+	// GraphResult carries distances and traversal counts of BFS/SSSP.
+	GraphResult = graph.Result
+	// Policy is a reconfiguration-cost-aware hysteresis scheme (§4.4).
+	Policy = core.Policy
+)
+
+// Optimization modes (§1).
+const (
+	EnergyEfficient  = power.EnergyEfficient  // maximize GFLOPS/W
+	PowerPerformance = power.PowerPerformance // maximize GFLOPS³/W
+)
+
+// Policies (§4.4).
+const (
+	Conservative = core.Conservative
+	Aggressive   = core.Aggressive
+	Hybrid       = core.Hybrid
+)
+
+// Standard configurations of Table 4.
+func Baseline() Config     { return config.Baseline }
+func BestAvgCache() Config { return config.BestAvgCache }
+func BestAvgSPM() Config   { return config.BestAvgSPM }
+func MaxCfg() Config       { return config.MaxCfg }
+
+// Kernel names accepted by TrainSpec.
+const (
+	KernelSpMSpM = "spmspm"
+	KernelSpMSpV = "spmspv"
+)
+
+// SystemConfig describes the simulated device.
+type SystemConfig struct {
+	// Tiles and GPEsPerTile give the machine topology (paper: 2×8).
+	Tiles       int
+	GPEsPerTile int
+	// BandwidthBytesPerSec is the off-chip bandwidth (paper: 1 GB/s).
+	BandwidthBytesPerSec float64
+	// EpochScale scales the paper's per-kernel epoch sizes (1 = 500
+	// FP-ops/GPE for SpMSpV, 5000 for SpMSpM).
+	EpochScale float64
+}
+
+// DefaultSystemConfig returns the paper's evaluated system (§5.2).
+func DefaultSystemConfig() SystemConfig {
+	return SystemConfig{Tiles: 2, GPEsPerTile: 8, BandwidthBytesPerSec: sim.DefaultBandwidth, EpochScale: 1}
+}
+
+// System is a simulated Transmuter device plus the host runtime around it.
+type System struct {
+	cfg  SystemConfig
+	chip power.Chip
+}
+
+// NewSystem validates and builds a System.
+func NewSystem(cfg SystemConfig) *System {
+	if cfg.Tiles < 1 {
+		cfg.Tiles = 2
+	}
+	if cfg.GPEsPerTile < 1 {
+		cfg.GPEsPerTile = 8
+	}
+	if cfg.BandwidthBytesPerSec <= 0 {
+		cfg.BandwidthBytesPerSec = sim.DefaultBandwidth
+	}
+	if cfg.EpochScale <= 0 {
+		cfg.EpochScale = 1
+	}
+	return &System{cfg: cfg, chip: power.Chip{Tiles: cfg.Tiles, GPEsPerTile: cfg.GPEsPerTile}}
+}
+
+// SpMSpM computes C = A·B on the device, returning the result and the
+// workload for timing runs. A is CSC, B is CSR (§5.4). The host's dispatch
+// step (§3.1) selects the formulation: the outer-product algorithm at the
+// paper's density levels, the compressed inner product for small dense
+// operands.
+func (s *System) SpMSpM(a *CSC, b *CSR) (*CSR, Workload, error) {
+	if a.Cols != b.Rows {
+		return nil, Workload{}, fmt.Errorf("sparseadapt: SpMSpM shapes %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if kernels.ChooseSpMSpM(a, b) == kernels.InnerProduct {
+		c, w := kernels.SpMSpMInner(a.ToCSR(), b.ToCSC(), s.chip.NGPE(), s.chip.Tiles)
+		return c, w, nil
+	}
+	c, w := kernels.SpMSpM(a, b, s.chip.NGPE(), s.chip.Tiles)
+	return c, w, nil
+}
+
+// SpMSpV computes y = A·x on the device.
+func (s *System) SpMSpV(a *CSC, x *SparseVec) (*SparseVec, Workload, error) {
+	if a.Cols != x.N {
+		return nil, Workload{}, fmt.Errorf("sparseadapt: SpMSpV shapes %dx%d · %d", a.Rows, a.Cols, x.N)
+	}
+	y, w := kernels.SpMSpV(a, x, s.chip.NGPE(), s.chip.Tiles)
+	return y, w, nil
+}
+
+// BFS runs breadth-first search over adjacency g (column-as-source) from
+// src as iterative SpMSpV.
+func (s *System) BFS(g *CSC, src int) (GraphResult, Workload, error) {
+	if src < 0 || src >= g.Cols {
+		return GraphResult{}, Workload{}, fmt.Errorf("sparseadapt: BFS source %d out of range", src)
+	}
+	r, w := graph.BFS(g, src, s.chip.NGPE(), s.chip.Tiles)
+	return r, w, nil
+}
+
+// SSSP runs single-source shortest path with edge weights |g[r,c]|.
+func (s *System) SSSP(g *CSC, src int) (GraphResult, Workload, error) {
+	if src < 0 || src >= g.Cols {
+		return GraphResult{}, Workload{}, fmt.Errorf("sparseadapt: SSSP source %d out of range", src)
+	}
+	r, w := graph.SSSP(g, src, s.chip.NGPE(), s.chip.Tiles)
+	return r, w, nil
+}
+
+// PageRankResult carries converged ranks (see graph.PageRank).
+type PageRankResult = graph.PageRankResult
+
+// PageRank computes damped PageRank over adjacency g as traced SpMV
+// iterations (damping 0.85, tolerance tol, at most maxIter rounds).
+func (s *System) PageRank(g *CSC, damping, tol float64, maxIter int) (PageRankResult, Workload, error) {
+	if g.Cols == 0 {
+		return PageRankResult{}, Workload{}, fmt.Errorf("sparseadapt: empty graph")
+	}
+	r, w := graph.PageRank(g, damping, tol, maxIter, s.chip.NGPE(), s.chip.Tiles)
+	return r, w, nil
+}
+
+// TrainSpec configures model training (a scaled Table 3 sweep).
+type TrainSpec struct {
+	// Kernel is KernelSpMSpM or KernelSpMSpV.
+	Kernel string
+	// Mode is the optimization objective (default EnergyEfficient).
+	Mode Mode
+	// SPM trains for the scratchpad L1 variant instead of cache.
+	SPM bool
+	// Scale shrinks the paper's sweep grid (default 0.3; 1 = Table 3).
+	Scale float64
+	// Seed makes training deterministic.
+	Seed int64
+	// CrossValidate grid-searches tree hyperparameters with 3-fold CV.
+	CrossValidate bool
+}
+
+// Train generates training data on this system and fits the per-parameter
+// decision-tree ensemble.
+func (s *System) Train(spec TrainSpec) (*Model, error) {
+	if spec.Kernel == "" {
+		spec.Kernel = KernelSpMSpV
+	}
+	if spec.Scale <= 0 {
+		spec.Scale = 0.3
+	}
+	l1 := config.CacheMode
+	if spec.SPM {
+		l1 = config.SPMMode
+	}
+	sw := trainer.DefaultSweep(spec.Kernel, l1, spec.Scale)
+	sw.Chip = s.chip
+	if spec.Seed != 0 {
+		sw.Seed = spec.Seed
+	}
+	ds, err := trainer.Generate(sw, spec.Mode)
+	if err != nil {
+		return nil, err
+	}
+	if spec.CrossValidate {
+		return trainer.TrainCV(ds, []int{6, 10, 14, 18}, []int{1, 5, 20}, 3)
+	}
+	return trainer.Train(ds, ml.DefaultTreeParams())
+}
+
+// ControlOptions tune the runtime controller.
+type ControlOptions struct {
+	// Policy defaults to Hybrid.
+	Policy Policy
+	// Tolerance is the hybrid threshold (default 0.4, §5.4).
+	Tolerance float64
+	// Start is the boot configuration (default Baseline, or BestAvgSPM for
+	// SPM-trained models).
+	Start *Config
+	// History widens the telemetry window (the §7 extension); 0/1 is the
+	// published design and requires a model trained with Train; larger
+	// windows need a history-trained model.
+	History int
+}
+
+// RunAdaptive executes the workload under SparseAdapt control.
+func (s *System) RunAdaptive(model *Model, w Workload, opts ...ControlOptions) RunResult {
+	var o ControlOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 0.4
+	}
+	start := config.Baseline
+	if o.Start != nil {
+		start = *o.Start
+	}
+	m := sim.New(s.chip, s.cfg.BandwidthBytesPerSec, start)
+	copts := core.Options{Policy: o.Policy, Tolerance: o.Tolerance, EpochScale: s.cfg.EpochScale}
+	if o.History > 1 {
+		return core.NewHistoryController(model, copts, o.History).Run(m, w)
+	}
+	return core.NewController(model, copts).Run(m, w)
+}
+
+// RunStatic executes the workload under a fixed configuration.
+func (s *System) RunStatic(cfg Config, w Workload) RunResult {
+	return core.RunStatic(s.chip, s.cfg.BandwidthBytesPerSec, cfg, w, s.cfg.EpochScale)
+}
+
+// SaveModel / LoadModel persist trained ensembles as JSON.
+func SaveModel(path string, m *Model) error { return core.SaveEnsemble(path, m) }
+
+// LoadModel reads a model saved with SaveModel.
+func LoadModel(path string) (*Model, error) { return core.LoadEnsemble(path) }
+
+// Matrix construction helpers, re-exported from internal/matrix.
+var (
+	// NewCOO creates an empty coordinate matrix.
+	NewCOO = matrix.NewCOO
+	// NewSparseVec builds a sparse vector from index/value slices.
+	NewSparseVec = matrix.NewSparseVec
+	// Uniform generates a uniform random sparse matrix.
+	Uniform = matrix.Uniform
+	// RMAT generates a power-law matrix (paper: A=C=0.1, B=0.4).
+	RMAT = matrix.RMATDefault
+	// RandomVec generates a sparse vector of a given density.
+	RandomVec = matrix.RandomVec
+)
+
+// DatasetEntry describes one matrix of the paper's Table 5 suite.
+type DatasetEntry = matrix.DatasetEntry
+
+// Dataset lists the Table 5 evaluation suite (synthetic U/P plus
+// real-world stand-ins R01–R16); each entry Generates at any scale.
+func Dataset() []DatasetEntry { return matrix.Dataset }

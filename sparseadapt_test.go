@@ -1,0 +1,129 @@
+package sparseadapt_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	sparseadapt "sparseadapt"
+)
+
+func TestSystemDefaults(t *testing.T) {
+	sys := sparseadapt.NewSystem(sparseadapt.SystemConfig{})
+	if sys == nil {
+		t.Fatal("nil system")
+	}
+	// Invalid inputs are normalized, not fatal.
+	sys2 := sparseadapt.NewSystem(sparseadapt.SystemConfig{Tiles: -1, EpochScale: -5})
+	if sys2 == nil {
+		t.Fatal("nil system from bad config")
+	}
+}
+
+func TestPublicAPIFlow(t *testing.T) {
+	sys := sparseadapt.NewSystem(sparseadapt.SystemConfig{EpochScale: 0.05})
+	rng := rand.New(rand.NewSource(1))
+	am := sparseadapt.Uniform(rng, 128, 128, 1200)
+	a := am.ToCSC()
+	x := sparseadapt.RandomVec(rng, 128, 0.5)
+
+	y, w, err := sys.SpMSpV(a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.NNZ() == 0 || w.Trace == nil {
+		t.Fatal("degenerate SpMSpV result")
+	}
+
+	model, err := sys.Train(sparseadapt.TrainSpec{
+		Kernel: sparseadapt.KernelSpMSpV,
+		Mode:   sparseadapt.EnergyEfficient,
+		Scale:  0.1,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dyn := sys.RunAdaptive(model, w)
+	base := sys.RunStatic(sparseadapt.Baseline(), w)
+	if dyn.Total.TimeSec <= 0 || base.Total.TimeSec <= 0 {
+		t.Fatal("no simulated time")
+	}
+	if dyn.Total.FPOps != base.Total.FPOps {
+		t.Fatalf("work not conserved: %v vs %v", dyn.Total.FPOps, base.Total.FPOps)
+	}
+
+	// Model persistence round-trip preserves behaviour.
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := sparseadapt.SaveModel(path, model); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := sparseadapt.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn2 := sys.RunAdaptive(loaded, w)
+	if dyn2.Total != dyn.Total {
+		t.Fatalf("loaded model behaves differently: %+v vs %+v", dyn2.Total, dyn.Total)
+	}
+}
+
+func TestPublicAPIShapeErrors(t *testing.T) {
+	sys := sparseadapt.NewSystem(sparseadapt.DefaultSystemConfig())
+	rng := rand.New(rand.NewSource(2))
+	a := sparseadapt.Uniform(rng, 8, 8, 10).ToCSC()
+	xBad := sparseadapt.RandomVec(rng, 9, 0.5)
+	if _, _, err := sys.SpMSpV(a, xBad); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	bBad := sparseadapt.Uniform(rng, 9, 8, 10).ToCSR()
+	if _, _, err := sys.SpMSpM(a, bBad); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if _, _, err := sys.BFS(a, 99); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, _, err := sys.SSSP(a, -1); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestPublicAPIGraph(t *testing.T) {
+	sys := sparseadapt.NewSystem(sparseadapt.SystemConfig{EpochScale: 0.1})
+	rng := rand.New(rand.NewSource(3))
+	g := sparseadapt.RMAT(rng, 128, 600).ToCSC()
+	res, w, err := sys.BFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 || w.Trace == nil {
+		t.Fatal("degenerate BFS")
+	}
+	run := sys.RunStatic(sparseadapt.MaxCfg(), w)
+	if res.TEPS(run.Total.TimeSec) < 0 {
+		t.Fatal("negative TEPS")
+	}
+}
+
+func TestDatasetAccessible(t *testing.T) {
+	ds := sparseadapt.Dataset()
+	if len(ds) != 22 {
+		t.Fatalf("dataset entries %d, want 22 (U1-P3 + R01-R16)", len(ds))
+	}
+	m := ds[0].Generate(0.05, 1)
+	if m.NNZ() == 0 {
+		t.Fatal("empty generated matrix")
+	}
+}
+
+func TestStandardConfigsExposed(t *testing.T) {
+	for _, c := range []sparseadapt.Config{
+		sparseadapt.Baseline(), sparseadapt.BestAvgCache(),
+		sparseadapt.BestAvgSPM(), sparseadapt.MaxCfg(),
+	} {
+		if !c.Valid() {
+			t.Fatalf("invalid standard config %v", c)
+		}
+	}
+}
