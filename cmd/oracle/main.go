@@ -50,14 +50,18 @@ func main() {
 	am := entry.Generate(sc.Matrix, sc.Seed)
 	a := am.ToCSC()
 	var w kernels.Workload
+	var werr error
 	switch *kernel {
 	case "spmspm":
-		_, w = kernels.SpMSpM(a, am.ToCSR().Transpose(), sc.Chip.NGPE(), sc.Chip.Tiles)
+		_, w, werr = kernels.SpMSpM(a, am.ToCSR().Transpose(), sc.Chip.NGPE(), sc.Chip.Tiles)
 	case "spmspv":
 		x := matrix.RandomVec(rand.New(rand.NewSource(sc.Seed+1)), a.Cols, 0.5)
-		_, w = kernels.SpMSpV(a, x, sc.Chip.NGPE(), sc.Chip.Tiles)
+		_, w, werr = kernels.SpMSpV(a, x, sc.Chip.NGPE(), sc.Chip.Tiles)
 	default:
 		fatal(fmt.Errorf("unknown kernel %q", *kernel))
+	}
+	if werr != nil {
+		fatal(werr)
 	}
 
 	rng := rand.New(rand.NewSource(sc.Seed + 7))

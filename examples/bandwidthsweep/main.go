@@ -29,7 +29,10 @@ func main() {
 	rng := rand.New(rand.NewSource(3))
 	a := matrix.RMATDefault(rng, 1024, 16000).ToCSC()
 	x := matrix.RandomVec(rng, 1024, 0.5)
-	_, w := kernels.SpMSpV(a, x, chip.NGPE(), chip.Tiles)
+	_, w, err := kernels.SpMSpV(a, x, chip.NGPE(), chip.Tiles)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Train once, at the default 1 GB/s-centred sweep.
 	sw := trainer.DefaultSweep("spmspv", config.CacheMode, 0.2)

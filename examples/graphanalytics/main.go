@@ -47,14 +47,23 @@ func main() {
 		log.Fatal(err)
 	}
 
-	bfsRes, bfsW := graph.BFS(g, src, chip.NGPE(), chip.Tiles)
-	ssspRes, ssspW := graph.SSSP(g, src, chip.NGPE(), chip.Tiles)
+	bfsRes, bfsW, err := graph.BFS(g, src, chip.NGPE(), chip.Tiles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ssspRes, ssspW, err := graph.SSSP(g, src, chip.NGPE(), chip.Tiles)
+	if err != nil {
+		log.Fatal(err)
+	}
 	report(chip, ens, "bfs", g.Cols, bfsRes, bfsW)
 	report(chip, ens, "sssp", g.Cols, ssspRes, ssspW)
 
 	// PageRank: dense frontiers, stable per-iteration behaviour — a
 	// contrast workload where adaptation settles quickly.
-	pr, prW := graph.PageRank(g, 0.85, 1e-6, 10, chip.NGPE(), chip.Tiles)
+	pr, prW, err := graph.PageRank(g, 0.85, 1e-6, 10, chip.NGPE(), chip.Tiles)
+	if err != nil {
+		log.Fatal(err)
+	}
 	base := core.RunStatic(chip, sim.DefaultBandwidth, config.Baseline, prW, epochScale).Total
 	m := sim.New(chip, sim.DefaultBandwidth, config.Baseline)
 	dyn := core.NewController(ens,

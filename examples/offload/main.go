@@ -51,7 +51,10 @@ func main() {
 		am := matrix.RMATDefault(rng, dim, dim*12)
 		a := am.ToCSC()
 		x := matrix.RandomVec(rng, dim, 0.5)
-		y, w := kernels.SpMSpV(a, x, chip.NGPE(), chip.Tiles)
+		y, w, err := kernels.SpMSpV(a, x, chip.NGPE(), chip.Tiles)
+		if err != nil {
+			log.Fatal(err)
+		}
 		off := host.Offload{
 			Workload: w,
 			BytesIn:  host.InputBytes(a.NNZ(), dim) + host.InputBytes(x.NNZ(), dim),

@@ -30,7 +30,10 @@ func main() {
 	rng := rand.New(rand.NewSource(5))
 	am := matrix.DenseStrips(rng, 192, 0.15, 8)
 	a := am.ToCSC()
-	_, w := kernels.SpMSpM(a, am.ToCSR().Transpose(), chip.NGPE(), chip.Tiles)
+	_, w, err := kernels.SpMSpM(a, am.ToCSR().Transpose(), chip.NGPE(), chip.Tiles)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("workload: OP-SpMSpM on a %d-dim dense-strip matrix (%d NNZ), %d epochs\n",
 		192, am.NNZ(), len(w.Epochs(epochScale)))
 

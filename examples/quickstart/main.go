@@ -28,7 +28,10 @@ func main() {
 	rng := rand.New(rand.NewSource(7))
 	a := matrix.RMATDefault(rng, 512, 6000).ToCSC()
 	x := matrix.RandomVec(rng, 512, 0.5)
-	y, w := kernels.SpMSpV(a, x, chip.NGPE(), chip.Tiles)
+	y, w, err := kernels.SpMSpV(a, x, chip.NGPE(), chip.Tiles)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("workload: SpMSpV, %dx%d matrix, %d nonzeros -> %d output nonzeros, %d traced FP ops\n",
 		a.Rows, a.Cols, a.NNZ(), y.NNZ(), w.Trace.FPOps)
 

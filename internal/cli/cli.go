@@ -16,6 +16,7 @@ import (
 	"sparseadapt/internal/config"
 	"sparseadapt/internal/core"
 	"sparseadapt/internal/experiments"
+	"sparseadapt/internal/fault"
 	"sparseadapt/internal/graph"
 	"sparseadapt/internal/kernels"
 	"sparseadapt/internal/matrix"
@@ -69,6 +70,8 @@ commands:
   exp <id>|all [flags] run one experiment (or all) and print its report
   train [flags]        generate training data and fit the predictive model
   run [flags]          run one workload under SparseAdapt vs the baselines
+                       (-faults injects failures, -checkpoint/-resume cover
+                       crash recovery; see README)
   check [flags]        re-run the suite at test scale and diff against the
                        recorded reference shapes (artifact rep_check)`)
 }
@@ -258,8 +261,14 @@ func cmdRun(w io.Writer, args []string) error {
 	modelPath := fs.String("model", "", "model JSON (trained on the fly when empty)")
 	policy := fs.String("policy", "", "override policy: conservative|aggressive|hybrid")
 	tolerance := fs.Float64("tolerance", 0.4, "hybrid tolerance")
+	faultSpec := fs.String("faults", "", "fault-injection spec, e.g. nan=0.1,stuck=0.05,rc-drop=0.2,seed=7 (runs the resilient controller)")
+	ckPath := fs.String("checkpoint", "", "controller checkpoint file (written during the run; implies the resilient controller)")
+	resumeCk := fs.Bool("resume", false, "resume an interrupted run from -checkpoint")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resumeCk && *ckPath == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
 	}
 	sc, err := scaleByName(*scaleName)
 	if err != nil {
@@ -279,20 +288,23 @@ func cmdRun(w io.Writer, args []string) error {
 	modelKernel := *kernel
 	switch *kernel {
 	case "spmspm":
-		_, wl = kernels.SpMSpM(a, am.ToCSR().Transpose(), sc.Chip.NGPE(), sc.Chip.Tiles)
+		_, wl, err = kernels.SpMSpM(a, am.ToCSR().Transpose(), sc.Chip.NGPE(), sc.Chip.Tiles)
 	case "spmspv":
 		x := matrix.RandomVec(randSrc(sc.Seed), a.Cols, 0.5)
-		_, wl = kernels.SpMSpV(a, x, sc.Chip.NGPE(), sc.Chip.Tiles)
+		_, wl, err = kernels.SpMSpV(a, x, sc.Chip.NGPE(), sc.Chip.Tiles)
 	case "bfs", "sssp":
 		src := 0
 		if *kernel == "bfs" {
-			_, wl = graph.BFS(a, src, sc.Chip.NGPE(), sc.Chip.Tiles)
+			_, wl, err = graph.BFS(a, src, sc.Chip.NGPE(), sc.Chip.Tiles)
 		} else {
-			_, wl = graph.SSSP(a, src, sc.Chip.NGPE(), sc.Chip.Tiles)
+			_, wl, err = graph.SSSP(a, src, sc.Chip.NGPE(), sc.Chip.Tiles)
 		}
 		modelKernel = "spmspv"
 	default:
 		return fmt.Errorf("unknown kernel %q", *kernel)
+	}
+	if err != nil {
+		return err
 	}
 
 	var ens *core.Ensemble
@@ -325,7 +337,38 @@ func cmdRun(w io.Writer, args []string) error {
 	best := core.RunStatic(sc.Chip, sc.BW, config.BestAvgCache, wl, sc.Epoch)
 	max := core.RunStatic(sc.Chip, sc.BW, config.MaxCfg, wl, sc.Epoch)
 	m := sim.New(sc.Chip, sc.BW, config.Baseline)
-	dyn := core.NewController(ens, opts).Run(m, wl)
+
+	var dyn core.RunResult
+	resilient := *faultSpec != "" || *ckPath != ""
+	if resilient {
+		spec, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			return err
+		}
+		ropts := core.DefaultResilientOptions()
+		ropts.Options = opts
+		ropts.Fallback = config.BestAvgCache
+		ropts.CheckpointPath = *ckPath
+		rc := core.NewResilientController(ens, ropts)
+		if !spec.IsZero() {
+			rc.Inject = fault.New(spec)
+		}
+		if *resumeCk {
+			ck, err := core.LoadCheckpoint(*ckPath)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "resuming from %s at epoch %d\n", *ckPath, ck.Epoch)
+			dyn, err = rc.Resume(m, wl, ck)
+			if err != nil {
+				return err
+			}
+		} else if dyn, err = rc.Run(m, wl); err != nil {
+			return err
+		}
+	} else {
+		dyn = core.NewController(ens, opts).Run(m, wl)
+	}
 
 	fmt.Fprintf(w, "workload %s on %s (%d epochs, %d reconfigs, mode %s, policy %s)\n",
 		wl.Name, *matID, len(dyn.Epochs), dyn.Reconfig, mode, opts.Policy)
@@ -341,6 +384,13 @@ func cmdRun(w io.Writer, args []string) error {
 	}
 	fmt.Fprintf(w, "gains over baseline: %.2fx GFLOPS, %.2fx GFLOPS/W\n",
 		dyn.Total.GFLOPS()/base.Total.GFLOPS(), dyn.Total.GFLOPSPerW()/base.Total.GFLOPSPerW())
+	if resilient {
+		fmt.Fprintf(w, "resilience: %s\n", dyn.Resilience)
+		edp := func(m power.Metrics) float64 { return m.TimeSec * m.EnergyJ }
+		if b := edp(best.Total); b > 0 {
+			fmt.Fprintf(w, "EDP vs best static: %.3fx\n", edp(dyn.Total)/b)
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
+)
+
+// Checkpoint is the controller's crash-recovery state, written every
+// CheckpointEvery epochs. The machine's microarchitectural state is not
+// serialized: the simulator is deterministic, so Resume rebuilds it by
+// replaying the recorded configuration schedule (no model inference)
+// against the same workload, then continues the control loop from Epoch
+// with identical state — the epoch log tail matches an uninterrupted run
+// exactly.
+type Checkpoint struct {
+	Version int `json:"version"`
+	// Epoch is the number of completed epochs; Resume continues at index
+	// Epoch.
+	Epoch int `json:"epoch"`
+	// Start is the configuration the run began in; a Resume against a
+	// machine constructed differently is rejected.
+	Start config.Config `json:"start"`
+	// Next is the machine configuration entering epoch Epoch (after the
+	// boundary decision that preceded this checkpoint), and Reconfigured
+	// whether that boundary changed it.
+	Next         config.Config `json:"next"`
+	Reconfigured bool          `json:"reconfigured"`
+	InFallback   bool          `json:"in_fallback"`
+
+	Total    power.Metrics    `json:"total"`
+	Epochs   []EpochLog       `json:"epochs"`
+	Reconfig int              `json:"reconfig"`
+	Watchdog watchdogState    `json:"watchdog"`
+	Report   ResilienceReport `json:"report"`
+}
+
+const checkpointVersion = 1
+
+// writeFileAtomic writes data via a temp file in the destination directory
+// and renames it into place, so a crash mid-write never leaves a torn file
+// where a valid one is expected.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// writeCheckpoint captures the live run state after `done` completed epochs.
+func (c *ResilientController) writeCheckpoint(m *sim.Machine, st *runState, done int) error {
+	ck := Checkpoint{
+		Version:      checkpointVersion,
+		Epoch:        done,
+		Start:        st.res.Epochs[0].Config,
+		Next:         m.Config(),
+		Reconfigured: st.reconfigured,
+		InFallback:   st.inFallback,
+		Total:        st.res.Total,
+		Epochs:       st.res.Epochs,
+		Reconfig:     st.res.Reconfig,
+		Watchdog:     st.wd,
+		Report:       st.res.Resilience,
+	}
+	data, err := json.Marshal(ck)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(c.Opts.CheckpointPath, data)
+}
+
+// LoadCheckpoint reads and validates a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{}
+	if err := json.Unmarshal(data, ck); err != nil {
+		return nil, fmt.Errorf("core: parsing checkpoint %s: %w", path, err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("core: checkpoint %s has version %d, want %d", path, ck.Version, checkpointVersion)
+	}
+	if ck.Epoch < 1 || len(ck.Epochs) != ck.Epoch {
+		return nil, fmt.Errorf("core: checkpoint %s records %d logs for %d epochs", path, len(ck.Epochs), ck.Epoch)
+	}
+	if !ck.Start.Valid() || !ck.Next.Valid() {
+		return nil, fmt.Errorf("core: checkpoint %s holds an invalid configuration", path)
+	}
+	return ck, nil
+}
+
+// fastForward replays the checkpointed prefix against a fresh machine: each
+// recorded epoch runs under its recorded configuration and each boundary
+// reconfiguration is re-applied through the same fault-injected protocol
+// (same hash keys → same drops and penalties), rebuilding the exact
+// microarchitectural and pending-cost state the original run had at the
+// checkpoint. Model inference is skipped entirely.
+func (c *ResilientController) fastForward(m *sim.Machine, eps []sim.EpochRange, ck *Checkpoint) error {
+	if ck.Epoch > len(eps) {
+		return fmt.Errorf("core: checkpoint at epoch %d exceeds workload's %d epochs", ck.Epoch, len(eps))
+	}
+	if m.Config() != ck.Start {
+		return fmt.Errorf("core: machine starts at %v, checkpoint recorded %v", m.Config(), ck.Start)
+	}
+	for j := 0; j < ck.Epoch; j++ {
+		if m.Config() != ck.Epochs[j].Config {
+			return fmt.Errorf("core: replay diverged at epoch %d: machine %v, recorded %v", j, m.Config(), ck.Epochs[j].Config)
+		}
+		r := m.RunEpoch(eps[j])
+		// Telemetry injection must replay too: stuck-at faults reference the
+		// previous true frame, so the injector's state advances epoch by
+		// epoch exactly as it did originally.
+		if c.Inject != nil {
+			c.Inject.PerturbTelemetry(j, r.Counters)
+		}
+		// Re-apply the boundary reconfiguration, if one took.
+		if j < ck.Epoch-1 {
+			if ck.Epochs[j+1].Reconfigured {
+				c.attemptReconfig(m, j, ck.Epochs[j+1].Config)
+			}
+		} else if ck.Reconfigured {
+			c.attemptReconfig(m, j, ck.Next)
+		}
+	}
+	if m.Config() != ck.Next {
+		return fmt.Errorf("core: replay ended at %v, checkpoint recorded %v", m.Config(), ck.Next)
+	}
+	return nil
+}

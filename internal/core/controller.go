@@ -66,6 +66,23 @@ type EpochLog struct {
 	// Reconfigured reports whether the controller changed configuration
 	// entering this epoch.
 	Reconfigured bool
+
+	// Resilience annotations, populated by ResilientController runs (all
+	// zero under the plain controller). EpochLog stays a comparable struct
+	// so deterministic runs can be diffed epoch-by-epoch with ==.
+
+	// Repairs counts telemetry values the sanitizer had to clamp or replace
+	// before this epoch's counters reached the model.
+	Repairs int
+	// TelemetryDropped marks an epoch whose telemetry never arrived; the
+	// controller held the current configuration.
+	TelemetryDropped bool
+	// Degraded marks an epoch whose cost exceeded the watchdog's trailing
+	// baseline by more than the configured factor.
+	Degraded bool
+	// Fallback marks an epoch executed under the safe static fallback
+	// configuration rather than model control.
+	Fallback bool
 }
 
 // RunResult aggregates a full workload execution.
@@ -73,6 +90,9 @@ type RunResult struct {
 	Total    power.Metrics
 	Epochs   []EpochLog
 	Reconfig int // number of epochs entered with a configuration change
+	// Resilience summarizes fault handling over the run (zero for plain
+	// controller and static runs).
+	Resilience ResilienceReport
 }
 
 // Controller is the SparseAdapt runtime: it owns the predictive model and

@@ -37,7 +37,7 @@ func testWorkload(t *testing.T, seed int64) kernels.Workload {
 	rng := rand.New(rand.NewSource(seed))
 	am := matrix.Uniform(rng, 128, 128, 1200)
 	x := matrix.RandomVec(rng, 128, 0.5)
-	_, w := kernels.SpMSpV(am.ToCSC(), x, chip.NGPE(), chip.Tiles)
+	_, w, _ := kernels.SpMSpV(am.ToCSC(), x, chip.NGPE(), chip.Tiles)
 	return w
 }
 
@@ -277,9 +277,26 @@ func TestHistoryFeatures(t *testing.T) {
 	if hOver[off+nf+clockIdx] != 500 {
 		t.Fatal("window truncation dropped the newest frame")
 	}
-	// Empty window is all-zero telemetry, not a panic.
-	if got := BuildHistoryFeatures(cfg, nil, 2); len(got) != HistoryFeatureCount(2) {
+	// Empty window pads with a sanitized neutral frame, never raw zeros: a
+	// zero frame (0 KB caches, 0 MHz clock) is impossible telemetry and must
+	// not be fed to the model as if observed. Regression for the old
+	// zero-frame padding path.
+	got := BuildHistoryFeatures(cfg, nil, 2)
+	if len(got) != HistoryFeatureCount(2) {
 		t.Fatal("empty window width wrong")
+	}
+	neutral, _ := SanitizeCounters(sim.Counters{})
+	nFeat := neutral.Features()
+	capIdx, l2CapIdx := 4, 9 // L1CapKB, L2CapKB in Features order
+	if nFeat[capIdx] == 0 || nFeat[l2CapIdx] == 0 || nFeat[clockIdx] == 0 {
+		t.Fatalf("sanitized neutral frame still has impossible zeros: %v", nFeat)
+	}
+	for frame := 0; frame < 2; frame++ {
+		for i, v := range nFeat {
+			if got[off+frame*nf+i] != v {
+				t.Fatalf("empty-window frame %d feature %d = %v, want sanitized %v", frame, i, got[off+frame*nf+i], v)
+			}
+		}
 	}
 }
 

@@ -23,8 +23,12 @@ func HistoryFeatureCount(h int) int {
 
 // BuildHistoryFeatures assembles the input vector from the current
 // configuration and the last h telemetry frames, oldest first. Shorter
-// windows (program start) are padded by repeating the oldest frame, so the
-// vector width is constant.
+// windows (program start) are padded by repeating the oldest real frame, so
+// the vector width is constant. An empty window — no telemetry observed yet
+// — is padded with a sanitized neutral frame (every counter clamped into
+// its physical range), never a raw zero frame: a machine reporting zero
+// cache capacity and a zero clock is impossible telemetry, and a model
+// trained on real frames must not be fed one as if it were observed.
 func BuildHistoryFeatures(cfg config.Config, window []sim.Counters, h int) []float64 {
 	if h < 1 {
 		h = 1
@@ -34,7 +38,8 @@ func BuildHistoryFeatures(cfg config.Config, window []sim.Counters, h int) []flo
 		out = append(out, float64(cfg[p]))
 	}
 	if len(window) == 0 {
-		window = []sim.Counters{{}}
+		neutral, _ := SanitizeCounters(sim.Counters{})
+		window = []sim.Counters{neutral}
 	}
 	if len(window) > h {
 		window = window[len(window)-h:]

@@ -8,6 +8,7 @@ import (
 	"sparseadapt/internal/config"
 	"sparseadapt/internal/ml"
 	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
 )
 
 // ensembleJSON is the on-disk form of an Ensemble; trees are keyed by
@@ -26,14 +27,32 @@ func (e *Ensemble) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
-// UnmarshalJSON restores a serialized ensemble.
+// validFeatureWidth reports whether a tree's input width is one the
+// feature builders can produce: the base layout (BuildFeatures) or a
+// history-augmented layout (BuildHistoryFeatures) for some window length.
+func validFeatureWidth(nf int) bool {
+	return nf >= NumFeatures && (nf-len6)%sim.NumFeatures == 0
+}
+
+// UnmarshalJSON restores a serialized ensemble, validating every tree: the
+// file is an untrusted on-disk artifact, and a corrupt model must fail at
+// load time, not crash (or silently misconfigure) the controller at an
+// epoch boundary. Tree-internal invariants (finite thresholds, in-bounds
+// split features, forward child pointers, sane depth) are enforced by
+// ml.Tree's own UnmarshalJSON; this layer checks what only the ensemble
+// knows — parameter names and the feature-vector widths the controller
+// will actually feed the trees.
 func (e *Ensemble) UnmarshalJSON(data []byte) error {
 	var in ensembleJSON
 	if err := json.Unmarshal(data, &in); err != nil {
 		return err
 	}
+	if len(in.Trees) == 0 {
+		return fmt.Errorf("core: model file holds no trees")
+	}
 	e.Mode = power.Mode(in.Mode)
 	e.Trees = map[config.Param]*ml.Tree{}
+	width := 0
 	for name, t := range in.Trees {
 		found := false
 		for _, p := range config.RuntimeParams {
@@ -46,17 +65,29 @@ func (e *Ensemble) UnmarshalJSON(data []byte) error {
 		if !found {
 			return fmt.Errorf("core: unknown parameter %q in model file", name)
 		}
+		if t == nil {
+			return fmt.Errorf("core: parameter %q has a null tree", name)
+		}
+		if nf := t.NumFeatures(); !validFeatureWidth(nf) {
+			return fmt.Errorf("core: tree for %q expects %d features; no feature layout matches", name, nf)
+		} else if width == 0 {
+			width = nf
+		} else if nf != width {
+			return fmt.Errorf("core: tree for %q expects %d features, others expect %d", name, nf, width)
+		}
 	}
 	return nil
 }
 
-// SaveEnsemble writes the model to a JSON file.
+// SaveEnsemble writes the model to a JSON file atomically (temp file +
+// rename), so a crash mid-save never leaves a torn model where the
+// controller expects a valid one.
 func SaveEnsemble(path string, e *Ensemble) error {
 	data, err := json.MarshalIndent(e, "", " ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return writeFileAtomic(path, data)
 }
 
 // LoadEnsemble reads a model from a JSON file.

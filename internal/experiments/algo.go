@@ -33,8 +33,14 @@ func AlgoSelection(sc Scale) (*Report, error) {
 		a := am.ToCSC()
 		b := am.ToCSR()
 
-		_, wOuter := kernels.SpMSpM(a, b, sc.Chip.NGPE(), sc.Chip.Tiles)
-		_, wInner := kernels.SpMSpMInner(am.ToCSR(), am.ToCSC(), sc.Chip.NGPE(), sc.Chip.Tiles)
+		_, wOuter, err := kernels.SpMSpM(a, b, sc.Chip.NGPE(), sc.Chip.Tiles)
+		if err != nil {
+			return nil, err
+		}
+		_, wInner, err := kernels.SpMSpMInner(am.ToCSR(), am.ToCSC(), sc.Chip.NGPE(), sc.Chip.Tiles)
+		if err != nil {
+			return nil, err
+		}
 		tOuter := core.RunStatic(sc.Chip, sc.BW, config.Baseline, wOuter, sc.Epoch).Total.TimeSec
 		tInner := core.RunStatic(sc.Chip, sc.BW, config.Baseline, wInner, sc.Epoch).Total.TimeSec
 

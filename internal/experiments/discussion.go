@@ -33,17 +33,26 @@ func Discussion7(sc Scale) (*Report, error) {
 	// Regular workloads.
 	a := randDense(rng, dim/4, dim/4)
 	b := randDense(rng, dim/4, dim/4)
-	_, gemm := kernels.GeMM(a, b, sc.Chip.NGPE(), sc.Chip.Tiles)
+	_, gemm, err := kernels.GeMM(a, b, sc.Chip.NGPE(), sc.Chip.Tiles)
+	if err != nil {
+		return nil, err
+	}
 	in := randDense(rng, dim/2, dim/2)
 	k3 := randDense(rng, 3, 3)
-	_, conv := kernels.Conv2D(in, k3, sc.Chip.NGPE(), sc.Chip.Tiles)
+	_, conv, err := kernels.Conv2D(in, k3, sc.Chip.NGPE(), sc.Chip.Tiles)
+	if err != nil {
+		return nil, err
+	}
 
 	// Sparse counterparts: the dense-strip matrix of Figure 1 (alternating
 	// implicit phases — the paper's showcase for dynamic headroom) and a
 	// power-law SpMSpV.
 	stripDim := int(128 * maxF(sc.Matrix*8, 1))
 	am := matrix.DenseStrips(rng, stripDim, 0.2, 8)
-	_, spmspm := kernels.SpMSpM(am.ToCSC(), am.ToCSR().Transpose(), sc.Chip.NGPE(), sc.Chip.Tiles)
+	_, spmspm, err := kernels.SpMSpM(am.ToCSC(), am.ToCSR().Transpose(), sc.Chip.NGPE(), sc.Chip.Tiles)
+	if err != nil {
+		return nil, err
+	}
 	spmspm.Name = "spmspm/strips"
 	spmspv, err := buildSpMSpV(sc, "P3")
 	if err != nil {

@@ -234,7 +234,10 @@ func buildSpMSpM(sc Scale, id string) (kernels.Workload, error) {
 	am := e.Generate(sc.Matrix, sc.Seed)
 	a := am.ToCSC()
 	at := am.ToCSR().Transpose()
-	_, w := kernels.SpMSpM(a, at, sc.Chip.NGPE(), sc.Chip.Tiles)
+	_, w, err := kernels.SpMSpM(a, at, sc.Chip.NGPE(), sc.Chip.Tiles)
+	if err != nil {
+		return kernels.Workload{}, err
+	}
 	w.Name = "spmspm/" + id
 	return w, nil
 }
@@ -249,7 +252,10 @@ func buildSpMSpV(sc Scale, id string) (kernels.Workload, error) {
 	am := e.Generate(sc.Matrix, sc.Seed)
 	a := am.ToCSC()
 	x := matrix.RandomVec(randFor(sc.Seed, id), a.Cols, 0.5)
-	_, w := kernels.SpMSpV(a, x, sc.Chip.NGPE(), sc.Chip.Tiles)
+	_, w, err := kernels.SpMSpV(a, x, sc.Chip.NGPE(), sc.Chip.Tiles)
+	if err != nil {
+		return kernels.Workload{}, err
+	}
 	w.Name = "spmspv/" + id
 	return w, nil
 }

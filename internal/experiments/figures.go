@@ -52,7 +52,10 @@ func Figure1(sc Scale) (*Report, error) {
 	am := matrix.DenseStrips(rng, dim, 0.2, 8)
 	a := am.ToCSC()
 	at := am.ToCSR().Transpose()
-	_, w := kernels.SpMSpM(a, at, sc.Chip.NGPE(), sc.Chip.Tiles)
+	_, w, err := kernels.SpMSpM(a, at, sc.Chip.NGPE(), sc.Chip.Tiles)
+	if err != nil {
+		return nil, err
+	}
 
 	static := core.RunStatic(sc.Chip, sc.BW, config.BestAvgCache, w, sc.Epoch)
 	dyn, err := runSparseAdapt(sc, w, "spmspm", config.CacheMode, power.PowerPerformance)
@@ -257,9 +260,12 @@ func Table6(sc Scale) (*Report, error) {
 			var res graph.Result
 			var w kernels.Workload
 			if algo == "bfs" {
-				res, w = graph.BFS(g, src, sc.Chip.NGPE(), sc.Chip.Tiles)
+				res, w, err = graph.BFS(g, src, sc.Chip.NGPE(), sc.Chip.Tiles)
 			} else {
-				res, w = graph.SSSP(g, src, sc.Chip.NGPE(), sc.Chip.Tiles)
+				res, w, err = graph.SSSP(g, src, sc.Chip.NGPE(), sc.Chip.Tiles)
+			}
+			if err != nil {
+				return nil, err
 			}
 			if res.Traversed == 0 {
 				continue

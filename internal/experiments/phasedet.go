@@ -33,7 +33,10 @@ func PhaseDetection(sc Scale) (*Report, error) {
 	rng := rand.New(rand.NewSource(sc.Seed))
 	stripDim := int(128 * maxF(sc.Matrix*8, 1))
 	am := matrix.DenseStrips(rng, stripDim, 0.2, 8)
-	_, strips := kernels.SpMSpM(am.ToCSC(), am.ToCSR().Transpose(), sc.Chip.NGPE(), sc.Chip.Tiles)
+	_, strips, err := kernels.SpMSpM(am.ToCSC(), am.ToCSR().Transpose(), sc.Chip.NGPE(), sc.Chip.Tiles)
+	if err != nil {
+		return nil, err
+	}
 	strips.Name = "spmspm/strips"
 
 	spmspv, err := buildSpMSpV(sc, "P3")

@@ -40,8 +40,14 @@ func SchedAblation(sc Scale) (*Report, error) {
 	for _, in := range inputs {
 		a := in.m.ToCSC()
 		x := matrix.RandomVec(rng, dim, 0.5)
-		_, rr := kernels.SpMSpVSched(a, x, sc.Chip.NGPE(), sc.Chip.Tiles, kernels.NewRoundRobin(sc.Chip.NGPE()))
-		_, ll := kernels.SpMSpVSched(a, x, sc.Chip.NGPE(), sc.Chip.Tiles, kernels.NewLeastLoaded(sc.Chip.NGPE()))
+		_, rr, err := kernels.SpMSpVSched(a, x, sc.Chip.NGPE(), sc.Chip.Tiles, kernels.NewRoundRobin(sc.Chip.NGPE()))
+		if err != nil {
+			return nil, err
+		}
+		_, ll, err := kernels.SpMSpVSched(a, x, sc.Chip.NGPE(), sc.Chip.Tiles, kernels.NewLeastLoaded(sc.Chip.NGPE()))
+		if err != nil {
+			return nil, err
+		}
 		// Timing at high bandwidth, where the critical path is the loaded
 		// GPE rather than the memory bus.
 		const bw = 50e9

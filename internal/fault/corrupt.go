@@ -1,0 +1,43 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+)
+
+// CorruptFile flips nFlips deterministically-chosen bits in the file — the
+// torn-write / bit-rot model for on-disk artifacts like serialized models.
+// Positions derive from seed, so a given corruption is reproducible.
+func CorruptFile(path string, seed int64, nFlips int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("fault: %s is empty, nothing to corrupt", path)
+	}
+	if nFlips < 1 {
+		nFlips = 1
+	}
+	h := splitmix64(uint64(seed))
+	for i := 0; i < nFlips; i++ {
+		h = splitmix64(h)
+		pos := int(h % uint64(len(data)))
+		bit := byte(1) << ((h >> 32) % 8)
+		data[pos] ^= bit
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// TruncateFile keeps only the leading keepFrac of the file — the
+// interrupted-write model (a save that died partway).
+func TruncateFile(path string, keepFrac float64) error {
+	if keepFrac < 0 || keepFrac >= 1 {
+		return fmt.Errorf("fault: truncation fraction %v out of [0, 1)", keepFrac)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	return os.Truncate(path, int64(float64(info.Size())*keepFrac))
+}

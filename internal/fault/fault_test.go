@@ -1,0 +1,246 @@
+package fault
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/sim"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	in := "drop=0.05,inf=0.1,mult=8,nan=0.1,noise=0.3,rc-drop=0.2,rc-penalty=0.1,stuck=0.05,wild=0.15,zero=0.02,seed=7"
+	s, err := ParseSpec(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.String(); got != in {
+		t.Fatalf("round trip: %q -> %q", in, got)
+	}
+	again, err := ParseSpec(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != s {
+		t.Fatalf("re-parse differs: %+v vs %+v", again, s)
+	}
+}
+
+func TestParseSpecEmptyAndErrors(t *testing.T) {
+	s, err := ParseSpec("  ")
+	if err != nil || !s.IsZero() {
+		t.Fatalf("blank spec should be zero, got %+v, %v", s, err)
+	}
+	if s.String() != "none" {
+		t.Fatalf("zero spec renders %q", s.String())
+	}
+	for _, bad := range []string{
+		"nan",       // no value
+		"bogus=0.1", // unknown class
+		"nan=x",     // unparsable
+		"nan=1.5",   // probability > 1
+		"nan=-0.1",  // negative
+		"drop=NaN",  // non-finite
+		"=0.1",      // empty key
+		"nan=0.1,,x=silly",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("spec %q should be rejected", bad)
+		}
+	}
+	// Noise and mult may exceed 1.
+	if _, err := ParseSpec("noise=2,mult=16"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The injector must be a pure function of (seed, epoch): two injectors with
+// the same spec produce identical faults, which is what makes
+// checkpoint/resume replay exact.
+func TestInjectorDeterminism(t *testing.T) {
+	spec, err := ParseSpec("nan=0.2,zero=0.1,stuck=0.2,drop=0.1,noise=0.2,wild=0.3,rc-drop=0.3,rc-penalty=0.2,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := New(spec), New(spec)
+	frame := sim.Counters{ClockMHz: 1000, L1CapKB: 32, GPEIPC: 1.5}
+	for e := 0; e < 200; e++ {
+		ca, _ := a.PerturbTelemetry(e, frame)
+		cb, _ := b.PerturbTelemetry(e, frame)
+		// NaN != NaN, so compare feature-wise with NaN equivalence.
+		fa, fb := ca.Features(), cb.Features()
+		for i := range fa {
+			same := fa[i] == fb[i] || (math.IsNaN(fa[i]) && math.IsNaN(fb[i]))
+			if !same {
+				t.Fatalf("epoch %d feature %d: %v vs %v", e, i, fa[i], fb[i])
+			}
+		}
+		if a.DropTelemetry(e) != b.DropTelemetry(e) {
+			t.Fatalf("drop differs at epoch %d", e)
+		}
+		pa, oka := a.PerturbPrediction(e, config.Baseline)
+		pb, okb := b.PerturbPrediction(e, config.Baseline)
+		if pa != pb || oka != okb {
+			t.Fatalf("prediction fault differs at epoch %d", e)
+		}
+		da, ma := a.ReconfigFault(e, 0)
+		db, mb := b.ReconfigFault(e, 0)
+		if da != db || ma != mb {
+			t.Fatalf("reconfig fault differs at epoch %d", e)
+		}
+	}
+}
+
+func TestInjectorSeedChangesFaults(t *testing.T) {
+	s1, _ := ParseSpec("drop=0.5,seed=1")
+	s2, _ := ParseSpec("drop=0.5,seed=2")
+	a, b := New(s1), New(s2)
+	same := true
+	for e := 0; e < 64; e++ {
+		if a.DropTelemetry(e) != b.DropTelemetry(e) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestPerturbTelemetryClasses(t *testing.T) {
+	frame := sim.Counters{ClockMHz: 1000, L1CapKB: 32}
+	// Certain NaN: every epoch's frame is all-NaN.
+	nanInj := New(Spec{NaN: 1})
+	c, tags := nanInj.PerturbTelemetry(0, frame)
+	if !math.IsNaN(c.ClockMHz) {
+		t.Fatalf("nan fault did not fire: %+v", c)
+	}
+	if len(tags) != 1 || tags[0] != "nan" {
+		t.Fatalf("tags %v", tags)
+	}
+	// Certain Inf.
+	c, _ = New(Spec{Inf: 1}).PerturbTelemetry(0, frame)
+	if !math.IsInf(c.ClockMHz, 1) {
+		t.Fatalf("inf fault did not fire: %+v", c)
+	}
+	// Certain zero.
+	c, _ = New(Spec{Zero: 1}).PerturbTelemetry(0, frame)
+	if c != (sim.Counters{}) {
+		t.Fatalf("zero fault did not fire: %+v", c)
+	}
+	// Stuck-at: first epoch has no previous frame, so the true frame passes;
+	// the second epoch re-serves epoch 0's true values.
+	stuck := New(Spec{Stuck: 1})
+	c0, _ := stuck.PerturbTelemetry(0, frame)
+	if c0 != frame {
+		t.Fatal("stuck-at with no history must pass the frame through")
+	}
+	f2 := frame
+	f2.ClockMHz = 500
+	c1, tags := stuck.PerturbTelemetry(1, f2)
+	if c1 != frame {
+		t.Fatalf("stuck-at should re-serve the previous frame, got %+v", c1)
+	}
+	if len(tags) == 0 || tags[0] != "stuck" {
+		t.Fatalf("tags %v", tags)
+	}
+	// Noise perturbs every feature multiplicatively.
+	c, _ = New(Spec{Noise: 0.5}).PerturbTelemetry(3, frame)
+	if c.ClockMHz == frame.ClockMHz {
+		t.Fatal("noise did not perturb the clock reading")
+	}
+	if c.ClockMHz < 500 || c.ClockMHz > 1500 {
+		t.Fatalf("noise amplitude out of range: %v", c.ClockMHz)
+	}
+}
+
+func TestPerturbPredictionOutOfRange(t *testing.T) {
+	inj := New(Spec{Wild: 1})
+	for e := 0; e < 32; e++ {
+		pred, fired := inj.PerturbPrediction(e, config.Baseline)
+		if !fired {
+			t.Fatalf("wild=1 must fire every epoch (epoch %d)", e)
+		}
+		bad := 0
+		for _, p := range config.RuntimeParams {
+			if pred[p] < 0 || pred[p] >= config.Cardinality(p) {
+				bad++
+			}
+		}
+		if bad == 0 {
+			t.Fatalf("epoch %d: wild prediction %v has no out-of-range level", e, pred)
+		}
+	}
+}
+
+func TestReconfigFault(t *testing.T) {
+	drop, mult := New(Spec{RcDrop: 1}).ReconfigFault(0, 0)
+	if !drop || mult != 1 {
+		t.Fatalf("rc-drop=1 must drop: %v %v", drop, mult)
+	}
+	drop, mult = New(Spec{RcPenalty: 1, PenaltyMult: 5}).ReconfigFault(0, 0)
+	if drop || mult != 5 {
+		t.Fatalf("rc-penalty must multiply cost: %v %v", drop, mult)
+	}
+	// Default multiplier applies when unset.
+	_, mult = New(Spec{RcPenalty: 1}).ReconfigFault(0, 0)
+	if mult != 8 {
+		t.Fatalf("default penalty multiplier = %v, want 8", mult)
+	}
+	// Attempts draw independent lanes: with p=0.5, some epoch must differ
+	// between attempt 0 and attempt 1.
+	inj := New(Spec{RcDrop: 0.5})
+	differ := false
+	for e := 0; e < 64 && !differ; e++ {
+		d0, _ := inj.ReconfigFault(e, 0)
+		d1, _ := inj.ReconfigFault(e, 1)
+		differ = d0 != d1
+	}
+	if !differ {
+		t.Fatal("retry attempts see identical drop decisions")
+	}
+}
+
+func TestCorruptAndTruncateFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	data := []byte(strings.Repeat("sparseadapt", 100))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptFile(path, 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) == string(data) {
+		t.Fatal("corruption changed nothing")
+	}
+	if len(got) != len(data) {
+		t.Fatal("corruption must not change length")
+	}
+	// Deterministic: same seed, same flips.
+	path2 := filepath.Join(dir, "model2.json")
+	os.WriteFile(path2, data, 0o644)
+	CorruptFile(path2, 3, 5)
+	got2, _ := os.ReadFile(path2)
+	if string(got) != string(got2) {
+		t.Fatal("corruption is not deterministic for a fixed seed")
+	}
+
+	if err := TruncateFile(path, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	if info.Size() != int64(len(data)/2) {
+		t.Fatalf("truncated size %d, want %d", info.Size(), len(data)/2)
+	}
+	if err := TruncateFile(path, 1.5); err == nil {
+		t.Fatal("keepFrac >= 1 must be rejected")
+	}
+	if err := CorruptFile(filepath.Join(dir, "missing"), 1, 1); err == nil {
+		t.Fatal("corrupting a missing file must fail")
+	}
+}

@@ -133,9 +133,12 @@ func (t *traversal) expand(iter int, frontier []int, fval []float64, dist []floa
 }
 
 func run(g *matrix.CSC, src int, nGPE, nLCP int, name string,
-	relax func(fv, wgt float64) float64) (Result, kernels.Workload) {
+	relax func(fv, wgt float64) float64) (Result, kernels.Workload, error) {
+	if g.Cols == 0 {
+		return Result{}, kernels.Workload{}, fmt.Errorf("graph: empty graph")
+	}
 	if src < 0 || src >= g.Cols {
-		panic("graph: source out of range")
+		return Result{}, kernels.Workload{}, fmt.Errorf("graph: source %d out of range [0, %d)", src, g.Cols)
 	}
 	t := newTraversal(g, nGPE, nLCP)
 	dist := make([]float64, g.Rows)
@@ -153,18 +156,18 @@ func run(g *matrix.CSC, src int, nGPE, nLCP int, name string,
 		res.Iterations++
 	}
 	res.Dist = dist
-	return res, kernels.Workload{Name: name, Trace: t.tb.Build(), EpochFPOps: kernels.EpochSpMSpV}
+	return res, kernels.Workload{Name: name, Trace: t.tb.Build(), EpochFPOps: kernels.EpochSpMSpV}, nil
 }
 
 // BFS runs breadth-first search from src, returning hop counts. Each
 // iteration is one boolean-semiring SpMSpV pass.
-func BFS(g *matrix.CSC, src, nGPE, nLCP int) (Result, kernels.Workload) {
+func BFS(g *matrix.CSC, src, nGPE, nLCP int) (Result, kernels.Workload, error) {
 	return run(g, src, nGPE, nLCP, "bfs", func(fv, _ float64) float64 { return fv + 1 })
 }
 
 // SSSP runs single-source shortest path (Bellman-Ford-style frontier
 // relaxation over the (min,+) semiring) with edge weights |A[r,c]|.
-func SSSP(g *matrix.CSC, src, nGPE, nLCP int) (Result, kernels.Workload) {
+func SSSP(g *matrix.CSC, src, nGPE, nLCP int) (Result, kernels.Workload, error) {
 	return run(g, src, nGPE, nLCP, "sssp", func(fv, wgt float64) float64 { return fv + wgt })
 }
 

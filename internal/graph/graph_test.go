@@ -102,7 +102,7 @@ func TestBFSPathGraph(t *testing.T) {
 	coo.Add(2, 1, 1)
 	coo.Add(3, 2, 1)
 	g := coo.ToCSC()
-	res, w := BFS(g, 0, nGPE, nLCP)
+	res, w, _ := BFS(g, 0, nGPE, nLCP)
 	want := []float64{0, 1, 2, 3}
 	if !distEq(res.Dist, want) {
 		t.Fatalf("dist %v, want %v", res.Dist, want)
@@ -119,7 +119,7 @@ func TestBFSDisconnected(t *testing.T) {
 	coo := matrix.NewCOO(5, 5)
 	coo.Add(1, 0, 1)
 	g := coo.ToCSC()
-	res, _ := BFS(g, 0, nGPE, nLCP)
+	res, _, _ := BFS(g, 0, nGPE, nLCP)
 	if !math.IsInf(res.Dist[4], 1) {
 		t.Fatal("unreachable vertex must be +Inf")
 	}
@@ -134,7 +134,7 @@ func TestQuickBFSMatchesReference(t *testing.T) {
 		n := 8 + rng.Intn(56)
 		g := matrix.RMATDefault(rng, n, n*3).ToCSC()
 		src := rng.Intn(n)
-		res, _ := BFS(g, src, nGPE, nLCP)
+		res, _, _ := BFS(g, src, nGPE, nLCP)
 		return distEq(res.Dist, refBFS(g, src))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
@@ -148,7 +148,7 @@ func TestQuickSSSPMatchesDijkstra(t *testing.T) {
 		n := 8 + rng.Intn(48)
 		g := matrix.Uniform(rng, n, n, n*4).ToCSC()
 		src := rng.Intn(n)
-		res, _ := SSSP(g, src, nGPE, nLCP)
+		res, _, _ := SSSP(g, src, nGPE, nLCP)
 		return distEq(res.Dist, refDijkstra(g, src))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
@@ -170,7 +170,7 @@ func TestGraphRunsOnMachine(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	chip := power.Chip{Tiles: 2, GPEsPerTile: 8}
 	g := matrix.RMATDefault(rng, 128, 512).ToCSC()
-	res, w := BFS(g, 0, chip.NGPE(), chip.Tiles)
+	res, w, _ := BFS(g, 0, chip.NGPE(), chip.Tiles)
 	if res.Traversed == 0 {
 		t.Skip("degenerate graph")
 	}
@@ -195,7 +195,7 @@ func TestSSSPWeightsRespected(t *testing.T) {
 	coo.Add(1, 0, 2)
 	coo.Add(2, 1, 3)
 	g := coo.ToCSC()
-	res, _ := SSSP(g, 0, nGPE, nLCP)
+	res, _, _ := SSSP(g, 0, nGPE, nLCP)
 	if res.Dist[2] != 5 {
 		t.Fatalf("dist[2] = %v, want 5 (via vertex 1)", res.Dist[2])
 	}

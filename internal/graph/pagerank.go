@@ -31,10 +31,10 @@ type PageRankResult struct {
 // a useful contrast workload for the controller (regular phases on sparse
 // data). Iteration stops when the L1 delta falls below tol or after
 // maxIter rounds.
-func PageRank(g *matrix.CSC, damping float64, tol float64, maxIter, nGPE, nLCP int) (PageRankResult, kernels.Workload) {
+func PageRank(g *matrix.CSC, damping float64, tol float64, maxIter, nGPE, nLCP int) (PageRankResult, kernels.Workload, error) {
 	n := g.Cols
 	if n == 0 {
-		panic("graph: empty graph")
+		return PageRankResult{}, kernels.Workload{}, fmt.Errorf("graph: empty graph")
 	}
 	if damping <= 0 || damping >= 1 {
 		damping = 0.85
@@ -118,5 +118,5 @@ func PageRank(g *matrix.CSC, damping float64, tol float64, maxIter, nGPE, nLCP i
 		}
 	}
 	res.Rank = rank
-	return res, kernels.Workload{Name: "pagerank", Trace: tb.Build(), EpochFPOps: kernels.EpochSpMSpV}
+	return res, kernels.Workload{Name: "pagerank", Trace: tb.Build(), EpochFPOps: kernels.EpochSpMSpV}, nil
 }

@@ -51,7 +51,7 @@ func refPageRank(g *matrix.CSC, damping float64, iters int) []float64 {
 func TestPageRankMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	g := matrix.RMATDefault(rng, 128, 800).ToCSC()
-	res, w := PageRank(g, 0.85, 0, 12, nGPE, nLCP)
+	res, w, _ := PageRank(g, 0.85, 0, 12, nGPE, nLCP)
 	want := refPageRank(g, 0.85, 12)
 	for i := range want {
 		if math.Abs(res.Rank[i]-want[i]) > 1e-9 {
@@ -69,7 +69,7 @@ func TestPageRankMatchesReference(t *testing.T) {
 func TestPageRankSumsToOne(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	g := matrix.Uniform(rng, 96, 96, 400).ToCSC()
-	res, _ := PageRank(g, 0.85, 0, 10, nGPE, nLCP)
+	res, _, _ := PageRank(g, 0.85, 0, 10, nGPE, nLCP)
 	sum := 0.0
 	for _, r := range res.Rank {
 		sum += r
@@ -92,7 +92,7 @@ func TestPageRankConvergesEarly(t *testing.T) {
 		coo.Add((v+1)%n, v, 1)
 		coo.Add((v-1+n)%n, v, 1)
 	}
-	res, _ := PageRank(coo.ToCSC(), 0.85, 1e-12, 50, nGPE, nLCP)
+	res, _, _ := PageRank(coo.ToCSC(), 0.85, 1e-12, 50, nGPE, nLCP)
 	if res.Iterations >= 50 {
 		t.Fatalf("ring should converge early, took %d iterations", res.Iterations)
 	}
@@ -111,7 +111,7 @@ func TestPageRankHubGetsTopRank(t *testing.T) {
 	for v := 1; v < n; v++ {
 		coo.Add(0, v, 1)
 	}
-	res, _ := PageRank(coo.ToCSC(), 0.85, 0, 20, nGPE, nLCP)
+	res, _, _ := PageRank(coo.ToCSC(), 0.85, 0, 20, nGPE, nLCP)
 	for i := 1; i < n; i++ {
 		if res.Rank[0] <= res.Rank[i] {
 			t.Fatalf("hub rank %v not above leaf %v", res.Rank[0], res.Rank[i])
@@ -123,7 +123,7 @@ func TestPageRankRunsOnMachine(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	chip := power.Chip{Tiles: 2, GPEsPerTile: 8}
 	g := matrix.RMATDefault(rng, 128, 700).ToCSC()
-	_, w := PageRank(g, 0.85, 0, 4, chip.NGPE(), chip.Tiles)
+	_, w, _ := PageRank(g, 0.85, 0, 4, chip.NGPE(), chip.Tiles)
 	m := sim.New(chip, sim.DefaultBandwidth, config.Baseline)
 	m.BindTrace(w.Trace)
 	var total power.Metrics
@@ -139,7 +139,7 @@ func TestPageRankDefaults(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	g := matrix.Uniform(rng, 32, 32, 64).ToCSC()
 	// Out-of-range damping and maxIter fall back to sane defaults.
-	res, _ := PageRank(g, 2.0, 0, 0, nGPE, nLCP)
+	res, _, _ := PageRank(g, 2.0, 0, 0, nGPE, nLCP)
 	if res.Iterations == 0 || len(res.Rank) != 32 {
 		t.Fatalf("defaults not applied: %+v", res.Iterations)
 	}

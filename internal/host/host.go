@@ -128,6 +128,29 @@ func (r *Runner) RunAdaptive(model *core.Ensemble, opts core.Options, start conf
 	return r.finish(dev, off), nil
 }
 
+// RunResilient offloads under resilient SparseAdapt control: the full
+// fault-tolerance layer (sanitizer, watchdog fallback, verified
+// reconfiguration, optional checkpointing) is active, and inject — which
+// may be nil for a clean run — perturbs the feedback loop. It returns the
+// full device-side run result so callers can read the resilience report
+// alongside the offload economics.
+func (r *Runner) RunResilient(model *core.Ensemble, opts core.ResilientOptions, start config.Config, off Offload, inject core.FaultInjector) (Result, core.RunResult, error) {
+	if off.Workload.Trace == nil {
+		return Result{}, core.RunResult{}, fmt.Errorf("host: offload has no workload")
+	}
+	if opts.EpochScale <= 0 {
+		opts.EpochScale = r.EpochScale
+	}
+	m := sim.New(r.Chip, r.BW, start)
+	rc := core.NewResilientController(model, opts)
+	rc.Inject = inject
+	run, err := rc.Run(m, off.Workload)
+	if err != nil {
+		return Result{}, core.RunResult{}, err
+	}
+	return r.finish(run.Total, off), run, nil
+}
+
 // BreakEvenBytes estimates, for a measured device run, the operand size at
 // which transfer time equals compute time — the classic offload
 // amortization threshold the host's dispatch logic weighs.

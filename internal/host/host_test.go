@@ -19,7 +19,7 @@ func makeOffload(t *testing.T, dim, nnz int) Offload {
 	am := matrix.Uniform(rng, dim, dim, nnz)
 	a := am.ToCSC()
 	x := matrix.RandomVec(rng, dim, 0.5)
-	y, w := kernels.SpMSpV(a, x, chip.NGPE(), chip.Tiles)
+	y, w, _ := kernels.SpMSpV(a, x, chip.NGPE(), chip.Tiles)
 	return Offload{
 		Workload: w,
 		BytesIn:  InputBytes(a.NNZ(), dim) + InputBytes(x.NNZ(), dim),

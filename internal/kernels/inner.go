@@ -1,6 +1,8 @@
 package kernels
 
 import (
+	"fmt"
+
 	"sparseadapt/internal/matrix"
 	"sparseadapt/internal/sim"
 )
@@ -27,9 +29,9 @@ const (
 //
 // A is consumed in CSR and B in CSC (the transposed layout of the
 // outer-product kernel).
-func SpMSpMInner(a *matrix.CSR, b *matrix.CSC, nGPE, nLCP int) (*matrix.CSR, Workload) {
+func SpMSpMInner(a *matrix.CSR, b *matrix.CSC, nGPE, nLCP int) (*matrix.CSR, Workload, error) {
 	if a.Cols != b.Rows {
-		panic("kernels: SpMSpMInner shape mismatch")
+		return nil, Workload{}, fmt.Errorf("kernels: SpMSpMInner shape mismatch: A is %dx%d, B is %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	tb := sim.NewBuilder(nGPE, nLCP)
 	regAPtr := tb.AllocRegion("A.rowptr", (a.Rows+1)*iBytes, sim.RegionStream, 9)
@@ -105,7 +107,7 @@ func SpMSpMInner(a *matrix.CSR, b *matrix.CSC, nGPE, nLCP int) (*matrix.CSR, Wor
 			}
 		}
 	}
-	return out.ToCSR(), Workload{Name: "spmspm-inner", Trace: tb.Build(), EpochFPOps: EpochSpMSpM}
+	return out.ToCSR(), Workload{Name: "spmspm-inner", Trace: tb.Build(), EpochFPOps: EpochSpMSpM}, nil
 }
 
 // Algorithm identifies a SpMSpM formulation the host can dispatch.

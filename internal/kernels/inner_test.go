@@ -16,7 +16,7 @@ func TestSpMSpMInnerCorrectSmall(t *testing.T) {
 	coo.Add(0, 2, -1)
 	a := coo.ToCSR()
 	b := coo.ToCSC()
-	got, w := SpMSpMInner(a, b, nGPE, nLCP)
+	got, w, _ := SpMSpMInner(a, b, nGPE, nLCP)
 	want := denseMul(a.Dense(), b.ToCSR().Dense())
 	if !approxEq(got.Dense(), want, 1e-9) {
 		t.Fatalf("inner product wrong:\n got %v\nwant %v", got.Dense(), want)
@@ -34,8 +34,8 @@ func TestQuickInnerMatchesOuter(t *testing.T) {
 		n := 4 + rng.Intn(20)
 		am := matrix.Uniform(rng, n, n, n*3)
 		bm := matrix.Uniform(rng, n, n, n*3)
-		inner, _ := SpMSpMInner(am.ToCSR(), bm.ToCSC(), nGPE, nLCP)
-		outer, _ := SpMSpM(am.ToCSC(), bm.ToCSR(), nGPE, nLCP)
+		inner, _, _ := SpMSpMInner(am.ToCSR(), bm.ToCSC(), nGPE, nLCP)
+		outer, _, _ := SpMSpM(am.ToCSC(), bm.ToCSR(), nGPE, nLCP)
 		// The formulations may differ in explicit zeros (inner drops exact
 		// zero dot products only if no index matched); compare dense forms.
 		return approxEq(inner.Dense(), outer.Dense(), 1e-9)
@@ -87,7 +87,7 @@ func TestAlgorithmString(t *testing.T) {
 
 func TestInnerEmptyOperands(t *testing.T) {
 	empty := matrix.NewCOO(6, 6)
-	c, _ := SpMSpMInner(empty.ToCSR(), empty.ToCSC(), nGPE, nLCP)
+	c, _, _ := SpMSpMInner(empty.ToCSR(), empty.ToCSC(), nGPE, nLCP)
 	if c.NNZ() != 0 {
 		t.Fatal("empty product must be empty")
 	}

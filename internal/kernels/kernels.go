@@ -9,6 +9,8 @@
 package kernels
 
 import (
+	"fmt"
+
 	"sparseadapt/internal/matrix"
 	"sparseadapt/internal/sim"
 )
@@ -77,14 +79,14 @@ type pp struct {
 // with row k of B (CSR) appends partial products to per-output-row lists.
 // Merge phase: each output row's partial products are sorted and combined.
 // The LCPs' scheduling activity is traced too.
-func SpMSpM(a *matrix.CSC, b *matrix.CSR, nGPE, nLCP int) (*matrix.CSR, Workload) {
+func SpMSpM(a *matrix.CSC, b *matrix.CSR, nGPE, nLCP int) (*matrix.CSR, Workload, error) {
 	return SpMSpMSched(a, b, nGPE, nLCP, NewRoundRobin(nGPE))
 }
 
 // SpMSpMSched is SpMSpM with an explicit LCP work-scheduling policy.
-func SpMSpMSched(a *matrix.CSC, b *matrix.CSR, nGPE, nLCP int, sched Scheduler) (*matrix.CSR, Workload) {
+func SpMSpMSched(a *matrix.CSC, b *matrix.CSR, nGPE, nLCP int, sched Scheduler) (*matrix.CSR, Workload, error) {
 	if a.Cols != b.Rows {
-		panic("kernels: SpMSpM shape mismatch")
+		return nil, Workload{}, fmt.Errorf("kernels: SpMSpM shape mismatch: A is %dx%d, B is %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	tb := sim.NewBuilder(nGPE, nLCP)
 
@@ -201,7 +203,7 @@ func SpMSpMSched(a *matrix.CSC, b *matrix.CSR, nGPE, nLCP int, sched Scheduler) 
 	}
 
 	w := Workload{Name: "spmspm", Trace: tb.Build(), EpochFPOps: EpochSpMSpM}
-	return out.ToCSR(), w
+	return out.ToCSR(), w, nil
 }
 
 // mergeRow sorts partial products by column and sums duplicates.
@@ -248,14 +250,14 @@ func quickSortPP(s []pp) {
 // shared sparse accumulator, which is the kernel's hot reuse structure.
 // Work units are distributed round-robin; use SpMSpVSched for a different
 // LCP scheduling policy.
-func SpMSpV(a *matrix.CSC, x *matrix.SparseVec, nGPE, nLCP int) (*matrix.SparseVec, Workload) {
+func SpMSpV(a *matrix.CSC, x *matrix.SparseVec, nGPE, nLCP int) (*matrix.SparseVec, Workload, error) {
 	return SpMSpVSched(a, x, nGPE, nLCP, NewRoundRobin(nGPE))
 }
 
 // SpMSpVSched is SpMSpV with an explicit LCP work-scheduling policy.
-func SpMSpVSched(a *matrix.CSC, x *matrix.SparseVec, nGPE, nLCP int, sched Scheduler) (*matrix.SparseVec, Workload) {
+func SpMSpVSched(a *matrix.CSC, x *matrix.SparseVec, nGPE, nLCP int, sched Scheduler) (*matrix.SparseVec, Workload, error) {
 	if a.Cols != x.N {
-		panic("kernels: SpMSpV shape mismatch")
+		return nil, Workload{}, fmt.Errorf("kernels: SpMSpV shape mismatch: A is %dx%d, x has %d entries", a.Rows, a.Cols, x.N)
 	}
 	tb := sim.NewBuilder(nGPE, nLCP)
 
@@ -320,7 +322,7 @@ func SpMSpVSched(a *matrix.CSC, x *matrix.SparseVec, nGPE, nLCP int, sched Sched
 	}
 
 	w := Workload{Name: "spmspv", Trace: tb.Build(), EpochFPOps: EpochSpMSpV}
-	return matrix.NewSparseVec(a.Rows, idx, val), w
+	return matrix.NewSparseVec(a.Rows, idx, val), w, nil
 }
 
 func maxInt(a, b int) int {

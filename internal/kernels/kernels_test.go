@@ -55,7 +55,7 @@ func TestSpMSpMCorrectSmall(t *testing.T) {
 	coo.Add(0, 2, -1)
 	a := coo.ToCSC()
 	b := coo.ToCSR()
-	got, w := SpMSpM(a, b, nGPE, nLCP)
+	got, w, _ := SpMSpM(a, b, nGPE, nLCP)
 	want := denseMul(a.ToCSR().Dense(), b.Dense())
 	if !approxEq(got.Dense(), want, 1e-9) {
 		t.Fatalf("SpMSpM wrong:\n got %v\nwant %v", got.Dense(), want)
@@ -76,7 +76,7 @@ func TestQuickSpMSpMMatchesDense(t *testing.T) {
 		bm := matrix.Uniform(rng, n, n, n*2)
 		a := am.ToCSC()
 		b := bm.ToCSR()
-		got, _ := SpMSpM(a, b, nGPE, nLCP)
+		got, _, _ := SpMSpM(a, b, nGPE, nLCP)
 		want := denseMul(a.ToCSR().Dense(), b.Dense())
 		return approxEq(got.Dense(), want, 1e-9)
 	}
@@ -92,7 +92,7 @@ func TestQuickSpMSpVMatchesDense(t *testing.T) {
 		am := matrix.Uniform(rng, n, n, n*3)
 		a := am.ToCSC()
 		x := matrix.RandomVec(rng, n, 0.5)
-		got, _ := SpMSpV(a, x, nGPE, nLCP)
+		got, _, _ := SpMSpV(a, x, nGPE, nLCP)
 		ad := a.ToCSR().Dense()
 		xd := x.Dense()
 		want := make([]float64, n)
@@ -120,7 +120,7 @@ func TestSpMSpVTransposeProduct(t *testing.T) {
 	am := matrix.Uniform(rng, 20, 20, 60)
 	a := am.ToCSC()
 	at := am.ToCSR().Transpose() // Aᵀ in CSR... Transpose returns CSR of Aᵀ
-	got, _ := SpMSpM(a, at, nGPE, nLCP)
+	got, _, _ := SpMSpM(a, at, nGPE, nLCP)
 	want := denseMul(am.ToCSR().Dense(), at.Dense())
 	if !approxEq(got.Dense(), want, 1e-9) {
 		t.Fatal("A·Aᵀ mismatch")
@@ -131,7 +131,7 @@ func TestTraceEventsLieInRegions(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	am := matrix.Uniform(rng, 32, 32, 128)
 	a := am.ToCSC()
-	_, w := SpMSpM(a, am.ToCSR(), nGPE, nLCP)
+	_, w, _ := SpMSpM(a, am.ToCSR(), nGPE, nLCP)
 	for i, e := range w.Trace.Events {
 		if !e.Kind.IsMem() {
 			continue
@@ -150,7 +150,7 @@ func TestWorkDistributedAcrossGPEs(t *testing.T) {
 	am := matrix.Uniform(rng, 64, 64, 512)
 	a := am.ToCSC()
 	x := matrix.RandomVec(rng, 64, 0.5)
-	_, w := SpMSpV(a, x, nGPE, nLCP)
+	_, w, _ := SpMSpV(a, x, nGPE, nLCP)
 	seen := make([]int, nGPE+nLCP)
 	for _, e := range w.Trace.Events {
 		seen[e.Core]++
@@ -169,7 +169,7 @@ func TestWorkloadEpochs(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	am := matrix.Uniform(rng, 128, 128, 2048)
 	a := am.ToCSC()
-	_, w := SpMSpM(a, am.ToCSR(), nGPE, nLCP)
+	_, w, _ := SpMSpM(a, am.ToCSR(), nGPE, nLCP)
 	eps := w.Epochs(0.02) // scaled-down epoch for the small input
 	if len(eps) < 4 {
 		t.Fatalf("too few epochs: %d", len(eps))
@@ -195,8 +195,8 @@ func TestKernelsRunOnMachine(t *testing.T) {
 	a := am.ToCSC()
 	x := matrix.RandomVec(rng, 96, 0.5)
 	for _, build := range []func() Workload{
-		func() Workload { _, w := SpMSpM(a, am.ToCSR(), chip.NGPE(), chip.Tiles); return w },
-		func() Workload { _, w := SpMSpV(a, x, chip.NGPE(), chip.Tiles); return w },
+		func() Workload { _, w, _ := SpMSpM(a, am.ToCSR(), chip.NGPE(), chip.Tiles); return w },
+		func() Workload { _, w, _ := SpMSpV(a, x, chip.NGPE(), chip.Tiles); return w },
 	} {
 		w := build()
 		m := sim.New(chip, sim.DefaultBandwidth, config.Baseline)
@@ -263,14 +263,14 @@ func TestQuickMergeRowSortedUnique(t *testing.T) {
 
 func TestEmptyInputs(t *testing.T) {
 	empty := matrix.NewCOO(8, 8).ToCSC()
-	c, w := SpMSpM(empty, matrix.NewCOO(8, 8).ToCSR(), nGPE, nLCP)
+	c, w, _ := SpMSpM(empty, matrix.NewCOO(8, 8).ToCSR(), nGPE, nLCP)
 	if c.NNZ() != 0 {
 		t.Fatal("empty product must be empty")
 	}
 	if w.Trace == nil {
 		t.Fatal("trace must exist even for empty input")
 	}
-	y, _ := SpMSpV(empty, matrix.NewSparseVec(8, []int{1}, []float64{1}), nGPE, nLCP)
+	y, _, _ := SpMSpV(empty, matrix.NewSparseVec(8, []int{1}, []float64{1}), nGPE, nLCP)
 	if y.NNZ() != 0 {
 		t.Fatal("empty matvec must be empty")
 	}

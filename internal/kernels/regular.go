@@ -1,6 +1,8 @@
 package kernels
 
 import (
+	"fmt"
+
 	"sparseadapt/internal/sim"
 )
 
@@ -25,10 +27,10 @@ const EpochRegular = 5000
 // observes that for regular kernels like GeMM the gap between Ideal Static
 // and Oracle is under 5%, making dynamic control unnecessary — the
 // `disc7` experiment reproduces that claim with this kernel.
-func GeMM(a, b [][]float64, nGPE, nLCP int) ([][]float64, Workload) {
+func GeMM(a, b [][]float64, nGPE, nLCP int) ([][]float64, Workload, error) {
 	n, k := len(a), len(b)
-	if n == 0 || k == 0 || len(a[0]) != k {
-		panic("kernels: GeMM shape mismatch")
+	if n == 0 || k == 0 || len(a[0]) != k || len(b[0]) == 0 {
+		return nil, Workload{}, fmt.Errorf("kernels: GeMM shape mismatch: A is %dx%d, B has %d rows", n, lenOrZero(a), k)
 	}
 	mCols := len(b[0])
 	tb := sim.NewBuilder(nGPE, nLCP)
@@ -67,18 +69,21 @@ func GeMM(a, b [][]float64, nGPE, nLCP int) ([][]float64, Workload) {
 			}
 		}
 	}
-	return c, Workload{Name: "gemm", Trace: tb.Build(), EpochFPOps: EpochRegular}
+	return c, Workload{Name: "gemm", Trace: tb.Build(), EpochFPOps: EpochRegular}, nil
 }
 
 // Conv2D computes a dense 2-D convolution (valid padding, stride 1) of a
 // h×w input with a kh×kw kernel — the second regular workload of the
 // paper's Discussion. Rows of the output are distributed across GPEs.
-func Conv2D(in [][]float64, kernel [][]float64, nGPE, nLCP int) ([][]float64, Workload) {
+func Conv2D(in [][]float64, kernel [][]float64, nGPE, nLCP int) ([][]float64, Workload, error) {
+	if len(in) == 0 || len(in[0]) == 0 || len(kernel) == 0 || len(kernel[0]) == 0 {
+		return nil, Workload{}, fmt.Errorf("kernels: Conv2D with empty input or kernel")
+	}
 	h, w := len(in), len(in[0])
 	kh, kw := len(kernel), len(kernel[0])
 	oh, ow := h-kh+1, w-kw+1
 	if oh <= 0 || ow <= 0 {
-		panic("kernels: Conv2D kernel larger than input")
+		return nil, Workload{}, fmt.Errorf("kernels: Conv2D kernel %dx%d larger than input %dx%d", kh, kw, h, w)
 	}
 	tb := sim.NewBuilder(nGPE, nLCP)
 	regIn := tb.AllocRegion("input", h*w*fBytes, sim.RegionStream, 9)
@@ -114,5 +119,13 @@ func Conv2D(in [][]float64, kernel [][]float64, nGPE, nLCP int) ([][]float64, Wo
 			out[oy][ox] = acc
 		}
 	}
-	return out, Workload{Name: "conv2d", Trace: tb.Build(), EpochFPOps: EpochRegular}
+	return out, Workload{Name: "conv2d", Trace: tb.Build(), EpochFPOps: EpochRegular}, nil
+}
+
+// lenOrZero returns the row width of a non-empty dense matrix.
+func lenOrZero(m [][]float64) int {
+	if len(m) == 0 {
+		return 0
+	}
+	return len(m[0])
 }

@@ -26,7 +26,7 @@ func TestGeMMCorrect(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	a := randDense(rng, 9, 7)
 	b := randDense(rng, 7, 11)
-	got, w := GeMM(a, b, nGPE, nLCP)
+	got, w, _ := GeMM(a, b, nGPE, nLCP)
 	want := denseMul(a, b)
 	if !approxEq(got, want, 1e-9) {
 		t.Fatal("GeMM result wrong")
@@ -44,7 +44,7 @@ func TestQuickGeMMMatchesReference(t *testing.T) {
 		m := 2 + rng.Intn(10)
 		a := randDense(rng, n, k)
 		b := randDense(rng, k, m)
-		got, _ := GeMM(a, b, nGPE, nLCP)
+		got, _, _ := GeMM(a, b, nGPE, nLCP)
 		return approxEq(got, denseMul(a, b), 1e-9)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
@@ -74,7 +74,7 @@ func TestConv2DCorrect(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	in := randDense(rng, 12, 14)
 	k := randDense(rng, 3, 3)
-	got, w := Conv2D(in, k, nGPE, nLCP)
+	got, w, _ := Conv2D(in, k, nGPE, nLCP)
 	want := refConv(in, k)
 	if len(got) != len(want) {
 		t.Fatalf("output height %d, want %d", len(got), len(want))
@@ -95,7 +95,7 @@ func TestConv2DIdentityKernel(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	in := randDense(rng, 6, 6)
 	id := [][]float64{{1}}
-	got, _ := Conv2D(in, id, nGPE, nLCP)
+	got, _, _ := Conv2D(in, id, nGPE, nLCP)
 	for i := range got {
 		for j := range got[i] {
 			if got[i][j] != in[i][j] {
@@ -109,7 +109,7 @@ func TestRegularKernelsRunOnMachine(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	chip := power.Chip{Tiles: 2, GPEsPerTile: 8}
 	a := randDense(rng, 24, 24)
-	_, w := GeMM(a, a, chip.NGPE(), chip.Tiles)
+	_, w, _ := GeMM(a, a, chip.NGPE(), chip.Tiles)
 	m := sim.New(chip, sim.DefaultBandwidth, config.Baseline)
 	m.BindTrace(w.Trace)
 	var total power.Metrics
@@ -121,7 +121,7 @@ func TestRegularKernelsRunOnMachine(t *testing.T) {
 	}
 	// Regular GeMM has far better locality than sparse kernels: its L1 miss
 	// rate should be low once warm.
-	_, w2 := GeMM(a, a, chip.NGPE(), chip.Tiles)
+	_, w2, _ := GeMM(a, a, chip.NGPE(), chip.Tiles)
 	m2 := sim.New(chip, sim.DefaultBandwidth, config.MaxCfg)
 	m2.BindTrace(w2.Trace)
 	eps := w2.Epochs(0.05)

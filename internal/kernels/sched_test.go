@@ -80,8 +80,8 @@ func TestLeastLoadedReducesImbalanceOnPowerLaw(t *testing.T) {
 	a := am.ToCSC()
 	x := matrix.RandomVec(rng, 256, 0.5)
 
-	_, rr := SpMSpVSched(a, x, nGPE, nLCP, NewRoundRobin(nGPE))
-	_, ll := SpMSpVSched(a, x, nGPE, nLCP, NewLeastLoaded(nGPE))
+	_, rr, _ := SpMSpVSched(a, x, nGPE, nLCP, NewRoundRobin(nGPE))
+	_, ll, _ := SpMSpVSched(a, x, nGPE, nLCP, NewLeastLoaded(nGPE))
 	ir, il := imbalance(rr, nGPE), imbalance(ll, nGPE)
 	if il >= ir {
 		t.Fatalf("least-loaded should reduce imbalance on power-law input: %v vs %v", il, ir)
@@ -93,8 +93,8 @@ func TestSchedVariantsSameResult(t *testing.T) {
 	am := matrix.Uniform(rng, 48, 48, 300)
 	a := am.ToCSC()
 	b := am.ToCSR()
-	c1, _ := SpMSpMSched(a, b, nGPE, nLCP, NewRoundRobin(nGPE))
-	c2, _ := SpMSpMSched(a, b, nGPE, nLCP, NewLeastLoaded(nGPE))
+	c1, _, _ := SpMSpMSched(a, b, nGPE, nLCP, NewRoundRobin(nGPE))
+	c2, _, _ := SpMSpMSched(a, b, nGPE, nLCP, NewLeastLoaded(nGPE))
 	if !c1.Equal(c2, 1e-12) {
 		t.Fatal("scheduling policy must not change the numerical result")
 	}

@@ -68,15 +68,16 @@ func (t *Tree) UnmarshalJSON(data []byte) error {
 		MinSamplesLeaf: in.Params.MinSamplesLeaf,
 	}
 	t.nodes = t.nodes[:0]
-	for i, n := range in.Nodes {
-		if n.Feature >= in.NFeatures ||
-			(n.Feature >= 0 && (n.Left <= 0 || n.Left >= len(in.Nodes) || n.Right <= 0 || n.Right >= len(in.Nodes))) {
-			return fmt.Errorf("ml: serialized tree node %d is malformed", i)
-		}
+	for _, n := range in.Nodes {
 		t.nodes = append(t.nodes, node{
 			feature: n.Feature, threshold: n.Threshold,
 			left: n.Left, right: n.Right, label: n.Label, samples: n.Samples,
 		})
+	}
+	// Full structural validation: bit flips in a model file must surface as
+	// a load error, never as an out-of-bounds read or a Predict that loops.
+	if err := t.Validate(); err != nil {
+		return fmt.Errorf("ml: serialized tree is malformed: %w", err)
 	}
 	return nil
 }

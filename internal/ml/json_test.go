@@ -72,10 +72,16 @@ func TestQuickTreeJSONRoundTrip(t *testing.T) {
 
 func TestTreeJSONRejectsMalformed(t *testing.T) {
 	cases := []string{
-		`{"nodes":[],"n_features":1,"n_classes":1}`,                             // no nodes
-		`{"nodes":[{"f":5,"l":0,"r":0}],"n_features":2,"n_classes":1}`,          // feature out of range
-		`{"nodes":[{"f":0,"l":9,"r":9},{"f":-1}],"n_features":2,"n_classes":1}`, // child out of range
-		`{"nodes":[{"f":0,"l":0,"r":1},{"f":-1}],"n_features":2,"n_classes":1}`, // self-loop child
+		`{"nodes":[],"n_features":1,"n_classes":1}`,                                         // no nodes
+		`{"nodes":[{"f":5,"l":0,"r":0}],"n_features":2,"n_classes":1}`,                      // feature out of range
+		`{"nodes":[{"f":0,"l":9,"r":9},{"f":-1}],"n_features":2,"n_classes":1}`,             // child out of range
+		`{"nodes":[{"f":0,"l":0,"r":1},{"f":-1}],"n_features":2,"n_classes":1}`,             // self-loop child
+		`{"nodes":[{"f":-1,"y":0},{"f":0,"l":0,"r":0}],"n_features":2,"n_classes":1}`,       // backward child pointers
+		`{"nodes":[{"f":-1,"y":5}],"n_features":2,"n_classes":3}`,                           // leaf label out of range
+		`{"nodes":[{"f":-1,"y":0}],"n_features":0,"n_classes":1}`,                           // no features declared
+		`{"nodes":[{"f":-1,"y":0}],"n_features":2,"n_classes":1,"importance":[0.5]}`,        // importance length mismatch
+		`{"nodes":[{"f":-1,"y":0}],"n_features":1,"n_classes":1,"params":{"max_depth":-2}}`, // negative hyperparameter
+		`{"nodes":[{"f":-1,"y":0}],"n_feat`,                                                 // truncated mid-write
 		`not json at all`,
 	}
 	for i, c := range cases {

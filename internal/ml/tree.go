@@ -238,6 +238,52 @@ func (t *Tree) Depth() int {
 // NodeCount returns the total node count.
 func (t *Tree) NodeCount() int { return len(t.nodes) }
 
+// NumFeatures returns the feature-vector width the tree was trained on.
+func (t *Tree) NumFeatures() int { return t.nFeatures }
+
+// NumClasses returns the number of classes the tree predicts.
+func (t *Tree) NumClasses() int { return t.nClasses }
+
+// Validate checks the structural invariants Predict depends on, so a tree
+// deserialized from an untrusted (possibly corrupted) file cannot read out
+// of bounds, loop forever, or emit labels outside [0, NumClasses). Trees
+// built by TrainTree always pass.
+func (t *Tree) Validate() error {
+	if t.nFeatures < 1 || t.nClasses < 1 {
+		return fmt.Errorf("ml: tree declares %d features, %d classes", t.nFeatures, t.nClasses)
+	}
+	if len(t.nodes) == 0 {
+		return fmt.Errorf("ml: tree has no nodes")
+	}
+	if t.importance != nil && len(t.importance) != t.nFeatures {
+		return fmt.Errorf("ml: importance length %d != %d features", len(t.importance), t.nFeatures)
+	}
+	if t.params.MaxDepth < 0 || t.params.MinSamplesLeaf < 0 {
+		return fmt.Errorf("ml: negative hyperparameters (max depth %d, min leaf %d)", t.params.MaxDepth, t.params.MinSamplesLeaf)
+	}
+	for i, n := range t.nodes {
+		if n.feature < 0 {
+			// Leaf: Predict returns its label directly.
+			if n.label < 0 || n.label >= t.nClasses {
+				return fmt.Errorf("ml: leaf %d labels class %d of %d", i, n.label, t.nClasses)
+			}
+			continue
+		}
+		if n.feature >= t.nFeatures {
+			return fmt.Errorf("ml: node %d splits on feature %d of %d", i, n.feature, t.nFeatures)
+		}
+		if math.IsNaN(n.threshold) || math.IsInf(n.threshold, 0) {
+			return fmt.Errorf("ml: node %d has non-finite threshold", i)
+		}
+		// Children must point strictly forward: this single invariant makes
+		// the structure acyclic, so Predict terminates on any input.
+		if n.left <= i || n.left >= len(t.nodes) || n.right <= i || n.right >= len(t.nodes) {
+			return fmt.Errorf("ml: node %d has out-of-order children (%d, %d)", i, n.left, n.right)
+		}
+	}
+	return nil
+}
+
 // FeatureImportance returns the normalized Gini importance per feature
 // (total impurity reduction contributed by splits on that feature), the
 // quantity Figure 10 reports.

@@ -46,7 +46,7 @@ func TestOracleMatchesBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	am := matrix.Uniform(rng, 48, 48, 300)
 	x := matrix.RandomVec(rng, 48, 0.5)
-	_, w := kernels.SpMSpV(am.ToCSC(), x, chip.NGPE(), chip.Tiles)
+	_, w, _ := kernels.SpMSpV(am.ToCSC(), x, chip.NGPE(), chip.Tiles)
 
 	// Keep the instance tiny: 4 configs, and clamp epochs by a coarse
 	// epoch scale.
@@ -79,7 +79,7 @@ func TestOraclePowerPerfNearBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
 	am := matrix.Uniform(rng, 48, 48, 300)
 	x := matrix.RandomVec(rng, 48, 0.5)
-	_, w := kernels.SpMSpV(am.ToCSC(), x, chip.NGPE(), chip.Tiles)
+	_, w, _ := kernels.SpMSpV(am.ToCSC(), x, chip.NGPE(), chip.Tiles)
 
 	cfgs := []config.Config{config.Baseline, config.BestAvgCache, config.MaxCfg}
 	epochScale := 0.3

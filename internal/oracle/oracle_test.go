@@ -17,7 +17,7 @@ func record(t *testing.T, nCfg int) *Recording {
 	t.Helper()
 	rng := rand.New(rand.NewSource(1))
 	am := matrix.Uniform(rng, 96, 96, 900)
-	_, w := kernels.SpMSpM(am.ToCSC(), am.ToCSR(), chip.NGPE(), chip.Tiles)
+	_, w, _ := kernels.SpMSpM(am.ToCSC(), am.ToCSR(), chip.NGPE(), chip.Tiles)
 	cfgs := SampleConfigs(rng, nCfg, config.CacheMode)
 	rec, err := Record(chip, sim.DefaultBandwidth, w, 0.05, cfgs)
 	if err != nil {
@@ -166,7 +166,7 @@ func TestProfileIndexPrefersMax(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	am := matrix.Uniform(rng, 64, 64, 400)
 	x := matrix.RandomVec(rng, 64, 0.5)
-	_, w := kernels.SpMSpV(am.ToCSC(), x, chip.NGPE(), chip.Tiles)
+	_, w, _ := kernels.SpMSpV(am.ToCSC(), x, chip.NGPE(), chip.Tiles)
 	cfgs := []config.Config{config.Baseline, config.MaxCfg, config.BestAvgCache}
 	rec, err := Record(chip, sim.DefaultBandwidth, w, 0.1, cfgs)
 	if err != nil {

@@ -111,6 +111,15 @@ func New(chip power.Chip, bwBytesPerSec float64, cfg config.Config) *Machine {
 // Chip returns the machine's physical topology.
 func (m *Machine) Chip() power.Chip { return m.chip }
 
+// InjectPenalty adds extra pending stall cycles, folded into the next epoch
+// exactly like a transition cost. The fault-injection layer uses it to model
+// reconfigurations that take at a multiple of their nominal cost.
+func (m *Machine) InjectPenalty(cycles float64) {
+	if cycles > 0 {
+		m.pendCycles += cycles
+	}
+}
+
 // Bandwidth returns the off-chip bandwidth in bytes/second.
 func (m *Machine) Bandwidth() float64 { return m.bw }
 

@@ -113,12 +113,12 @@ func buildWorkload(sw SweepSpec, rng *rand.Rand, dim int, density float64) (kern
 	a := am.ToCSC()
 	switch sw.Kernel {
 	case "spmspm":
-		_, w := kernels.SpMSpM(a, am.ToCSR(), sw.Chip.NGPE(), sw.Chip.Tiles)
-		return w, nil
+		_, w, err := kernels.SpMSpM(a, am.ToCSR(), sw.Chip.NGPE(), sw.Chip.Tiles)
+		return w, err
 	case "spmspv":
 		x := matrix.RandomVec(rng, dim, 0.5)
-		_, w := kernels.SpMSpV(a, x, sw.Chip.NGPE(), sw.Chip.Tiles)
-		return w, nil
+		_, w, err := kernels.SpMSpV(a, x, sw.Chip.NGPE(), sw.Chip.Tiles)
+		return w, err
 	default:
 		return kernels.Workload{}, fmt.Errorf("trainer: unknown kernel %q", sw.Kernel)
 	}

@@ -22,11 +22,11 @@ func smallWorkload(t *testing.T, kernel string, seed int64) kernels.Workload {
 	a := am.ToCSC()
 	switch kernel {
 	case "spmspm":
-		_, w := kernels.SpMSpM(a, am.ToCSR(), chip.NGPE(), chip.Tiles)
+		_, w, _ := kernels.SpMSpM(a, am.ToCSR(), chip.NGPE(), chip.Tiles)
 		return w
 	default:
 		x := matrix.RandomVec(rng, 96, 0.5)
-		_, w := kernels.SpMSpV(a, x, chip.NGPE(), chip.Tiles)
+		_, w, _ := kernels.SpMSpV(a, x, chip.NGPE(), chip.Tiles)
 		return w
 	}
 }

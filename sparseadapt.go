@@ -20,8 +20,6 @@
 package sparseadapt
 
 import (
-	"fmt"
-
 	"sparseadapt/internal/config"
 	"sparseadapt/internal/core"
 	"sparseadapt/internal/graph"
@@ -131,43 +129,26 @@ func NewSystem(cfg SystemConfig) *System {
 // paper's density levels, the compressed inner product for small dense
 // operands.
 func (s *System) SpMSpM(a *CSC, b *CSR) (*CSR, Workload, error) {
-	if a.Cols != b.Rows {
-		return nil, Workload{}, fmt.Errorf("sparseadapt: SpMSpM shapes %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
-	}
 	if kernels.ChooseSpMSpM(a, b) == kernels.InnerProduct {
-		c, w := kernels.SpMSpMInner(a.ToCSR(), b.ToCSC(), s.chip.NGPE(), s.chip.Tiles)
-		return c, w, nil
+		return kernels.SpMSpMInner(a.ToCSR(), b.ToCSC(), s.chip.NGPE(), s.chip.Tiles)
 	}
-	c, w := kernels.SpMSpM(a, b, s.chip.NGPE(), s.chip.Tiles)
-	return c, w, nil
+	return kernels.SpMSpM(a, b, s.chip.NGPE(), s.chip.Tiles)
 }
 
 // SpMSpV computes y = A·x on the device.
 func (s *System) SpMSpV(a *CSC, x *SparseVec) (*SparseVec, Workload, error) {
-	if a.Cols != x.N {
-		return nil, Workload{}, fmt.Errorf("sparseadapt: SpMSpV shapes %dx%d · %d", a.Rows, a.Cols, x.N)
-	}
-	y, w := kernels.SpMSpV(a, x, s.chip.NGPE(), s.chip.Tiles)
-	return y, w, nil
+	return kernels.SpMSpV(a, x, s.chip.NGPE(), s.chip.Tiles)
 }
 
 // BFS runs breadth-first search over adjacency g (column-as-source) from
 // src as iterative SpMSpV.
 func (s *System) BFS(g *CSC, src int) (GraphResult, Workload, error) {
-	if src < 0 || src >= g.Cols {
-		return GraphResult{}, Workload{}, fmt.Errorf("sparseadapt: BFS source %d out of range", src)
-	}
-	r, w := graph.BFS(g, src, s.chip.NGPE(), s.chip.Tiles)
-	return r, w, nil
+	return graph.BFS(g, src, s.chip.NGPE(), s.chip.Tiles)
 }
 
 // SSSP runs single-source shortest path with edge weights |g[r,c]|.
 func (s *System) SSSP(g *CSC, src int) (GraphResult, Workload, error) {
-	if src < 0 || src >= g.Cols {
-		return GraphResult{}, Workload{}, fmt.Errorf("sparseadapt: SSSP source %d out of range", src)
-	}
-	r, w := graph.SSSP(g, src, s.chip.NGPE(), s.chip.Tiles)
-	return r, w, nil
+	return graph.SSSP(g, src, s.chip.NGPE(), s.chip.Tiles)
 }
 
 // PageRankResult carries converged ranks (see graph.PageRank).
@@ -176,11 +157,7 @@ type PageRankResult = graph.PageRankResult
 // PageRank computes damped PageRank over adjacency g as traced SpMV
 // iterations (damping 0.85, tolerance tol, at most maxIter rounds).
 func (s *System) PageRank(g *CSC, damping, tol float64, maxIter int) (PageRankResult, Workload, error) {
-	if g.Cols == 0 {
-		return PageRankResult{}, Workload{}, fmt.Errorf("sparseadapt: empty graph")
-	}
-	r, w := graph.PageRank(g, damping, tol, maxIter, s.chip.NGPE(), s.chip.Tiles)
-	return r, w, nil
+	return graph.PageRank(g, damping, tol, maxIter, s.chip.NGPE(), s.chip.Tiles)
 }
 
 // TrainSpec configures model training (a scaled Table 3 sweep).
