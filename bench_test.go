@@ -11,9 +11,20 @@
 package sparseadapt_test
 
 import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
 	"testing"
 
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/engine"
 	"sparseadapt/internal/experiments"
+	"sparseadapt/internal/kernels"
+	"sparseadapt/internal/matrix"
+	"sparseadapt/internal/oracle"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
 )
 
 // run executes the experiment once per benchmark iteration and reports
@@ -271,6 +282,100 @@ func BenchmarkModelChoice(b *testing.B) {
 			b.ReportMetric(tree/n, "tree-cv-acc")
 			b.ReportMetric(lin/n, "linear-cv-acc")
 		}
+	}
+}
+
+// --- engine benchmarks -------------------------------------------------
+//
+// The benchmarks below measure the parallel execution engine itself on a
+// fixed oracle-recording batch: the same simulation grid the upper-bound
+// study replays, which is the dominant cost of every experiment. Compare
+// BenchmarkEngineOracleRecord/workers=1 against workers=4 for the
+// parallel speedup, and EngineCacheCold against EngineCacheWarm for the
+// content-addressed cache win.
+
+var benchWorkload struct {
+	once sync.Once
+	chip power.Chip
+	w    kernels.Workload
+	cfgs []config.Config
+}
+
+func engineBenchSetup(b *testing.B) (power.Chip, kernels.Workload, []config.Config) {
+	b.Helper()
+	benchWorkload.once.Do(func() {
+		benchWorkload.chip = power.Chip{Tiles: 2, GPEsPerTile: 8}
+		rng := rand.New(rand.NewSource(1))
+		am := matrix.Uniform(rng, 128, 128, 1600)
+		_, w, err := kernels.SpMSpM(am.ToCSC(), am.ToCSR(),
+			benchWorkload.chip.NGPE(), benchWorkload.chip.Tiles)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchWorkload.w = w
+		benchWorkload.cfgs = oracle.SampleConfigs(rng, 24, config.CacheMode)
+	})
+	return benchWorkload.chip, benchWorkload.w, benchWorkload.cfgs
+}
+
+// BenchmarkEngineOracleRecord records the oracle grid at 1, 2, 4 and 8
+// workers without a cache, exposing the raw pool speedup.
+func BenchmarkEngineOracleRecord(b *testing.B) {
+	chip, w, cfgs := engineBenchSetup(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := engine.New(engine.Options{Workers: workers})
+				if _, err := oracle.RecordEngine(context.Background(), eng,
+					chip, sim.DefaultBandwidth, w, 0.05, cfgs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCacheCold records against a fresh cache every iteration:
+// every row is a miss and must be simulated.
+func BenchmarkEngineCacheCold(b *testing.B) {
+	chip, w, cfgs := engineBenchSetup(b)
+	for i := 0; i < b.N; i++ {
+		cache, err := engine.NewCache(4096, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng := engine.New(engine.Options{Workers: 4, Cache: cache})
+		if _, err := oracle.RecordEngine(context.Background(), eng,
+			chip, sim.DefaultBandwidth, w, 0.05, cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineCacheWarm records against a pre-populated cache: every
+// row should be served content-addressed with near-zero recompute.
+func BenchmarkEngineCacheWarm(b *testing.B) {
+	chip, w, cfgs := engineBenchSetup(b)
+	cache, err := engine.NewCache(4096, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := engine.New(engine.Options{Workers: 4, Cache: cache})
+	if _, err := oracle.RecordEngine(context.Background(), warm,
+		chip, sim.DefaultBandwidth, w, 0.05, cfgs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New(engine.Options{Workers: 4, Cache: cache})
+		if _, err := oracle.RecordEngine(context.Background(), eng,
+			chip, sim.DefaultBandwidth, w, 0.05, cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if b.N > 0 {
+		hits, misses, _ := cache.Counts()
+		b.ReportMetric(float64(hits)/float64(hits+misses)*100, "hit-%")
 	}
 }
 

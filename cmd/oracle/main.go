@@ -9,12 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 
 	"sparseadapt/internal/config"
+	"sparseadapt/internal/engine"
 	"sparseadapt/internal/experiments"
 	"sparseadapt/internal/kernels"
 	"sparseadapt/internal/matrix"
@@ -28,6 +30,9 @@ func main() {
 	samples := flag.Int("samples", 32, "number of sampled configurations (paper: 256)")
 	scaleName := flag.String("scale", "small", "scale: test|small|paper")
 	seed := flag.Int64("seed", 42, "deterministic seed")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = all CPUs, 1 = serial)")
+	cacheDir := flag.String("cache", "", "directory for the on-disk simulation result cache")
+	progress := flag.Bool("progress", false, "print engine progress and the end-of-run summary")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -64,13 +69,26 @@ func main() {
 		fatal(werr)
 	}
 
-	rng := rand.New(rand.NewSource(sc.Seed + 7))
-	cfgs := oracle.SampleConfigs(rng, *samples, config.CacheMode)
-	fmt.Printf("recording %s on %s: %d configs x %d epochs\n",
-		*kernel, *matID, len(cfgs), len(w.Epochs(sc.Epoch)))
-	rec, err := oracle.Record(sc.Chip, sc.BW, w, sc.Epoch, cfgs)
+	cache, err := engine.NewCache(4096, *cacheDir)
 	if err != nil {
 		fatal(err)
+	}
+	opts := engine.Options{Workers: *workers, Cache: cache}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+	eng := engine.New(opts)
+
+	rng := rand.New(rand.NewSource(sc.Seed + 7))
+	cfgs := oracle.SampleConfigs(rng, *samples, config.CacheMode)
+	fmt.Printf("recording %s on %s: %d configs x %d epochs, %d workers\n",
+		*kernel, *matID, len(cfgs), len(w.Epochs(sc.Epoch)), eng.Workers())
+	rec, err := oracle.RecordEngine(context.Background(), eng, sc.Chip, sc.BW, w, sc.Epoch, cfgs)
+	if err != nil {
+		fatal(err)
+	}
+	if *progress {
+		fmt.Fprint(os.Stderr, eng.Stats.Report())
 	}
 
 	for _, mode := range []power.Mode{power.PowerPerformance, power.EnergyEfficient} {

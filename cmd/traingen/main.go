@@ -9,11 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"sparseadapt/internal/config"
+	"sparseadapt/internal/engine"
 	"sparseadapt/internal/power"
 	"sparseadapt/internal/trainer"
 )
@@ -26,6 +28,9 @@ func main() {
 	jsonOut := flag.String("json", "", "JSON output path")
 	csvOut := flag.String("csv", "dataset.csv", "CSV output path")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = all CPUs, 1 = serial)")
+	cacheDir := flag.String("cache", "", "directory for the on-disk simulation result cache")
+	progress := flag.Bool("progress", false, "print engine progress and the end-of-run summary")
 	flag.Parse()
 
 	mode := power.EnergyEfficient
@@ -41,15 +46,28 @@ func main() {
 		fatal(fmt.Errorf("unknown L1 type %q", *l1))
 	}
 
+	cache, err := engine.NewCache(4096, *cacheDir)
+	if err != nil {
+		fatal(err)
+	}
+	opts := engine.Options{Workers: *workers, Cache: cache}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+	eng := engine.New(opts)
+
 	sw := trainer.DefaultSweep(*kernel, l1Type, *scale)
 	sw.Seed = *seed
-	fmt.Printf("sweep: dims=%v densities=%v bandwidths=%v GB/s K=%d\n",
-		sw.Dims, sw.Densities, sw.BandwidthsGBps, sw.K)
-	ds, err := trainer.Generate(sw, mode)
+	fmt.Printf("sweep: dims=%v densities=%v bandwidths=%v GB/s K=%d workers=%d\n",
+		sw.Dims, sw.Densities, sw.BandwidthsGBps, sw.K, eng.Workers())
+	ds, err := trainer.GenerateEngine(context.Background(), eng, sw, mode, 1)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("generated %d examples\n", len(ds.Examples))
+	if *progress {
+		fmt.Fprint(os.Stderr, eng.Stats.Report())
+	}
 	if *jsonOut != "" {
 		if err := trainer.SaveDataset(*jsonOut, ds); err != nil {
 			fatal(err)

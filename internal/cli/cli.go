@@ -6,6 +6,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -136,6 +137,7 @@ func cmdExp(w io.Writer, args []string) error {
 	seed := fs.Int64("seed", 42, "deterministic seed")
 	csvDir := fs.String("csv", "", "directory for raw CSV output (artifact-style rep_data/)")
 	svgDir := fs.String("svg", "", "directory for SVG figures")
+	ef := addEngineFlags(fs)
 	// Accept the experiment ID before or after the flags.
 	id := ""
 	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
@@ -155,12 +157,16 @@ func cmdExp(w io.Writer, args []string) error {
 		return err
 	}
 	sc.Seed = *seed
+	if sc.Eng, err = ef.build(w); err != nil {
+		return err
+	}
 	if id == "all" {
 		reps, err := experiments.RunAll(sc, *csvDir)
 		for _, rep := range reps {
 			fmt.Fprint(w, rep.String())
 			fmt.Fprintln(w)
 		}
+		ef.report(w, sc.Eng)
 		return err
 	}
 	e, err := experiments.Get(id)
@@ -172,6 +178,7 @@ func cmdExp(w io.Writer, args []string) error {
 		return err
 	}
 	fmt.Fprint(w, rep.String())
+	ef.report(w, sc.Eng)
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return err
@@ -205,6 +212,7 @@ func cmdTrain(w io.Writer, args []string) error {
 	dsOut := fs.String("dataset", "", "optional dataset JSON output path")
 	csvOut := fs.String("csv", "", "optional dataset CSV output path")
 	cv := fs.Bool("cv", false, "use k-fold cross-validated hyperparameter search")
+	ef := addEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -216,14 +224,19 @@ func cmdTrain(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
+	eng, err := ef.build(w)
+	if err != nil {
+		return err
+	}
 	sw := trainer.DefaultSweep(*kernel, l1Type, *scale)
-	fmt.Fprintf(w, "generating dataset: kernel=%s l1=%s mode=%s dims=%v densities=%v bw=%v K=%d\n",
-		*kernel, *l1, mode, sw.Dims, sw.Densities, sw.BandwidthsGBps, sw.K)
-	ds, err := trainer.Generate(sw, mode)
+	fmt.Fprintf(w, "generating dataset: kernel=%s l1=%s mode=%s dims=%v densities=%v bw=%v K=%d workers=%d\n",
+		*kernel, *l1, mode, sw.Dims, sw.Densities, sw.BandwidthsGBps, sw.K, eng.Workers())
+	ds, err := trainer.GenerateEngine(context.Background(), eng, sw, mode, 1)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "dataset: %d examples\n", len(ds.Examples))
+	ef.report(w, eng)
 	if *dsOut != "" {
 		if err := trainer.SaveDataset(*dsOut, ds); err != nil {
 			return err
@@ -264,6 +277,7 @@ func cmdRun(w io.Writer, args []string) error {
 	faultSpec := fs.String("faults", "", "fault-injection spec, e.g. nan=0.1,stuck=0.05,rc-drop=0.2,seed=7 (runs the resilient controller)")
 	ckPath := fs.String("checkpoint", "", "controller checkpoint file (written during the run; implies the resilient controller)")
 	resumeCk := fs.Bool("resume", false, "resume an interrupted run from -checkpoint")
+	ef := addEngineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -272,6 +286,11 @@ func cmdRun(w io.Writer, args []string) error {
 	}
 	sc, err := scaleByName(*scaleName)
 	if err != nil {
+		return err
+	}
+	// The engine accelerates the on-the-fly model training below; the
+	// controlled run itself is a single sequential simulation.
+	if sc.Eng, err = ef.build(w); err != nil {
 		return err
 	}
 	mode, err := modeByName(*modeName)

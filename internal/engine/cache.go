@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// diskMagic heads every on-disk cache entry; the version digit guards the
+// file layout itself (payload semantics are guarded by the Hasher domain).
+const diskMagic = "SAENG1\n"
+
+// Cache is a two-tier content-addressed result store: a bounded in-memory
+// LRU tier for hot entries and an optional on-disk tier (one checksummed
+// file per key) that survives process restarts. Both tiers are keyed by the
+// same content address, so a warm disk cache re-populates the memory tier
+// on first touch. All methods are safe for concurrent use.
+type Cache struct {
+	mu     sync.Mutex
+	maxMem int
+	ll     *list.List // front = most recent
+	idx    map[Key]*list.Element
+	dir    string // "" = memory-only
+
+	hits, misses, corrupt int64
+}
+
+type cacheEntry struct {
+	key Key
+	val []byte
+}
+
+// NewCache builds a cache holding up to maxMem entries in memory (minimum
+// 1) and, when dir is non-empty, persisting every entry under dir.
+func NewCache(maxMem int, dir string) (*Cache, error) {
+	if maxMem < 1 {
+		maxMem = 1
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("engine: cache dir: %w", err)
+		}
+	}
+	return &Cache{maxMem: maxMem, ll: list.New(), idx: map[Key]*list.Element{}, dir: dir}, nil
+}
+
+// Get returns the value stored under k. A disk hit promotes the entry into
+// the memory tier; a corrupt disk entry (checksum mismatch, truncation) is
+// deleted and reported as a miss, so the caller recomputes it.
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.idx[k]; ok {
+		c.ll.MoveToFront(el)
+		v := el.Value.(*cacheEntry).val
+		c.hits++
+		c.mu.Unlock()
+		return v, true
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		if v, ok := c.readDisk(k); ok {
+			c.mu.Lock()
+			c.insertMem(k, v)
+			c.hits++
+			c.mu.Unlock()
+			return v, true
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores v under k in both tiers. The stored slice must not be mutated
+// by the caller afterwards.
+func (c *Cache) Put(k Key, v []byte) {
+	c.mu.Lock()
+	c.insertMem(k, v)
+	c.mu.Unlock()
+	if c.dir != "" {
+		c.writeDisk(k, v)
+	}
+}
+
+// Delete removes k from both tiers (used when an entry turns out to be
+// undecodable despite an intact checksum, e.g. after a schema change).
+func (c *Cache) Delete(k Key) {
+	c.mu.Lock()
+	if el, ok := c.idx[k]; ok {
+		c.ll.Remove(el)
+		delete(c.idx, k)
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		os.Remove(c.path(k))
+	}
+}
+
+// insertMem adds or refreshes a memory-tier entry, evicting from the LRU
+// tail. Caller holds c.mu.
+func (c *Cache) insertMem(k Key, v []byte) {
+	if el, ok := c.idx[k]; ok {
+		el.Value.(*cacheEntry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.idx[k] = c.ll.PushFront(&cacheEntry{key: k, val: v})
+	for c.ll.Len() > c.maxMem {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.idx, tail.Value.(*cacheEntry).key)
+	}
+}
+
+// MemLen returns the number of memory-tier entries.
+func (c *Cache) MemLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Counts returns (hits, misses, corrupt-entries-detected).
+func (c *Cache) Counts() (hits, misses, corrupt int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.corrupt
+}
+
+func (c *Cache) path(k Key) string { return filepath.Join(c.dir, k.String()+".bin") }
+
+// writeDisk persists one entry atomically (temp file + rename) as
+// magic ∥ sha256(payload) ∥ payload.
+func (c *Cache) writeDisk(k Key, v []byte) {
+	sum := sha256.Sum256(v)
+	buf := make([]byte, 0, len(diskMagic)+len(sum)+len(v))
+	buf = append(buf, diskMagic...)
+	buf = append(buf, sum[:]...)
+	buf = append(buf, v...)
+	tmp := c.path(k) + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return // disk tier is best-effort
+	}
+	if err := os.Rename(tmp, c.path(k)); err != nil {
+		os.Remove(tmp)
+	}
+}
+
+// readDisk loads and verifies one entry; corruption removes the file.
+func (c *Cache) readDisk(k Key) ([]byte, bool) {
+	data, err := os.ReadFile(c.path(k))
+	if err != nil {
+		return nil, false
+	}
+	hdr := len(diskMagic) + sha256.Size
+	ok := len(data) >= hdr && string(data[:len(diskMagic)]) == diskMagic
+	if ok {
+		payload := data[hdr:]
+		sum := sha256.Sum256(payload)
+		if string(sum[:]) == string(data[len(diskMagic):hdr]) {
+			return payload, true
+		}
+	}
+	// Torn write, bit rot or foreign file: drop it and recompute.
+	c.mu.Lock()
+	c.corrupt++
+	c.mu.Unlock()
+	os.Remove(c.path(k))
+	return nil, false
+}

@@ -1,0 +1,227 @@
+// Package engine is the parallel execution subsystem of the reproduction:
+// a bounded worker pool that runs independent simulation tasks concurrently
+// with cancellation and panic-to-error recovery, a content-addressed result
+// cache (in-memory LRU tier plus an optional on-disk tier) so repeated
+// sweeps skip redundant simulation, and per-run observability (task counts,
+// cache hit rate, wall/CPU time, a per-task latency histogram).
+//
+// The package is domain-agnostic: consumers (oracle recording, trainer
+// dataset generation, experiment sweeps, host batch offload) describe work
+// as an ordered slice of tasks and get results back in task order, so
+// output is byte-identical at any worker count. Caching is opt-in per task
+// via a content-addressed Key; cached values are gob-serialized, and a
+// value that fails to decode is treated as a miss and recomputed.
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds task concurrency; <= 0 means one worker per CPU.
+	Workers int
+	// Cache is the shared result cache; nil disables caching.
+	Cache *Cache
+	// Progress, when non-nil, receives a one-line status report every
+	// ProgressEvery while a Map call is running.
+	Progress io.Writer
+	// ProgressEvery defaults to 2s.
+	ProgressEvery time.Duration
+}
+
+// Engine executes task batches. It is safe for concurrent use; nested Map
+// calls (a task that itself fans out) each get their own worker set, so the
+// bound is per batch, not global.
+type Engine struct {
+	workers  int
+	cache    *Cache
+	progress io.Writer
+	every    time.Duration
+
+	Stats Stats
+
+	reporting sync.Mutex // at most one progress reporter at a time
+}
+
+// New builds an Engine from opts.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	every := opts.ProgressEvery
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	return &Engine{workers: w, cache: opts.Cache, progress: opts.Progress, every: every}
+}
+
+// Serial returns a one-worker engine with no cache — the drop-in
+// replacement for the old strictly-serial code paths.
+func Serial() *Engine { return New(Options{Workers: 1}) }
+
+// Workers returns the configured concurrency bound.
+func (e *Engine) Workers() int {
+	if e == nil {
+		return 1
+	}
+	return e.workers
+}
+
+// Cache returns the engine's cache (nil when caching is disabled).
+func (e *Engine) Cache() *Cache {
+	if e == nil {
+		return nil
+	}
+	return e.cache
+}
+
+// Task is one unit of work producing a T. A zero Key marks the task
+// uncacheable; otherwise Key must be a content address of everything that
+// determines the result (see Hasher).
+type Task[T any] struct {
+	Key     Key
+	Compute func(ctx context.Context) (T, error)
+}
+
+// Map runs tasks under the engine's worker bound and returns their results
+// in task order — result[i] always corresponds to tasks[i], regardless of
+// completion order, so assembly is deterministic at any worker count. The
+// first task error (lowest task index) cancels the remaining tasks and is
+// returned; a panicking task is converted to an error with its stack. A nil
+// engine runs serially without caching.
+func Map[T any](ctx context.Context, e *Engine, tasks []Task[T]) ([]T, error) {
+	if e == nil {
+		e = Serial()
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]T, len(tasks))
+	errs := make([]error, len(tasks))
+	if len(tasks) == 0 {
+		return results, nil
+	}
+	e.Stats.batchStart(len(tasks))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stopProgress := e.startReporter(ctx)
+
+	workers := e.workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					errs[i] = ctx.Err()
+					continue
+				}
+				results[i], errs[i] = runOne(e, ctx, tasks[i])
+				if errs[i] != nil {
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	stopProgress()
+
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("engine: task %d/%d: %w", i, len(tasks), err)
+		}
+	}
+	return results, nil
+}
+
+// runOne executes a single task: cache probe, compute with panic recovery,
+// cache fill, stats accounting.
+func runOne[T any](e *Engine, ctx context.Context, t Task[T]) (T, error) {
+	e.Stats.taskStart()
+	start := time.Now()
+	var zero T
+	if e.cache != nil && !t.Key.IsZero() {
+		if raw, ok := e.cache.Get(t.Key); ok {
+			var v T
+			if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&v); err == nil {
+				e.Stats.taskDone(time.Since(start), true, false)
+				return v, nil
+			}
+			// Undecodable (e.g. schema drift): drop and recompute.
+			e.cache.Delete(t.Key)
+		}
+	}
+	v, err := protect(ctx, t.Compute)
+	if err != nil {
+		e.Stats.taskDone(time.Since(start), false, true)
+		return zero, err
+	}
+	if e.cache != nil && !t.Key.IsZero() {
+		var buf bytes.Buffer
+		if gob.NewEncoder(&buf).Encode(&v) == nil {
+			e.cache.Put(t.Key, buf.Bytes())
+		}
+	}
+	e.Stats.taskDone(time.Since(start), false, false)
+	return v, nil
+}
+
+// protect invokes fn, converting a panic into an error carrying the stack.
+func protect[T any](ctx context.Context, fn func(context.Context) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("task panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return fn(ctx)
+}
+
+// startReporter launches the periodic progress printer for one Map call if
+// a progress writer is configured and no reporter is already running. The
+// returned stop function blocks until the reporter exits.
+func (e *Engine) startReporter(ctx context.Context) func() {
+	if e.progress == nil || !e.reporting.TryLock() {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		defer e.reporting.Unlock()
+		tick := time.NewTicker(e.every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				fmt.Fprintln(e.progress, e.Stats.Line())
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}

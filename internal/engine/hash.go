@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// Key is a 256-bit content address. The zero Key means "uncacheable".
+type Key [32]byte
+
+// IsZero reports whether k is the zero (uncacheable) key.
+func (k Key) IsZero() bool { return k == Key{} }
+
+// String returns the lowercase hex form, used as the on-disk file name.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Hasher builds content-addressed keys from typed fields. Every field is
+// written with a type tag and a length prefix, so distinct field sequences
+// can never collide by concatenation ("ab","c" vs "a","bc"), and the
+// resulting key is stable across processes, platforms and runs — it depends
+// only on the domain string and the field values, never on pointers, map
+// order or time.
+type Hasher struct {
+	h hash.Hash
+}
+
+// NewHasher starts a key for one cache domain. Bump the domain's version
+// suffix (e.g. "oracle-row/v1" → "/v2") whenever the computation it
+// addresses changes meaning, so stale on-disk entries are never reused.
+func NewHasher(domain string) *Hasher {
+	h := &Hasher{h: sha256.New()}
+	h.write('D', []byte(domain))
+	return h
+}
+
+func (h *Hasher) write(tag byte, b []byte) {
+	var hdr [9]byte
+	hdr[0] = tag
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(b)))
+	h.h.Write(hdr[:])
+	h.h.Write(b)
+}
+
+// Str appends a string field.
+func (h *Hasher) Str(s string) *Hasher {
+	h.write('S', []byte(s))
+	return h
+}
+
+// I64 appends an integer field.
+func (h *Hasher) I64(v int64) *Hasher {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	h.write('I', b[:])
+	return h
+}
+
+// Int appends int fields.
+func (h *Hasher) Int(vs ...int) *Hasher {
+	for _, v := range vs {
+		h.I64(int64(v))
+	}
+	return h
+}
+
+// U64 appends an unsigned integer field.
+func (h *Hasher) U64(v uint64) *Hasher {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	h.write('U', b[:])
+	return h
+}
+
+// F64 appends a float field by IEEE-754 bit pattern.
+func (h *Hasher) F64(v float64) *Hasher {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	h.write('F', b[:])
+	return h
+}
+
+// Bytes appends a raw byte-slice field.
+func (h *Hasher) Bytes(b []byte) *Hasher {
+	h.write('B', b)
+	return h
+}
+
+// Sum finalizes the key. The Hasher may keep accumulating fields after a
+// Sum (each Sum addresses the fields written so far).
+func (h *Hasher) Sum() Key {
+	var k Key
+	copy(k[:], h.h.Sum(nil))
+	return k
+}
+
+// DeriveSeed derives an independent RNG seed from a base seed and a salt
+// path via splitmix64 mixing. Parallel consumers give every task its own
+// seed (base + task coordinates) instead of sharing one math/rand stream,
+// which is what makes 1-worker and N-worker runs produce identical output.
+func DeriveSeed(base int64, salt ...int64) int64 {
+	x := uint64(base) ^ 0x9e3779b97f4a7c15
+	for _, s := range salt {
+		x = splitmix64(x ^ splitmix64(uint64(s)))
+	}
+	return int64(splitmix64(x))
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-distributed 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// latBounds are the upper edges of the per-task latency histogram buckets;
+// the final bucket is unbounded.
+var latBounds = []time.Duration{
+	time.Millisecond, 4 * time.Millisecond, 16 * time.Millisecond,
+	64 * time.Millisecond, 256 * time.Millisecond, time.Second, 4 * time.Second,
+}
+
+// Stats is the engine's per-run observability surface. All counters are
+// atomics, so tasks update them without coordination; Line and Report read
+// a consistent-enough snapshot for progress display.
+type Stats struct {
+	queued  atomic.Int64
+	running atomic.Int64
+	done    atomic.Int64
+	failed  atomic.Int64
+	hits    atomic.Int64 // cache hits (tasks answered without simulation)
+	misses  atomic.Int64 // tasks that computed
+
+	cpuNanos  atomic.Int64 // summed task latencies ≈ CPU time
+	wallStart atomic.Int64 // unix nanos of the first batch
+	wallNanos atomic.Int64 // running wall clock, updated at task completion
+
+	buckets [8]atomic.Int64
+}
+
+func (s *Stats) batchStart(n int) {
+	s.queued.Add(int64(n))
+	s.wallStart.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+func (s *Stats) taskStart() { s.running.Add(1) }
+
+func (s *Stats) taskDone(lat time.Duration, hit, failed bool) {
+	s.running.Add(-1)
+	s.done.Add(1)
+	if failed {
+		s.failed.Add(1)
+	}
+	if hit {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	s.cpuNanos.Add(int64(lat))
+	if start := s.wallStart.Load(); start != 0 {
+		s.wallNanos.Store(time.Now().UnixNano() - start)
+	}
+	b := len(latBounds)
+	for i, edge := range latBounds {
+		if lat <= edge {
+			b = i
+			break
+		}
+	}
+	s.buckets[b].Add(1)
+}
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	Queued, Running, Done, Failed int64
+	CacheHits, CacheMisses        int64
+	Wall, CPU                     time.Duration
+	Latency                       [8]int64
+}
+
+// HitRate returns the fraction of completed tasks served from cache.
+func (s Snapshot) HitRate() float64 {
+	if t := s.CacheHits + s.CacheMisses; t > 0 {
+		return float64(s.CacheHits) / float64(t)
+	}
+	return 0
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() Snapshot {
+	out := Snapshot{
+		Queued: s.queued.Load(), Running: s.running.Load(),
+		Done: s.done.Load(), Failed: s.failed.Load(),
+		CacheHits: s.hits.Load(), CacheMisses: s.misses.Load(),
+		Wall: time.Duration(s.wallNanos.Load()), CPU: time.Duration(s.cpuNanos.Load()),
+	}
+	for i := range s.buckets {
+		out.Latency[i] = s.buckets[i].Load()
+	}
+	return out
+}
+
+// Line renders a one-line progress report for periodic display.
+func (s *Stats) Line() string {
+	sn := s.Snapshot()
+	return fmt.Sprintf("engine: %d/%d done (%d running, %d failed), cache %.0f%% hit, %.1fs elapsed",
+		sn.Done, sn.Queued, sn.Running, sn.Failed, sn.HitRate()*100, sn.Wall.Seconds())
+}
+
+// Report renders the full multi-line end-of-run summary: task totals, cache
+// effectiveness, wall vs summed-CPU time (their ratio is the achieved
+// parallel speedup) and the latency histogram.
+func (s *Stats) Report() string {
+	sn := s.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine: %d tasks (%d done, %d failed)\n", sn.Queued, sn.Done, sn.Failed)
+	fmt.Fprintf(&b, "cache:  %d hits, %d misses (%.1f%% hit rate)\n",
+		sn.CacheHits, sn.CacheMisses, sn.HitRate()*100)
+	speedup := 0.0
+	if sn.Wall > 0 {
+		speedup = sn.CPU.Seconds() / sn.Wall.Seconds()
+	}
+	fmt.Fprintf(&b, "time:   %.2fs wall, %.2fs task CPU (%.2fx parallel speedup)\n",
+		sn.Wall.Seconds(), sn.CPU.Seconds(), speedup)
+	b.WriteString("latency:")
+	for i, n := range sn.Latency {
+		if n == 0 {
+			continue
+		}
+		if i < len(latBounds) {
+			fmt.Fprintf(&b, " ≤%s:%d", latBounds[i], n)
+		} else {
+			fmt.Fprintf(&b, " >%s:%d", latBounds[len(latBounds)-1], n)
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

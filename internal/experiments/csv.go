@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
+
+	"sparseadapt/internal/engine"
 )
 
 // WriteCSV exports the report's rows as a CSV file (the artifact's raw
@@ -42,27 +45,51 @@ func (r *Report) WriteCSV(path string) error {
 
 // RunAll executes every registered experiment at the given scale and
 // writes one CSV per experiment into dir (created if needed), mirroring
-// the paper artifact's rep_data/ output. It returns the reports in ID
-// order and stops at the first failure.
+// the paper artifact's rep_data/ output. When sc.Eng is set, experiments
+// run concurrently (each experiment is one engine task, and its internal
+// recordings and training sweeps fan out further on the same engine);
+// reports are still returned and written in ID order. The first failure
+// cancels the run.
 func RunAll(sc Scale, dir string) ([]*Report, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, err
 		}
 	}
-	var out []*Report
-	for _, id := range IDs() {
-		e, err := Get(id)
-		if err != nil {
-			return out, err
+	ids := IDs()
+	tasks := make([]engine.Task[*Report], len(ids))
+	for i, id := range ids {
+		id := id
+		// Whole experiments are never cached: they depend on the full Scale
+		// and are cheap relative to the recordings/sweeps inside them, which
+		// carry their own content-addressed caching.
+		tasks[i] = engine.Task[*Report]{Compute: func(ctx context.Context) (*Report, error) {
+			e, err := Get(id)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := e.Run(sc)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", id, err)
+			}
+			return rep, nil
+		}}
+	}
+	out, err := engine.Map(context.Background(), sc.Eng, tasks)
+	if err != nil {
+		// Preserve the partial-prefix contract of the serial version.
+		var done []*Report
+		for _, r := range out {
+			if r == nil {
+				break
+			}
+			done = append(done, r)
 		}
-		rep, err := e.Run(sc)
-		if err != nil {
-			return out, fmt.Errorf("experiments: %s: %w", id, err)
-		}
-		out = append(out, rep)
-		if dir != "" {
-			if err := rep.WriteCSV(filepath.Join(dir, id+".csv")); err != nil {
+		return done, err
+	}
+	if dir != "" {
+		for i, rep := range out {
+			if err := rep.WriteCSV(filepath.Join(dir, ids[i]+".csv")); err != nil {
 				return out, err
 			}
 		}

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 
 	"sparseadapt/internal/config"
 	"sparseadapt/internal/core"
+	"sparseadapt/internal/engine"
 	"sparseadapt/internal/kernels"
 	"sparseadapt/internal/matrix"
 	"sparseadapt/internal/ml"
@@ -39,6 +41,10 @@ type Scale struct {
 	Seed          int64
 	Chip          power.Chip
 	BW            float64
+	// Eng is the parallel execution engine used for oracle recordings and
+	// training-sweep generation; nil runs everything serially and uncached.
+	// Results are identical either way — the engine only changes wall time.
+	Eng *engine.Engine
 }
 
 // TestScale is small enough for unit tests and benchmarks.
@@ -210,7 +216,7 @@ func HistoryModel(sc Scale, kernel string, l1Type int, mode power.Mode, h int) (
 	if h > 1 && sw.Measure < h {
 		sw.Measure = h
 	}
-	ds, err := trainer.GenerateH(sw, mode, h)
+	ds, err := trainer.GenerateEngine(context.Background(), sc.Eng, sw, mode, h)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 
 	"sparseadapt/internal/config"
@@ -33,7 +34,7 @@ func Figure9(sc Scale) (*Report, error) {
 	sw := trainer.DefaultSweep("spmspv", config.CacheMode, sc.Train)
 	sw.Chip = sc.Chip
 	sw.Seed = sc.Seed
-	ds, err := trainer.Generate(sw, power.PowerPerformance)
+	ds, err := trainer.GenerateEngine(context.Background(), sc.Eng, sw, power.PowerPerformance, 1)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"sparseadapt/internal/config"
 	"sparseadapt/internal/ml"
 	"sparseadapt/internal/power"
@@ -25,7 +27,7 @@ func ModelChoice(sc Scale) (*Report, error) {
 	sw := trainer.DefaultSweep("spmspv", config.CacheMode, sc.Train)
 	sw.Chip = sc.Chip
 	sw.Seed = sc.Seed
-	ds, err := trainer.Generate(sw, power.EnergyEfficient)
+	ds, err := trainer.GenerateEngine(context.Background(), sc.Eng, sw, power.EnergyEfficient, 1)
 	if err != nil {
 		return nil, err
 	}

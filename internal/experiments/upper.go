@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"sparseadapt/internal/config"
@@ -14,11 +15,13 @@ func init() {
 	register("sec64", "Comparison with ProfileAdapt (SpMSpV, L1 cache)", Section64)
 }
 
-// recordFor builds the S-sample recording for a workload.
+// recordFor builds the S-sample recording for a workload. The sample is
+// drawn serially (one RNG, before any parallel work) and the grid is filled
+// through the scale's engine.
 func recordFor(sc Scale, w kernels.Workload, l1Type int, epochScale float64) (*oracle.Recording, error) {
 	rng := rand.New(rand.NewSource(sc.Seed + 7))
 	cfgs := oracle.SampleConfigs(rng, sc.OracleSamples, l1Type)
-	return oracle.Record(sc.Chip, sc.BW, w, epochScale, cfgs)
+	return oracle.RecordEngine(context.Background(), sc.Eng, sc.Chip, sc.BW, w, epochScale, cfgs)
 }
 
 // baselineOf extracts the static-Baseline totals from a recording.

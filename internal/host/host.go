@@ -8,10 +8,12 @@
 package host
 
 import (
+	"context"
 	"fmt"
 
 	"sparseadapt/internal/config"
 	"sparseadapt/internal/core"
+	"sparseadapt/internal/engine"
 	"sparseadapt/internal/kernels"
 	"sparseadapt/internal/power"
 	"sparseadapt/internal/sim"
@@ -149,6 +151,35 @@ func (r *Runner) RunResilient(model *core.Ensemble, opts core.ResilientOptions, 
 		return Result{}, core.RunResult{}, err
 	}
 	return r.finish(run.Total, off), run, nil
+}
+
+// RunBatchStatic serves a queue of offloads under a fixed device
+// configuration, one engine task per offload — the sweep-traffic path: each
+// dispatch simulates on its own machine, so N workers serve N clients
+// concurrently and results come back in request order. A nil eng serves the
+// queue serially.
+func (r *Runner) RunBatchStatic(ctx context.Context, eng *engine.Engine, cfg config.Config, offs []Offload) ([]Result, error) {
+	tasks := make([]engine.Task[Result], len(offs))
+	for i, off := range offs {
+		off := off
+		tasks[i] = engine.Task[Result]{Compute: func(ctx context.Context) (Result, error) {
+			return r.RunStatic(cfg, off)
+		}}
+	}
+	return engine.Map(ctx, eng, tasks)
+}
+
+// RunBatchAdaptive is RunBatchStatic under SparseAdapt control: every
+// offload runs its own controller over the shared (read-only) model.
+func (r *Runner) RunBatchAdaptive(ctx context.Context, eng *engine.Engine, model *core.Ensemble, opts core.Options, start config.Config, offs []Offload) ([]Result, error) {
+	tasks := make([]engine.Task[Result], len(offs))
+	for i, off := range offs {
+		off := off
+		tasks[i] = engine.Task[Result]{Compute: func(ctx context.Context) (Result, error) {
+			return r.RunAdaptive(model, opts, start, off)
+		}}
+	}
+	return engine.Map(ctx, eng, tasks)
 }
 
 // BreakEvenBytes estimates, for a measured device run, the operand size at

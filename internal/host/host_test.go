@@ -1,10 +1,12 @@
 package host
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"sparseadapt/internal/config"
+	"sparseadapt/internal/engine"
 	"sparseadapt/internal/kernels"
 	"sparseadapt/internal/matrix"
 	"sparseadapt/internal/power"
@@ -101,5 +103,34 @@ func TestBreakEven(t *testing.T) {
 func TestInputBytes(t *testing.T) {
 	if got := InputBytes(100, 50); got != 100*12+51*4 {
 		t.Fatalf("InputBytes = %d", got)
+	}
+}
+
+func TestRunBatchStaticMatchesSerial(t *testing.T) {
+	r := NewRunner(chip, sim.DefaultBandwidth, 0.05)
+	offs := []Offload{
+		makeOffload(t, 64, 300),
+		makeOffload(t, 128, 1200),
+		makeOffload(t, 96, 800),
+	}
+	want := make([]Result, len(offs))
+	for i, off := range offs {
+		res, err := r.RunStatic(config.Baseline, off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	for _, workers := range []int{1, 4} {
+		eng := engine.New(engine.Options{Workers: workers})
+		got, err := r.RunBatchStatic(context.Background(), eng, config.Baseline, offs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: batch result %d differs from serial RunStatic", workers, i)
+			}
+		}
 	}
 }

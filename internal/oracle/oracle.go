@@ -12,11 +12,13 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"sparseadapt/internal/config"
+	"sparseadapt/internal/engine"
 	"sparseadapt/internal/kernels"
 	"sparseadapt/internal/power"
 	"sparseadapt/internal/sim"
@@ -42,8 +44,20 @@ type Recording struct {
 
 // Record simulates the workload end-to-end under each configuration
 // (Appendix A.7 uses S = 256 random samples; callers pick the sample). The
-// provided configurations should share one L1 type.
+// provided configurations should share one L1 type. It runs serially; use
+// RecordEngine to spread the per-configuration simulations across workers.
 func Record(chip power.Chip, bw float64, w kernels.Workload, epochScale float64, cfgs []config.Config) (*Recording, error) {
+	return RecordEngine(context.Background(), nil, chip, bw, w, epochScale, cfgs)
+}
+
+// RecordEngine builds the recording with each configuration's end-to-end
+// simulation as one engine task. Rows are independent — every task gets a
+// fresh machine over the shared read-only trace — and the grid is assembled
+// in configuration order, so the recording is byte-identical at any worker
+// count. Rows are content-addressed by (trace fingerprint, epoching, chip,
+// bandwidth, configuration), so a warm cache skips re-simulating
+// configurations seen in earlier runs. A nil eng runs serially uncached.
+func RecordEngine(ctx context.Context, eng *engine.Engine, chip power.Chip, bw float64, w kernels.Workload, epochScale float64, cfgs []config.Config) (*Recording, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("oracle: no configurations to record")
 	}
@@ -51,17 +65,33 @@ func Record(chip power.Chip, bw float64, w kernels.Workload, epochScale float64,
 	if len(rec.Epochs) == 0 {
 		return nil, fmt.Errorf("oracle: workload has no epochs")
 	}
-	rec.Grid = make([][]EpochRecord, len(cfgs))
+	fp := w.Trace.Fingerprint()
+	tasks := make([]engine.Task[[]EpochRecord], len(cfgs))
 	for s, cfg := range cfgs {
-		m := sim.New(chip, bw, cfg)
-		m.BindTrace(w.Trace)
-		row := make([]EpochRecord, len(rec.Epochs))
-		for e, ep := range rec.Epochs {
-			r := m.RunEpoch(ep)
-			row[e] = EpochRecord{Metrics: r.Metrics, DirtyL1: r.DirtyL1, DirtyL2: r.DirtyL2}
-		}
-		rec.Grid[s] = row
+		cfg := cfg
+		key := engine.NewHasher("sparseadapt/oracle-row/v1").
+			U64(fp).Int(w.EpochFPOps).F64(epochScale).
+			Int(chip.Tiles, chip.GPEsPerTile).F64(bw).
+			Int(cfg.Index()).Sum()
+		tasks[s] = engine.Task[[]EpochRecord]{Key: key, Compute: func(ctx context.Context) ([]EpochRecord, error) {
+			m := sim.New(chip, bw, cfg)
+			m.BindTrace(w.Trace)
+			row := make([]EpochRecord, len(rec.Epochs))
+			for e, ep := range rec.Epochs {
+				if e%64 == 0 && ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				r := m.RunEpoch(ep)
+				row[e] = EpochRecord{Metrics: r.Metrics, DirtyL1: r.DirtyL1, DirtyL2: r.DirtyL2}
+			}
+			return row, nil
+		}}
 	}
+	grid, err := engine.Map(ctx, eng, tasks)
+	if err != nil {
+		return nil, err
+	}
+	rec.Grid = grid
 	return rec, nil
 }
 

@@ -234,6 +234,47 @@ func (b *Builder) Build() *Trace {
 	return &b.t
 }
 
+// Fingerprint returns a stable 64-bit FNV-1a hash of the trace content —
+// events, regions, phases and topology — used as the "matrix identity"
+// component of content-addressed simulation cache keys. Two traces with the
+// same fingerprint replay identically, so it captures everything a cached
+// epoch result depends on from the workload side.
+func (t *Trace) Fingerprint() uint64 {
+	const (
+		offset64 = 1469598103934665603
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(t.NCores))
+	mix(uint64(t.NLCP))
+	mix(uint64(t.FPOps))
+	for _, e := range t.Events {
+		mix(uint64(e.Addr) | uint64(e.PC)<<32 | uint64(e.Core)<<48 | uint64(e.Kind)<<56)
+	}
+	for _, r := range t.Regions {
+		mix(uint64(r.Lo) | uint64(r.Hi)<<32)
+		mix(uint64(r.Kind) | uint64(uint32(r.Priority))<<8)
+		for _, c := range []byte(r.Name) {
+			h ^= uint64(c)
+			h *= prime64
+		}
+	}
+	for _, p := range t.Phases {
+		mix(uint64(p.Event))
+		for _, c := range []byte(p.Name) {
+			h ^= uint64(c)
+			h *= prime64
+		}
+	}
+	return h
+}
+
 // String summarizes the trace.
 func (t *Trace) String() string {
 	return fmt.Sprintf("trace{events=%d fpops=%d regions=%d phases=%d cores=%d}",

@@ -1,11 +1,13 @@
 package trainer
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"sparseadapt/internal/config"
 	"sparseadapt/internal/core"
+	"sparseadapt/internal/engine"
 	"sparseadapt/internal/kernels"
 	"sparseadapt/internal/matrix"
 	"sparseadapt/internal/ml"
@@ -136,38 +138,113 @@ func Generate(sw SweepSpec, mode power.Mode) (*Dataset, error) {
 
 // GenerateH builds a history-augmented dataset whose inputs carry the last
 // h telemetry frames (the Section 7 extension); h = 1 is the published
-// SparseAdapt feature layout.
+// SparseAdapt feature layout. It runs serially; use GenerateEngine to run
+// the sweep points in parallel.
 func GenerateH(sw SweepSpec, mode power.Mode, h int) (*Dataset, error) {
+	return GenerateEngine(context.Background(), nil, sw, mode, h)
+}
+
+// sweepPoint is one independent unit of dataset generation: a (matrix
+// dimension, density, bandwidth) cell of the Table 3 grid.
+type sweepPoint struct {
+	di, fi, bi int
+}
+
+// GenerateEngine runs the Table 3 sweep on the execution engine: workloads
+// are built in parallel (one task per (dim, density) input), then every
+// (input, bandwidth) sweep point searches its phases' best configurations
+// as one task. Each task derives its own RNG from the sweep seed and its
+// grid coordinates rather than advancing a shared math/rand stream, and
+// examples are concatenated in grid order — both are what make the dataset
+// byte-identical at 1 and N workers. Sweep-point results are
+// content-addressed by the full sweep parameters, so warmed caches skip
+// the configuration searches entirely. A nil eng runs serially uncached.
+func GenerateEngine(ctx context.Context, eng *engine.Engine, sw SweepSpec, mode power.Mode, h int) (*Dataset, error) {
 	if h < 1 {
 		h = 1
 	}
 	ds := &Dataset{Mode: mode, L1Type: sw.L1Type}
-	rng := rand.New(rand.NewSource(sw.Seed))
-	for _, dim := range sw.Dims {
-		for _, density := range sw.Densities {
-			w, err := buildWorkload(sw, rng, dim, density)
-			if err != nil {
-				return nil, err
-			}
-			for _, bwGB := range sw.BandwidthsGBps {
-				ev := NewEvaluator(sw.Chip, bwGB*1e9, w, sw.EpochScale, sw.Warmup, sw.Measure)
-				for _, phase := range ev.Phases() {
-					best, evals, err := ev.BestConfig(rng, sw.K, sw.L1Type, phase, mode)
-					if err != nil {
-						return nil, err
-					}
-					for _, e := range evals {
-						var x []float64
-						if h == 1 {
-							x = core.BuildFeatures(e.Config, e.Counters)
-						} else {
-							x = core.BuildHistoryFeatures(e.Config, e.Window, h)
-						}
-						ds.Examples = append(ds.Examples, Example{X: x, Y: best})
-					}
-				}
+
+	// Phase 1: build the sweep inputs, one task per (dim, density). The
+	// workload RNG is derived from the grid coordinates so the matrix is
+	// independent of generation order. Traces are large and cheap to rebuild
+	// relative to the searches, so workload tasks are not cached.
+	type input struct{ di, fi int }
+	var inputs []input
+	for di := range sw.Dims {
+		for fi := range sw.Densities {
+			inputs = append(inputs, input{di, fi})
+		}
+	}
+	wtasks := make([]engine.Task[kernels.Workload], len(inputs))
+	for i, in := range inputs {
+		in := in
+		wtasks[i] = engine.Task[kernels.Workload]{Compute: func(ctx context.Context) (kernels.Workload, error) {
+			rng := rand.New(rand.NewSource(engine.DeriveSeed(sw.Seed, 0x11, int64(in.di), int64(in.fi))))
+			return buildWorkload(sw, rng, sw.Dims[in.di], sw.Densities[in.fi])
+		}}
+	}
+	workloads, err := engine.Map(ctx, eng, wtasks)
+	if err != nil {
+		return nil, err
+	}
+	byInput := map[input]kernels.Workload{}
+	for i, in := range inputs {
+		byInput[in] = workloads[i]
+	}
+
+	// Phase 2: run the best-configuration searches, one task per sweep
+	// point, and stitch the example chunks back in grid order.
+	var pts []sweepPoint
+	for di := range sw.Dims {
+		for fi := range sw.Densities {
+			for bi := range sw.BandwidthsGBps {
+				pts = append(pts, sweepPoint{di, fi, bi})
 			}
 		}
+	}
+	tasks := make([]engine.Task[[]Example], len(pts))
+	for i, pt := range pts {
+		pt := pt
+		w := byInput[input{pt.di, pt.fi}]
+		key := engine.NewHasher("sparseadapt/trainer-point/v1").
+			Str(sw.Kernel).Int(sw.L1Type, int(mode), h).
+			Int(sw.Chip.Tiles, sw.Chip.GPEsPerTile).
+			F64(sw.EpochScale).Int(sw.Warmup, sw.Measure, sw.K).
+			I64(sw.Seed).
+			Int(sw.Dims[pt.di]).F64(sw.Densities[pt.fi]).F64(sw.BandwidthsGBps[pt.bi]).
+			U64(w.Trace.Fingerprint()).Sum()
+		tasks[i] = engine.Task[[]Example]{Key: key, Compute: func(ctx context.Context) ([]Example, error) {
+			rng := rand.New(rand.NewSource(engine.DeriveSeed(sw.Seed, 0x22, int64(pt.di), int64(pt.fi), int64(pt.bi))))
+			ev := NewEvaluator(sw.Chip, sw.BandwidthsGBps[pt.bi]*1e9, w, sw.EpochScale, sw.Warmup, sw.Measure)
+			var out []Example
+			for _, phase := range ev.Phases() {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				best, evals, err := ev.BestConfig(rng, sw.K, sw.L1Type, phase, mode)
+				if err != nil {
+					return nil, err
+				}
+				for _, e := range evals {
+					var x []float64
+					if h == 1 {
+						x = core.BuildFeatures(e.Config, e.Counters)
+					} else {
+						x = core.BuildHistoryFeatures(e.Config, e.Window, h)
+					}
+					out = append(out, Example{X: x, Y: best})
+				}
+			}
+			return out, nil
+		}}
+	}
+	chunks, err := engine.Map(ctx, eng, tasks)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range chunks {
+		ds.Examples = append(ds.Examples, c...)
 	}
 	if len(ds.Examples) == 0 {
 		return nil, fmt.Errorf("trainer: sweep produced no examples")

@@ -1,0 +1,101 @@
+package trainer
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/engine"
+	"sparseadapt/internal/power"
+)
+
+// gridSweep is a 2x2x1 grid small enough to simulate under -race but large
+// enough to exercise multi-point stitching across workers.
+func gridSweep() SweepSpec {
+	return SweepSpec{
+		Kernel:         "spmspv",
+		L1Type:         config.CacheMode,
+		Dims:           []int{64, 96},
+		Densities:      []float64{0.08, 0.12},
+		BandwidthsGBps: []float64{64},
+		K:              4,
+		Seed:           3,
+		Chip:           chip,
+		EpochScale:     0.2,
+		Warmup:         1,
+		Measure:        1,
+	}
+}
+
+// TestGenerateDeterministicAcrossWorkers asserts dataset bytes are
+// identical whether generated serially, with the nil engine, or with 4 or
+// 8 workers — the per-task seed derivation must make worker count
+// invisible. Run under -race in CI.
+func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
+	sw := gridSweep()
+	ref, err := GenerateEngine(context.Background(), nil, sw, power.EnergyEfficient, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Examples) == 0 {
+		t.Fatal("empty reference dataset")
+	}
+	for _, workers := range []int{1, 4, 8} {
+		eng := engine.New(engine.Options{Workers: workers})
+		ds, err := GenerateEngine(context.Background(), eng, sw, power.EnergyEfficient, 1)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got, err := json.Marshal(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, refBytes) {
+			t.Fatalf("dataset differs from serial reference at %d workers", workers)
+		}
+	}
+}
+
+// TestGenerateWarmCacheIdentical reruns generation against a warm cache and
+// requires the stitched dataset to be byte-identical with zero misses on
+// the second pass.
+func TestGenerateWarmCacheIdentical(t *testing.T) {
+	sw := gridSweep()
+	cache, err := engine.NewCache(256, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Options{Workers: 4, Cache: cache})
+	cold, err := GenerateEngine(context.Background(), eng, sw, power.EnergyEfficient, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, coldMisses, _ := cache.Counts()
+	warm, err := GenerateEngine(context.Background(), eng, sw, power.EnergyEfficient, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(cold)
+	b, _ := json.Marshal(warm)
+	if !bytes.Equal(a, b) {
+		t.Fatal("warm-cache dataset differs from cold run")
+	}
+	if _, misses, _ := cache.Counts(); misses != coldMisses {
+		t.Fatalf("warm run recomputed points: misses %d -> %d", coldMisses, misses)
+	}
+}
+
+// TestGenerateEngineCancel verifies generation honours context cancellation.
+func TestGenerateEngineCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GenerateEngine(ctx, engine.New(engine.Options{Workers: 2}), gridSweep(), power.EnergyEfficient, 1); err == nil {
+		t.Fatal("cancelled generation returned nil error")
+	}
+}
