@@ -20,6 +20,7 @@ import (
 	"sparseadapt/internal/experiments"
 	"sparseadapt/internal/kernels"
 	"sparseadapt/internal/matrix"
+	"sparseadapt/internal/obs"
 	"sparseadapt/internal/oracle"
 	"sparseadapt/internal/power"
 )
@@ -33,7 +34,32 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = all CPUs, 1 = serial)")
 	cacheDir := flag.String("cache", "", "directory for the on-disk simulation result cache")
 	progress := flag.Bool("progress", false, "print engine progress and the end-of-run summary")
+	metricsPath := flag.String("metrics", "", "write run metrics to this file (.json = JSON snapshot, else Prometheus text)")
+	tracePath := flag.String("trace", "", "write the engine task trace to this file (.jsonl = JSONL, else Chrome trace_event JSON)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address while recording")
+	manifestPath := flag.String("manifest", "", "write a reproducibility manifest (JSON)")
 	flag.Parse()
+
+	var reg *obs.Registry
+	var trace *obs.TraceRecorder
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+	}
+	if *tracePath != "" {
+		trace = obs.NewTraceRecorder()
+	}
+	if *pprofAddr != "" {
+		srv, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", srv.Addr())
+	}
+	manifest := (*obs.Manifest)(nil)
+	if *manifestPath != "" {
+		manifest = obs.NewManifest("oracle", os.Args[1:])
+	}
 
 	var sc experiments.Scale
 	switch *scaleName {
@@ -73,7 +99,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := engine.Options{Workers: *workers, Cache: cache}
+	opts := engine.Options{Workers: *workers, Cache: cache, Metrics: reg, Trace: trace}
 	if *progress {
 		opts.Progress = os.Stderr
 	}
@@ -109,6 +135,27 @@ func main() {
 		show("profileadapt-naive", paN)
 		show("profileadapt-ideal", paI)
 		fmt.Printf("ideal static config: %v\n", stCfg)
+	}
+
+	if reg != nil {
+		if err := reg.WriteFile(*metricsPath); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *metricsPath)
+	}
+	if trace != nil {
+		if err := trace.WriteFile(*tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *tracePath)
+	}
+	if manifest != nil {
+		manifest.Seed = sc.Seed
+		manifest.Scale = *scaleName
+		if err := manifest.WriteFile(*manifestPath); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *manifestPath)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"sparseadapt/internal/config"
 	"sparseadapt/internal/engine"
+	"sparseadapt/internal/obs"
 	"sparseadapt/internal/power"
 	"sparseadapt/internal/trainer"
 )
@@ -31,7 +32,32 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = all CPUs, 1 = serial)")
 	cacheDir := flag.String("cache", "", "directory for the on-disk simulation result cache")
 	progress := flag.Bool("progress", false, "print engine progress and the end-of-run summary")
+	metricsPath := flag.String("metrics", "", "write run metrics to this file (.json = JSON snapshot, else Prometheus text)")
+	tracePath := flag.String("trace", "", "write the engine task trace to this file (.jsonl = JSONL, else Chrome trace_event JSON)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address while generating")
+	manifestPath := flag.String("manifest", "", "write a reproducibility manifest (JSON)")
 	flag.Parse()
+
+	var reg *obs.Registry
+	var trace *obs.TraceRecorder
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+	}
+	if *tracePath != "" {
+		trace = obs.NewTraceRecorder()
+	}
+	if *pprofAddr != "" {
+		srv, err := obs.ServePprof(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", srv.Addr())
+	}
+	manifest := (*obs.Manifest)(nil)
+	if *manifestPath != "" {
+		manifest = obs.NewManifest("traingen", os.Args[1:])
+	}
 
 	mode := power.EnergyEfficient
 	if *modeName == "pp" || *modeName == "power-performance" {
@@ -50,7 +76,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := engine.Options{Workers: *workers, Cache: cache}
+	opts := engine.Options{Workers: *workers, Cache: cache, Metrics: reg, Trace: trace}
 	if *progress {
 		opts.Progress = os.Stderr
 	}
@@ -79,6 +105,26 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("wrote", *csvOut)
+	}
+	if reg != nil {
+		if err := reg.WriteFile(*metricsPath); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *metricsPath)
+	}
+	if trace != nil {
+		if err := trace.WriteFile(*tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *tracePath)
+	}
+	if manifest != nil {
+		manifest.Seed = *seed
+		manifest.Scale = fmt.Sprintf("sweep=%g", *scale)
+		if err := manifest.WriteFile(*manifestPath); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *manifestPath)
 	}
 }
 

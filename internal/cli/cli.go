@@ -138,6 +138,7 @@ func cmdExp(w io.Writer, args []string) error {
 	csvDir := fs.String("csv", "", "directory for raw CSV output (artifact-style rep_data/)")
 	svgDir := fs.String("svg", "", "directory for SVG figures")
 	ef := addEngineFlags(fs)
+	of := addObsFlags(fs)
 	// Accept the experiment ID before or after the flags.
 	id := ""
 	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
@@ -157,7 +158,11 @@ func cmdExp(w io.Writer, args []string) error {
 		return err
 	}
 	sc.Seed = *seed
-	if sc.Eng, err = ef.build(w); err != nil {
+	if err := of.start("sparseadapt exp", fs, args, w); err != nil {
+		return err
+	}
+	of.annotate(sc.Seed, *scaleName)
+	if sc.Eng, err = ef.build(w, of); err != nil {
 		return err
 	}
 	if id == "all" {
@@ -167,6 +172,9 @@ func cmdExp(w io.Writer, args []string) error {
 			fmt.Fprintln(w)
 		}
 		ef.report(w, sc.Eng)
+		if ferr := of.finish(w); err == nil {
+			err = ferr
+		}
 		return err
 	}
 	e, err := experiments.Get(id)
@@ -199,7 +207,7 @@ func cmdExp(w io.Writer, args []string) error {
 		}
 		fmt.Fprintln(w, "wrote", out)
 	}
-	return nil
+	return of.finish(w)
 }
 
 func cmdTrain(w io.Writer, args []string) error {
@@ -213,6 +221,7 @@ func cmdTrain(w io.Writer, args []string) error {
 	csvOut := fs.String("csv", "", "optional dataset CSV output path")
 	cv := fs.Bool("cv", false, "use k-fold cross-validated hyperparameter search")
 	ef := addEngineFlags(fs)
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -224,7 +233,11 @@ func cmdTrain(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
-	eng, err := ef.build(w)
+	if err := of.start("sparseadapt train", fs, args, w); err != nil {
+		return err
+	}
+	of.annotate(0, fmt.Sprintf("sweep=%g", *scale))
+	eng, err := ef.build(w, of)
 	if err != nil {
 		return err
 	}
@@ -262,7 +275,7 @@ func cmdTrain(w io.Writer, args []string) error {
 		return err
 	}
 	fmt.Fprintln(w, "wrote", *out)
-	return nil
+	return of.finish(w)
 }
 
 func cmdRun(w io.Writer, args []string) error {
@@ -278,6 +291,7 @@ func cmdRun(w io.Writer, args []string) error {
 	ckPath := fs.String("checkpoint", "", "controller checkpoint file (written during the run; implies the resilient controller)")
 	resumeCk := fs.Bool("resume", false, "resume an interrupted run from -checkpoint")
 	ef := addEngineFlags(fs)
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -288,9 +302,13 @@ func cmdRun(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := of.start("sparseadapt run", fs, args, w); err != nil {
+		return err
+	}
+	of.annotate(sc.Seed, *scaleName)
 	// The engine accelerates the on-the-fly model training below; the
 	// controlled run itself is a single sequential simulation.
-	if sc.Eng, err = ef.build(w); err != nil {
+	if sc.Eng, err = ef.build(w, of); err != nil {
 		return err
 	}
 	mode, err := modeByName(*modeName)
@@ -356,6 +374,8 @@ func cmdRun(w io.Writer, args []string) error {
 	best := core.RunStatic(sc.Chip, sc.BW, config.BestAvgCache, wl, sc.Epoch)
 	max := core.RunStatic(sc.Chip, sc.BW, config.MaxCfg, wl, sc.Epoch)
 	m := sim.New(sc.Chip, sc.BW, config.Baseline)
+	m.Instrument(of.reg)
+	observer := of.observer()
 
 	var dyn core.RunResult
 	resilient := *faultSpec != "" || *ckPath != ""
@@ -368,7 +388,7 @@ func cmdRun(w io.Writer, args []string) error {
 		ropts.Options = opts
 		ropts.Fallback = config.BestAvgCache
 		ropts.CheckpointPath = *ckPath
-		rc := core.NewResilientController(ens, ropts)
+		rc := core.NewResilientController(ens, ropts).Observe(observer)
 		if !spec.IsZero() {
 			rc.Inject = fault.New(spec)
 		}
@@ -386,7 +406,7 @@ func cmdRun(w io.Writer, args []string) error {
 			return err
 		}
 	} else {
-		dyn = core.NewController(ens, opts).Run(m, wl)
+		dyn = core.NewController(ens, opts).Observe(observer).Run(m, wl)
 	}
 
 	fmt.Fprintf(w, "workload %s on %s (%d epochs, %d reconfigs, mode %s, policy %s)\n",
@@ -410,7 +430,7 @@ func cmdRun(w io.Writer, args []string) error {
 			fmt.Fprintf(w, "EDP vs best static: %.3fx\n", edp(dyn.Total)/b)
 		}
 	}
-	return nil
+	return of.finish(w)
 }
 
 // randSrc builds a deterministic RNG for ad-hoc vectors.

@@ -34,7 +34,10 @@ func addEngineFlags(fs *flag.FlagSet) *engineFlags {
 
 // build constructs the engine. Progress lines go to w (the command's
 // output stream) so they are testable in-process like everything else.
-func (ef *engineFlags) build(w io.Writer) (*engine.Engine, error) {
+// When of carries active observability sinks (non-nil of with -metrics or
+// -trace set), the engine's engine_* metric family and per-task spans feed
+// them.
+func (ef *engineFlags) build(w io.Writer, of *obsFlags) (*engine.Engine, error) {
 	cache, err := engine.NewCache(engineMemEntries, *ef.cacheDir)
 	if err != nil {
 		return nil, err
@@ -42,6 +45,10 @@ func (ef *engineFlags) build(w io.Writer) (*engine.Engine, error) {
 	opts := engine.Options{Workers: *ef.workers, Cache: cache}
 	if *ef.progress {
 		opts.Progress = w
+	}
+	if of != nil {
+		opts.Metrics = of.reg
+		opts.Trace = of.trace
 	}
 	return engine.New(opts), nil
 }

@@ -100,6 +100,8 @@ type RunResult struct {
 type Controller struct {
 	Model *Ensemble
 	Opts  Options
+	// Obs is the optional run observer (nil = observability off).
+	Obs *Observer
 }
 
 // NewController builds a controller with the given trained model.
@@ -108,6 +110,13 @@ func NewController(model *Ensemble, opts Options) *Controller {
 		opts.EpochScale = 1
 	}
 	return &Controller{Model: model, Opts: opts}
+}
+
+// Observe attaches an observer to the controller and returns it, for
+// chaining at construction.
+func (c *Controller) Observe(o *Observer) *Controller {
+	c.Obs = o
+	return c
 }
 
 // filter applies the cost-aware policy to the model's prediction, given the
@@ -151,23 +160,29 @@ func (c *Controller) Run(m *sim.Machine, w kernels.Workload) RunResult {
 	eps := w.Epochs(c.Opts.EpochScale)
 	var res RunResult
 	reconfigured := false
-	for _, ep := range eps {
+	for i, ep := range eps {
 		r := m.RunEpoch(ep)
 		res.Total.Add(r.Metrics)
-		res.Epochs = append(res.Epochs, EpochLog{
+		log := EpochLog{
 			Config: m.Config(), Metrics: r.Metrics, Counters: r.Counters,
 			Phase: r.Phase, Reconfigured: reconfigured,
-		})
+		}
+		res.Epochs = append(res.Epochs, log)
+		c.Obs.epoch(i, log)
 		pred := c.Model.Predict(m.Config(), r.Counters)
 		next := c.filter(m, pred, r.Metrics.TimeSec, r.DirtyL1, r.DirtyL2)
+		c.Obs.decision(pred, next)
 		reconfigured = false
 		if next != m.Config() {
-			if _, err := m.Reconfigure(next); err == nil {
+			from := m.Config()
+			if rc, err := m.Reconfigure(next); err == nil {
 				res.Reconfig++
 				reconfigured = true
+				c.Obs.reconfig(from, next, rc)
 			}
 		}
 	}
+	c.Obs.flush()
 	return res
 }
 

@@ -273,6 +273,10 @@ type ResilientController struct {
 	Model  *Ensemble
 	Opts   ResilientOptions
 	Inject FaultInjector
+	// Obs is the optional run observer (nil = observability off). Beyond
+	// the plain controller's records it captures sanitizer repairs,
+	// watchdog trips, fallback transitions and reconfig failures.
+	Obs *Observer
 }
 
 // NewResilientController builds the controller, normalizing options.
@@ -280,11 +284,19 @@ func NewResilientController(model *Ensemble, opts ResilientOptions) *ResilientCo
 	return &ResilientController{Model: model, Opts: opts.normalize()}
 }
 
+// Observe attaches an observer to the controller and returns it, for
+// chaining at construction.
+func (c *ResilientController) Observe(o *Observer) *ResilientController {
+	c.Obs = o
+	return c
+}
+
 // attemptReconfig drives one epoch-boundary reconfiguration with fault
 // injection, verification and bounded retry. epoch is the epoch just
 // completed (the hash key for injected faults). It returns whether the
-// machine ended at target and how many extra attempts were spent.
-func (c *ResilientController) attemptReconfig(m *sim.Machine, epoch int, target config.Config) (ok bool, retries int) {
+// machine ended at target, how many extra attempts were spent, and the
+// cost of the reconfiguration that took (zero when none did).
+func (c *ResilientController) attemptReconfig(m *sim.Machine, epoch int, target config.Config) (ok bool, retries int, cost sim.ReconfigCost) {
 	for attempt := 0; attempt <= c.Opts.ReconfigRetries; attempt++ {
 		drop, mult := false, 1.0
 		if c.Inject != nil {
@@ -295,8 +307,9 @@ func (c *ResilientController) attemptReconfig(m *sim.Machine, epoch int, target 
 			if err != nil {
 				// Unreachable through the policy filter (coarse changes are
 				// never predicted), but a corrupt target must not wedge us.
-				return false, attempt
+				return false, attempt, cost
 			}
+			cost = rc
 			if mult > 1 {
 				m.InjectPenalty(rc.Cycles * (mult - 1))
 			}
@@ -304,10 +317,10 @@ func (c *ResilientController) attemptReconfig(m *sim.Machine, epoch int, target 
 		// Verify the knobs actually took: a dropped write leaves the old
 		// configuration in place and earns another attempt.
 		if m.Config() == target {
-			return true, attempt
+			return true, attempt, cost
 		}
 	}
-	return m.Config() == target, c.Opts.ReconfigRetries
+	return m.Config() == target, c.Opts.ReconfigRetries, cost
 }
 
 // runState is the live controller state threaded through the loop and
@@ -402,6 +415,7 @@ func (c *ResilientController) run(m *sim.Machine, w kernels.Workload, ck *Checkp
 			st.res.Resilience.FallbackEpochs++
 		}
 		st.res.Epochs = append(st.res.Epochs, log)
+		c.Obs.epoch(i, log)
 
 		// Boundary decision for the next epoch.
 		if i < len(eps)-1 {
@@ -414,11 +428,13 @@ func (c *ResilientController) run(m *sim.Machine, w kernels.Workload, ck *Checkp
 				return st.res, fmt.Errorf("core: checkpoint at epoch %d: %w", done, err)
 			}
 			st.res.Resilience.Checkpoints++
+			c.Obs.event("checkpoint", map[string]string{"epoch": fmt.Sprintf("%d", done)})
 		}
 		if c.Opts.StopAfter > 0 && done >= c.Opts.StopAfter {
 			break
 		}
 	}
+	c.Obs.flush()
 	return st.res, nil
 }
 
@@ -437,6 +453,7 @@ func (c *ResilientController) decide(m *sim.Machine, inner *Controller, st *runS
 			if st.wd.Cooldown <= 0 {
 				st.inFallback = false
 				st.wd.Streak = 0
+				c.Obs.event("fallback-exit", nil)
 				return // re-armed; model resumes next boundary
 			}
 		}
@@ -458,6 +475,10 @@ func (c *ResilientController) decide(m *sim.Machine, inner *Controller, st *runS
 			rep.PermanentFallback = true
 		}
 		st.inFallback = true
+		c.Obs.event("watchdog-trip", map[string]string{
+			"trips":     fmt.Sprintf("%d", st.wd.Trips),
+			"permanent": fmt.Sprintf("%v", st.wd.Permanent),
+		})
 		c.applyTarget(m, st, i, c.Opts.Fallback)
 		return
 	}
@@ -472,9 +493,13 @@ func (c *ResilientController) decide(m *sim.Machine, inner *Controller, st *runS
 	}
 	if !ValidatePrediction(m.Config(), pred) {
 		rep.RejectedPredictions++
+		// Raw level indices, not pred.String(): the rejection means the
+		// levels are out of range, which String would panic on.
+		c.Obs.event("rejected-prediction", map[string]string{"pred": fmt.Sprintf("%v", [config.NumParams]int(pred))})
 		return
 	}
 	next := inner.filter(m, pred, r.Metrics.TimeSec, r.DirtyL1, r.DirtyL2)
+	c.Obs.decision(pred, next)
 	if next != m.Config() {
 		c.applyTarget(m, st, i, next)
 	}
@@ -483,12 +508,15 @@ func (c *ResilientController) decide(m *sim.Machine, inner *Controller, st *runS
 // applyTarget reconfigures toward target with verification and retry,
 // updating the run state and report.
 func (c *ResilientController) applyTarget(m *sim.Machine, st *runState, epoch int, target config.Config) {
-	ok, retries := c.attemptReconfig(m, epoch, target)
+	from := m.Config()
+	ok, retries, cost := c.attemptReconfig(m, epoch, target)
 	st.res.Resilience.ReconfigRetries += retries
 	if ok {
 		st.res.Reconfig++
 		st.reconfigured = true
+		c.Obs.reconfig(from, target, cost)
 	} else {
 		st.res.Resilience.ReconfigFailures++
+		c.Obs.event("reconfig-failure", map[string]string{"target": target.String()})
 	}
 }

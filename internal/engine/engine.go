@@ -17,12 +17,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"sparseadapt/internal/obs"
 )
 
 // Options configures an Engine.
@@ -36,6 +39,13 @@ type Options struct {
 	Progress io.Writer
 	// ProgressEvery defaults to 2s.
 	ProgressEvery time.Duration
+	// Metrics, when non-nil, receives the engine_* instrument family (task
+	// counts, pool occupancy, cache hit/miss latency histograms). When nil
+	// the engine keeps a private registry so Stats still works.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives one wall-clock Span per executed task,
+	// keyed by worker, so Perfetto shows pool occupancy over time.
+	Trace *obs.TraceRecorder
 }
 
 // Engine executes task batches. It is safe for concurrent use; nested Map
@@ -47,7 +57,12 @@ type Engine struct {
 	progress io.Writer
 	every    time.Duration
 
-	Stats Stats
+	// Stats is the run's observability surface, created by New over the
+	// configured (or a private) metrics registry.
+	Stats *Stats
+
+	trace     *obs.TraceRecorder
+	traceBase time.Time // wall-clock origin of task spans
 
 	reporting sync.Mutex // at most one progress reporter at a time
 }
@@ -62,7 +77,16 @@ func New(opts Options) *Engine {
 	if every <= 0 {
 		every = 2 * time.Second
 	}
-	return &Engine{workers: w, cache: opts.Cache, progress: opts.Progress, every: every}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	e := &Engine{
+		workers: w, cache: opts.Cache, progress: opts.Progress, every: every,
+		Stats: newStats(reg), trace: opts.Trace, traceBase: time.Now(),
+	}
+	e.Stats.workers.Set(float64(w))
+	return e
 }
 
 // Serial returns a one-worker engine with no cache — the drop-in
@@ -89,7 +113,9 @@ func (e *Engine) Cache() *Cache {
 // uncacheable; otherwise Key must be a content address of everything that
 // determines the result (see Hasher).
 type Task[T any] struct {
-	Key     Key
+	// Key is the content address of the result; zero disables caching.
+	Key Key
+	// Compute produces the result; it must be pure with respect to Key.
 	Compute func(ctx context.Context) (T, error)
 }
 
@@ -124,19 +150,19 @@ func Map[T any](ctx context.Context, e *Engine, tasks []Task[T]) ([]T, error) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
 				if ctx.Err() != nil {
 					errs[i] = ctx.Err()
 					continue
 				}
-				results[i], errs[i] = runOne(e, ctx, tasks[i])
+				results[i], errs[i] = runOne(e, ctx, worker, i, tasks[i])
 				if errs[i] != nil {
 					cancel()
 				}
 			}
-		}()
+		}(w)
 	}
 	for i := range tasks {
 		idx <- i
@@ -145,17 +171,29 @@ func Map[T any](ctx context.Context, e *Engine, tasks []Task[T]) ([]T, error) {
 	wg.Wait()
 	stopProgress()
 
+	// Report the lowest-index root-cause failure. Plain cancellations are
+	// secondary: once any task fails, tasks its cancel caught before they
+	// started record context.Canceled regardless of index, so they only
+	// win when nothing else failed (i.e. the caller canceled the batch).
+	first := -1
 	for i, err := range errs {
-		if err != nil {
-			return results, fmt.Errorf("engine: task %d/%d: %w", i, len(tasks), err)
+		if err == nil {
+			continue
 		}
+		if first < 0 || (errors.Is(errs[first], context.Canceled) && !errors.Is(err, context.Canceled)) {
+			first = i
+		}
+	}
+	if first >= 0 {
+		return results, fmt.Errorf("engine: task %d/%d: %w", first, len(tasks), errs[first])
 	}
 	return results, nil
 }
 
 // runOne executes a single task: cache probe, compute with panic recovery,
-// cache fill, stats accounting.
-func runOne[T any](e *Engine, ctx context.Context, t Task[T]) (T, error) {
+// cache fill, stats accounting and span emission. worker and i identify the
+// executing worker and task index for the trace.
+func runOne[T any](e *Engine, ctx context.Context, worker, i int, t Task[T]) (T, error) {
 	e.Stats.taskStart()
 	start := time.Now()
 	var zero T
@@ -163,7 +201,7 @@ func runOne[T any](e *Engine, ctx context.Context, t Task[T]) (T, error) {
 		if raw, ok := e.cache.Get(t.Key); ok {
 			var v T
 			if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&v); err == nil {
-				e.Stats.taskDone(time.Since(start), true, false)
+				e.finishTask(worker, i, start, true, false)
 				return v, nil
 			}
 			// Undecodable (e.g. schema drift): drop and recompute.
@@ -172,7 +210,7 @@ func runOne[T any](e *Engine, ctx context.Context, t Task[T]) (T, error) {
 	}
 	v, err := protect(ctx, t.Compute)
 	if err != nil {
-		e.Stats.taskDone(time.Since(start), false, true)
+		e.finishTask(worker, i, start, false, true)
 		return zero, err
 	}
 	if e.cache != nil && !t.Key.IsZero() {
@@ -181,8 +219,30 @@ func runOne[T any](e *Engine, ctx context.Context, t Task[T]) (T, error) {
 			e.cache.Put(t.Key, buf.Bytes())
 		}
 	}
-	e.Stats.taskDone(time.Since(start), false, false)
+	e.finishTask(worker, i, start, false, false)
 	return v, nil
+}
+
+// finishTask records a task's completion in the stats and, when tracing is
+// on, emits its wall-clock span on the executing worker's track.
+func (e *Engine) finishTask(worker, i int, start time.Time, hit, failed bool) {
+	lat := time.Since(start)
+	e.Stats.taskDone(lat, hit, failed)
+	if e.trace == nil {
+		return
+	}
+	args := map[string]string{}
+	if hit {
+		args["cache"] = "hit"
+	}
+	if failed {
+		args["failed"] = "true"
+	}
+	e.trace.RecordSpan(obs.Span{
+		Name: fmt.Sprintf("task-%d", i), Cat: "engine-task", TID: worker + 1,
+		StartSec: start.Sub(e.traceBase).Seconds(), DurSec: lat.Seconds(),
+		Args: args,
+	})
 }
 
 // protect invokes fn, converting a panic into an error carrying the stack.

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"sparseadapt/internal/obs"
 )
 
 // latBounds are the upper edges of the per-task latency histogram buckets;
@@ -14,22 +16,56 @@ var latBounds = []time.Duration{
 	64 * time.Millisecond, 256 * time.Millisecond, time.Second, 4 * time.Second,
 }
 
-// Stats is the engine's per-run observability surface. All counters are
-// atomics, so tasks update them without coordination; Line and Report read
-// a consistent-enough snapshot for progress display.
+// latBoundsSec mirrors latBounds in seconds, the unit of the registry
+// histograms.
+var latBoundsSec = func() []float64 {
+	out := make([]float64, len(latBounds))
+	for i, d := range latBounds {
+		out[i] = d.Seconds()
+	}
+	return out
+}()
+
+// Stats is the engine's per-run observability surface, backed by obs
+// instruments: every count it renders in Line/Report is simultaneously
+// exported through the engine's metrics registry as the engine_* family
+// (see docs/OBSERVABILITY.md). All instruments are atomic, so tasks update
+// them without coordination; Line and Report read a consistent-enough
+// snapshot for progress display.
 type Stats struct {
-	queued  atomic.Int64
-	running atomic.Int64
-	done    atomic.Int64
-	failed  atomic.Int64
-	hits    atomic.Int64 // cache hits (tasks answered without simulation)
-	misses  atomic.Int64 // tasks that computed
+	queued  *obs.Counter // tasks submitted
+	done    *obs.Counter // tasks completed (failures included)
+	failed  *obs.Counter
+	hits    *obs.Counter // cache hits (tasks answered without simulation)
+	misses  *obs.Counter // tasks that computed
+	running *obs.Gauge   // pool occupancy
+	workers *obs.Gauge   // configured bound
+
+	lat     *obs.Histogram // all tasks
+	hitLat  *obs.Histogram // cache-hit latency
+	missLat *obs.Histogram // compute latency
 
 	cpuNanos  atomic.Int64 // summed task latencies ≈ CPU time
 	wallStart atomic.Int64 // unix nanos of the first batch
 	wallNanos atomic.Int64 // running wall clock, updated at task completion
+}
 
-	buckets [8]atomic.Int64
+// newStats creates the engine_* instrument family in reg. New always passes
+// a non-nil registry (private when the caller did not supply one), so the
+// progress surface works even with metrics export off.
+func newStats(reg *obs.Registry) *Stats {
+	return &Stats{
+		queued:  reg.Counter("engine_tasks_submitted_total", "tasks submitted to the engine"),
+		done:    reg.Counter("engine_tasks_completed_total", "tasks completed, failures included"),
+		failed:  reg.Counter("engine_task_failures_total", "tasks that returned an error or panicked"),
+		hits:    reg.Counter("engine_cache_hits_total", "tasks answered from the result cache"),
+		misses:  reg.Counter("engine_cache_misses_total", "tasks that computed"),
+		running: reg.Gauge("engine_running_tasks", "tasks currently executing (pool occupancy)"),
+		workers: reg.Gauge("engine_workers", "configured worker-pool bound"),
+		lat:     reg.Histogram("engine_task_seconds", "per-task latency, cache hits included", latBoundsSec),
+		hitLat:  reg.Histogram("engine_cache_hit_seconds", "latency of tasks answered from the cache", latBoundsSec),
+		missLat: reg.Histogram("engine_task_compute_seconds", "latency of tasks that computed", latBoundsSec),
+	}
 }
 
 func (s *Stats) batchStart(n int) {
@@ -41,35 +77,39 @@ func (s *Stats) taskStart() { s.running.Add(1) }
 
 func (s *Stats) taskDone(lat time.Duration, hit, failed bool) {
 	s.running.Add(-1)
-	s.done.Add(1)
+	s.done.Inc()
 	if failed {
-		s.failed.Add(1)
+		s.failed.Inc()
 	}
+	sec := lat.Seconds()
 	if hit {
-		s.hits.Add(1)
+		s.hits.Inc()
+		s.hitLat.Observe(sec)
 	} else {
-		s.misses.Add(1)
+		s.misses.Inc()
+		s.missLat.Observe(sec)
 	}
+	s.lat.Observe(sec)
 	s.cpuNanos.Add(int64(lat))
 	if start := s.wallStart.Load(); start != 0 {
 		s.wallNanos.Store(time.Now().UnixNano() - start)
 	}
-	b := len(latBounds)
-	for i, edge := range latBounds {
-		if lat <= edge {
-			b = i
-			break
-		}
-	}
-	s.buckets[b].Add(1)
 }
 
 // Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {
+	// Queued, Running, Done and Failed count tasks by lifecycle state;
+	// Done includes Failed.
 	Queued, Running, Done, Failed int64
-	CacheHits, CacheMisses        int64
-	Wall, CPU                     time.Duration
-	Latency                       [8]int64
+	// CacheHits and CacheMisses split completed tasks by whether the
+	// result cache answered them.
+	CacheHits, CacheMisses int64
+	// Wall is elapsed time since the engine started; CPU is the summed
+	// per-task compute time (their ratio is the parallel speedup).
+	Wall, CPU time.Duration
+	// Latency is the per-task latency histogram, one count per latBounds
+	// bucket (non-cumulative).
+	Latency [8]int64
 }
 
 // HitRate returns the fraction of completed tasks served from cache.
@@ -83,13 +123,15 @@ func (s Snapshot) HitRate() float64 {
 // Snapshot copies the counters.
 func (s *Stats) Snapshot() Snapshot {
 	out := Snapshot{
-		Queued: s.queued.Load(), Running: s.running.Load(),
+		Queued: s.queued.Load(), Running: int64(s.running.Load()),
 		Done: s.done.Load(), Failed: s.failed.Load(),
 		CacheHits: s.hits.Load(), CacheMisses: s.misses.Load(),
 		Wall: time.Duration(s.wallNanos.Load()), CPU: time.Duration(s.cpuNanos.Load()),
 	}
-	for i := range s.buckets {
-		out.Latency[i] = s.buckets[i].Load()
+	for i, n := range s.lat.BucketCounts() {
+		if i < len(out.Latency) {
+			out.Latency[i] = n
+		}
 	}
 	return out
 }

@@ -44,6 +44,7 @@ type Spec struct {
 	RcPenalty   float64 `json:"rc-penalty,omitempty"` // a knob change takes at PenaltyMult× its cost
 	PenaltyMult float64 `json:"mult,omitempty"`       // multiplier for RcPenalty faults (default 8)
 
+	// Seed fixes the injector's PRNG stream so runs are reproducible.
 	Seed int64 `json:"seed,omitempty"`
 }
 

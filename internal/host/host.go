@@ -46,6 +46,7 @@ func (l Link) transfer(n int) (float64, float64) {
 // Offload describes one kernel dispatch: the device workload plus the
 // bytes that must move in each direction.
 type Offload struct {
+	// Workload is the kernel to execute on the device.
 	Workload kernels.Workload
 	// BytesIn are operands streamed host → device before launch.
 	BytesIn int
@@ -66,7 +67,8 @@ type Result struct {
 	Device power.Metrics
 	// TransferSec and TransferJ cover both directions.
 	TransferSec float64
-	TransferJ   float64
+	// TransferJ is the energy spent moving bytes over the link.
+	TransferJ float64
 	// Total is device + transfers (host decision cost is inside the device
 	// epochs already, Section 3.4).
 	Total power.Metrics
@@ -77,10 +79,18 @@ type Result struct {
 // Runner executes offloads against a simulated device, statically or under
 // SparseAdapt control.
 type Runner struct {
-	Chip       power.Chip
-	BW         float64 // device HBM bandwidth
-	Link       Link
+	// Chip is the device's physical description.
+	Chip power.Chip
+	BW   float64 // device HBM bandwidth
+	// Link models the host↔device interconnect.
+	Link Link
+	// EpochScale shrinks device epochs for fast tests (1 = paper scale).
 	EpochScale float64
+	// Obs, when non-nil, is attached to the controller of single-offload
+	// adaptive and resilient runs. It is deliberately NOT used by the batch
+	// paths: an Observer carries per-run cursors and must not be shared
+	// between the concurrent controllers a batch spawns.
+	Obs *core.Observer
 }
 
 // NewRunner builds a Runner with the paper's device and a default link.
@@ -126,7 +136,7 @@ func (r *Runner) RunAdaptive(model *core.Ensemble, opts core.Options, start conf
 		opts.EpochScale = r.EpochScale
 	}
 	m := sim.New(r.Chip, r.BW, start)
-	dev := core.NewController(model, opts).Run(m, off.Workload).Total
+	dev := core.NewController(model, opts).Observe(r.Obs).Run(m, off.Workload).Total
 	return r.finish(dev, off), nil
 }
 
@@ -144,7 +154,7 @@ func (r *Runner) RunResilient(model *core.Ensemble, opts core.ResilientOptions, 
 		opts.EpochScale = r.EpochScale
 	}
 	m := sim.New(r.Chip, r.BW, start)
-	rc := core.NewResilientController(model, opts)
+	rc := core.NewResilientController(model, opts).Observe(r.Obs)
 	rc.Inject = inject
 	run, err := rc.Run(m, off.Workload)
 	if err != nil {

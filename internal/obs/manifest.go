@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+)
+
+// Manifest records everything needed to reproduce a run: the tool and its
+// raw arguments, the deterministic seed and scale, the VCS revision the
+// binary was built from, the Go toolchain and platform, and wall-clock
+// timings. It is emitted as indented JSON next to a run's other artifacts.
+type Manifest struct {
+	// Tool is the binary/subcommand that produced the run ("sparseadapt
+	// run", "oracle", …).
+	Tool string `json:"tool"`
+	// Args are the raw command-line arguments, verbatim.
+	Args []string `json:"args,omitempty"`
+	// Seed and Scale are the run's determinism inputs.
+	Seed  int64  `json:"seed"`
+	Scale string `json:"scale,omitempty"`
+	// GoVersion, OS and Arch describe the build platform.
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	// VCSRevision/VCSTime/VCSDirty come from the binary's embedded build
+	// info (the `git describe` equivalent for module builds); empty when
+	// the binary was built outside version control.
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSDirty    bool   `json:"vcs_dirty,omitempty"`
+	// StartedAt/FinishedAt/DurationSec are wall-clock timings; FinishedAt
+	// and DurationSec are filled by Finish.
+	StartedAt   time.Time `json:"started_at"`
+	FinishedAt  time.Time `json:"finished_at"`
+	DurationSec float64   `json:"duration_sec,omitempty"`
+	// Extra holds free-form key/value annotations (flag values, matrix ID,
+	// epoch counts, …).
+	Extra map[string]string `json:"extra,omitempty"`
+}
+
+// NewManifest starts a manifest for the given tool invocation, stamping
+// the start time, platform and embedded VCS build info.
+func NewManifest(tool string, args []string) *Manifest {
+	m := &Manifest{
+		Tool:      tool,
+		Args:      append([]string(nil), args...),
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		StartedAt: time.Now(),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.VCSRevision = s.Value
+			case "vcs.time":
+				m.VCSTime = s.Value
+			case "vcs.modified":
+				m.VCSDirty = s.Value == "true"
+			}
+		}
+	}
+	return m
+}
+
+// Set records one free-form annotation.
+func (m *Manifest) Set(key, value string) {
+	if m == nil {
+		return
+	}
+	if m.Extra == nil {
+		m.Extra = map[string]string{}
+	}
+	m.Extra[key] = value
+}
+
+// Finish stamps the end time and duration. Safe to call more than once;
+// the first call wins.
+func (m *Manifest) Finish() {
+	if m == nil || !m.FinishedAt.IsZero() {
+		return
+	}
+	m.FinishedAt = time.Now()
+	m.DurationSec = m.FinishedAt.Sub(m.StartedAt).Seconds()
+}
+
+// String renders a compact one-line summary for log output.
+func (m *Manifest) String() string {
+	if m == nil {
+		return "<nil manifest>"
+	}
+	rev := m.VCSRevision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev == "" {
+		rev = "untracked"
+	}
+	keys := make([]string, 0, len(m.Extra))
+	for k := range m.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	extra := ""
+	for _, k := range keys {
+		extra += fmt.Sprintf(" %s=%s", k, m.Extra[k])
+	}
+	return fmt.Sprintf("%s seed=%d scale=%s rev=%s %s/%s%s",
+		m.Tool, m.Seed, m.Scale, rev, m.OS, m.Arch, extra)
+}
+
+// WriteFile finishes the manifest (if not already finished) and writes it
+// as indented JSON to path.
+func (m *Manifest) WriteFile(path string) error {
+	if m == nil {
+		return nil
+	}
+	m.Finish()
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: manifest: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadManifest loads a manifest written by WriteFile.
+func ReadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("obs: manifest %s: %w", path, err)
+	}
+	return &m, nil
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest("sparseadapt run", []string{"-kernel", "spmspv"})
+	m.Seed = 42
+	m.Scale = "test"
+	m.Set("matrix", "R12")
+	m.Set("epochs", "17")
+	if m.GoVersion == "" || m.OS == "" || m.Arch == "" {
+		t.Fatalf("platform fields not stamped: %+v", m)
+	}
+
+	path := t.TempDir() + "/manifest.json"
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if m.FinishedAt.IsZero() || m.DurationSec < 0 {
+		t.Fatal("WriteFile must finish the manifest")
+	}
+
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != m.Tool || got.Seed != 42 || got.Scale != "test" ||
+		got.Extra["matrix"] != "R12" || got.Extra["epochs"] != "17" ||
+		len(got.Args) != 2 || got.Args[1] != "spmspv" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if !got.StartedAt.Equal(m.StartedAt) {
+		t.Fatalf("start time drifted: %v vs %v", got.StartedAt, m.StartedAt)
+	}
+
+	// Finish is idempotent: the first stamp wins.
+	first := m.FinishedAt
+	time.Sleep(time.Millisecond)
+	m.Finish()
+	if !m.FinishedAt.Equal(first) {
+		t.Fatal("Finish must be idempotent")
+	}
+
+	s := m.String()
+	for _, want := range []string{"sparseadapt run", "seed=42", "scale=test", "matrix=R12"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestReadManifestErrors(t *testing.T) {
+	if _, err := ReadManifest(t.TempDir() + "/absent.json"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	bad := t.TempDir() + "/bad.json"
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(bad); err == nil {
+		t.Fatal("expected error for corrupt file")
+	}
+}
+
+func TestServePprof(t *testing.T) {
+	s, err := ServePprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Addr() == "" {
+		t.Fatal("no bound address")
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline status = %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Nil server is a no-op.
+	var nils *PprofServer
+	if nils.Addr() != "" || nils.Close() != nil {
+		t.Fatal("nil PprofServer must be inert")
+	}
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// PprofServer is a running net/http/pprof endpoint started by ServePprof.
+type PprofServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServePprof starts an HTTP server exposing the standard /debug/pprof/
+// endpoints (profile, heap, goroutine, trace, …) on addr — typically
+// "localhost:6060" or "localhost:0" for an ephemeral port. The handlers
+// are mounted on a private mux, so nothing leaks onto
+// http.DefaultServeMux. The server runs until Close.
+func ServePprof(addr string) (*PprofServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: pprof listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &PprofServer{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:  ln,
+	}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful with a ":0" ephemeral port).
+func (s *PprofServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down. Safe on a nil server.
+func (s *PprofServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

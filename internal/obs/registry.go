@@ -1,0 +1,389 @@
+// Package obs is the observability layer of the reproduction: a
+// lightweight metrics registry (counters, gauges, histograms — atomic and
+// allocation-free on the hot path) with Prometheus-text and JSON exporters,
+// an epoch-trace recorder that captures per-epoch telemetry and controller
+// decisions and exports them as schema-stable JSONL or Chrome
+// `trace_event` JSON (loadable in chrome://tracing and Perfetto), a run
+// manifest for reproducibility (seed, scale, flags, VCS revision, timings)
+// and a net/http/pprof server hook.
+//
+// The package is a leaf: it imports only the standard library, so every
+// other layer (sim, core, engine, host, cli) can instrument itself without
+// import cycles. All instruments and the registry itself are nil-safe —
+// methods on a nil *Counter, *Gauge, *Histogram, *Registry or
+// *TraceRecorder are no-ops — so instrumented code pays only a nil check
+// when observability is disabled. See docs/OBSERVABILITY.md for the metric
+// name catalog and the trace-event schema.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind identifies the instrument type of a registry entry.
+type Kind int
+
+// The instrument kinds, in export order precedence.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; methods on a nil *Counter are no-ops, so disabled
+// instrumentation costs one branch.
+type Counter struct {
+	v atomic.Int64
+}
+
+// NewCounter returns a standalone counter not attached to any registry.
+func NewCounter() *Counter { return &Counter{} }
+
+// Add increments the counter by delta (negative deltas are ignored:
+// counters only go up).
+func (c *Counter) Add(delta int64) {
+	if c == nil || delta <= 0 {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value (0 on a nil counter).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 gauge (a value that can go up and down). The
+// zero value is ready to use; methods on a nil *Gauge are no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// NewGauge returns a standalone gauge not attached to any registry.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta to the gauge (lock-free CAS loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Load returns the current value (0 on a nil gauge).
+func (g *Gauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket atomic histogram. Bounds are the inclusive
+// upper edges of the buckets; one final +Inf bucket is implicit. Observe is
+// allocation-free. Methods on a nil *Histogram are no-ops.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// NewHistogram returns a standalone histogram with the given bucket upper
+// bounds, which must be sorted ascending.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Bounds returns the bucket upper edges (nil on a nil histogram).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// BucketCounts returns the per-bucket sample counts; the final entry is
+// the +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// metric is one named registry entry.
+type metric struct {
+	name, help string
+	kind       Kind
+	counter    *Counter
+	gauge      *Gauge
+	hist       *Histogram
+}
+
+// Registry is a named collection of instruments. Instruments are created
+// (or fetched) with Counter, Gauge and Histogram; creation takes a lock,
+// but updates on the returned instruments are lock-free, so the hot path
+// never contends on the registry. A nil *Registry hands out nil instruments
+// whose methods are no-ops — the disabled-observability path.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*metric{}}
+}
+
+// lookup returns the entry under name, creating it with mk when absent.
+// A name registered under a different kind panics: that is a programming
+// error, not a runtime condition.
+func (r *Registry) lookup(name, help string, kind Kind, mk func(*metric)) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q registered as %v, requested as %v", name, m.kind, kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	mk(m)
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, KindCounter, func(m *metric) { m.counter = NewCounter() }).counter
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// Returns nil (a no-op gauge) on a nil registry.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, KindGauge, func(m *metric) { m.gauge = NewGauge() }).gauge
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds on first use (later calls reuse the existing
+// bounds). Returns nil (a no-op histogram) on a nil registry.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, KindHistogram, func(m *metric) { m.hist = NewHistogram(bounds) }).hist
+}
+
+// MetricSnapshot is the point-in-time state of one registry entry.
+type MetricSnapshot struct {
+	// Name, Help and Kind identify the instrument ("counter", "gauge"
+	// or "histogram").
+	Name  string  `json:"name"`
+	Help  string  `json:"help,omitempty"`
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value"` // counter/gauge value; histogram sum
+	// Count, Bounds and Buckets are histogram-only: observation count,
+	// inclusive upper bucket edges, and per-bucket (non-cumulative) counts.
+	Count   int64     `json:"count,omitempty"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []int64   `json:"buckets,omitempty"`
+}
+
+// Snapshot returns the current state of every registered metric, sorted by
+// name. Nil registries return no metrics.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	entries := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		entries = append(entries, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	out := make([]MetricSnapshot, 0, len(entries))
+	for _, m := range entries {
+		s := MetricSnapshot{Name: m.name, Help: m.help, Kind: m.kind.String()}
+		switch m.kind {
+		case KindCounter:
+			s.Value = float64(m.counter.Load())
+		case KindGauge:
+			s.Value = m.gauge.Load()
+		case KindHistogram:
+			s.Value = m.hist.Sum()
+			s.Count = m.hist.Count()
+			s.Bounds = m.hist.Bounds()
+			s.Buckets = m.hist.BucketCounts()
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (# HELP / # TYPE lines, histogram _bucket/_sum/_count series).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		if s.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, s.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+			return err
+		}
+		switch s.Kind {
+		case "histogram":
+			cum := int64(0)
+			for i, n := range s.Buckets {
+				cum += n
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = formatFloat(s.Bounds[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", s.Name, le, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+				s.Name, formatFloat(s.Value), s.Name, s.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, formatFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as an indented JSON array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = []MetricSnapshot{}
+	}
+	return enc.Encode(snap)
+}
+
+// formatFloat renders a metric value in the shortest round-trippable form.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteFile exports the registry to path, choosing the format from the
+// extension: ".json" writes the JSON snapshot, anything else (".prom",
+// ".txt", …) the Prometheus text format. A nil registry writes nothing.
+func (r *Registry) WriteFile(path string) error {
+	if r == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: metrics: %w", err)
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = r.WriteJSON(f)
+	} else {
+		err = r.WritePrometheus(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("obs: metrics %s: %w", path, err)
+	}
+	return nil
+}

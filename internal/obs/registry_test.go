@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "a counter")
+	c.Add(3)
+	c.Inc()
+	c.Add(-5) // ignored: counters only go up
+	if got := c.Load(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	g := r.Gauge("x_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Load(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	// Get-or-create returns the same instrument.
+	if r.Counter("x_total", "") != c {
+		t.Fatal("Counter did not return the registered instrument")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	want := []int64{2, 1, 1, 2} // le=1 gets {0.5, 1}: bounds are inclusive
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 5556.5 {
+		t.Fatalf("sum = %v, want 5556.5", h.Sum())
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines — the
+// -race CI step proves updates are coordination-free and correct.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 16, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Get-or-create races with updates and snapshots.
+				r.Counter("c_total", "c").Inc()
+				r.Gauge("g", "g").Add(1)
+				r.Histogram("h_seconds", "h", []float64{0.5}).Observe(float64(i % 2))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "").Load(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Gauge("g", "").Load(); got != workers*iters {
+		t.Fatalf("gauge = %v, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("h_seconds", "", nil).Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", []float64{1})
+	c.Inc()
+	g.Set(1)
+	h.Observe(1)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must be no-ops")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+	var tr *TraceRecorder
+	tr.RecordEpoch(EpochRecord{})
+	tr.RecordInstant(Instant{})
+	tr.RecordSpan(Span{})
+	if tr.Len() != 0 {
+		t.Fatal("nil recorder must be a no-op")
+	}
+	if err := tr.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sim_epochs_total", "epochs replayed").Add(7)
+	r.Gauge("engine_pool_occupancy", "running tasks").Set(3)
+	h := r.Histogram("task_seconds", "task latency", []float64{0.001, 1})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE sim_epochs_total counter",
+		"sim_epochs_total 7",
+		"# HELP engine_pool_occupancy running tasks",
+		"engine_pool_occupancy 3",
+		"# TYPE task_seconds histogram",
+		`task_seconds_bucket{le="0.001"} 1`,
+		`task_seconds_bucket{le="1"} 2`,
+		`task_seconds_bucket{le="+Inf"} 3`,
+		"task_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "").Inc()
+	r.Counter("a_total", "").Add(2)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snaps []MetricSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snaps); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 || snaps[0].Name != "a_total" || snaps[0].Value != 2 {
+		t.Fatalf("unexpected snapshot: %+v", snaps)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind conflict")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m", "")
+	r.Gauge("m", "")
+}
+
+// BenchmarkCounterAdd documents the hot-path cost of an enabled counter;
+// BenchmarkCounterDisabled the cost when observability is off (nil
+// receiver — a single branch).
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewCounter()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram([]float64{1e-4, 1e-3, 1e-2, 0.1, 1, 10})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%7) * 1e-3)
+	}
+}

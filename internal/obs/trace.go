@@ -1,0 +1,375 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// EpochRecord is one epoch of a controlled run as the trace recorder
+// captures it: the telemetry the controller saw, the configuration the
+// epoch executed under, the model's raw prediction versus the
+// policy-filtered choice for the next epoch, and the resilience
+// annotations. The JSON field set is the schema-stable JSONL export format
+// — tests pin it with a golden file, so extend it only by appending new
+// `omitempty` fields.
+type EpochRecord struct {
+	// Epoch is the zero-based epoch index.
+	Epoch int `json:"epoch"`
+	// Phase is the workload phase label ("multiply", "merge", …).
+	Phase string `json:"phase,omitempty"`
+	// StartSec and DurSec place the epoch on the simulated-time axis.
+	StartSec float64 `json:"start_sec"`
+	DurSec   float64 `json:"dur_sec"`
+	// EnergyJ and FPOps are the epoch's objective inputs.
+	EnergyJ float64 `json:"energy_j"`
+	FPOps   float64 `json:"fp_ops"`
+	// Config is the configuration the epoch executed under.
+	Config string `json:"config"`
+	// Predicted is the model's raw output at this epoch's boundary, before
+	// the cost-aware policy filter (empty for static runs or held epochs).
+	Predicted string `json:"predicted,omitempty"`
+	// Chosen is the configuration actually selected for the next epoch
+	// after policy filtering and validation (empty when held).
+	Chosen string `json:"chosen,omitempty"`
+	// Reconfigured marks an epoch entered with a configuration change;
+	// PenaltyCycles is the transition cost folded into it.
+	Reconfigured  bool    `json:"reconfigured,omitempty"`
+	PenaltyCycles float64 `json:"penalty_cycles,omitempty"`
+	// Resilience annotations (see core.EpochLog).
+	Repairs          int  `json:"repairs,omitempty"`
+	TelemetryDropped bool `json:"telemetry_dropped,omitempty"`
+	Degraded         bool `json:"degraded,omitempty"`
+	Fallback         bool `json:"fallback,omitempty"`
+	// Counters is the per-epoch telemetry (Table 2), keyed by feature name.
+	Counters map[string]float64 `json:"counters,omitempty"`
+}
+
+// Instant is a point event on a trace timeline: a reconfiguration, a
+// watchdog trip, a fallback entry/exit, a checkpoint write.
+type Instant struct {
+	// Name labels the event ("reconfig", "watchdog-trip", …).
+	Name string `json:"name"`
+	// Cat is the event category, used as the Chrome trace `cat` field.
+	Cat string `json:"cat,omitempty"`
+	// TSSec is the simulated-time position of the event.
+	TSSec float64 `json:"ts_sec"`
+	// Args carries event details (old/new config, cycles, …).
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// Span is a duration event on the wall-clock timeline — the engine records
+// one per executed task, so sweep traces show pool occupancy over time.
+type Span struct {
+	// Name labels the span (task label or index).
+	Name string `json:"name"`
+	// Cat is the span category ("engine-task").
+	Cat string `json:"cat,omitempty"`
+	// TID is the worker that executed the span; spans of the same worker
+	// render on one Perfetto track.
+	TID int `json:"tid"`
+	// StartSec and DurSec place the span on the wall-clock axis (seconds
+	// since the recorder was created).
+	StartSec float64 `json:"start_sec"`
+	DurSec   float64 `json:"dur_sec"`
+	// Args carries span details (cache hit, error, …).
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// TraceRecorder accumulates epoch records, instants and spans from one run
+// and exports them as JSONL or Chrome trace_event JSON. All methods are
+// safe for concurrent use; methods on a nil *TraceRecorder are no-ops, so
+// instrumented code pays only a nil check when tracing is disabled.
+type TraceRecorder struct {
+	mu       sync.Mutex
+	epochs   []EpochRecord
+	instants []Instant
+	spans    []Span
+}
+
+// NewTraceRecorder returns an empty recorder.
+func NewTraceRecorder() *TraceRecorder { return &TraceRecorder{} }
+
+// RecordEpoch appends one epoch record.
+func (t *TraceRecorder) RecordEpoch(rec EpochRecord) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.epochs = append(t.epochs, rec)
+	t.mu.Unlock()
+}
+
+// RecordInstant appends one point event.
+func (t *TraceRecorder) RecordInstant(ev Instant) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.instants = append(t.instants, ev)
+	t.mu.Unlock()
+}
+
+// RecordSpan appends one wall-clock duration event.
+func (t *TraceRecorder) RecordSpan(sp Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
+// Epochs returns a copy of the recorded epoch records, in record order.
+func (t *TraceRecorder) Epochs() []EpochRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]EpochRecord(nil), t.epochs...)
+}
+
+// Len returns the total number of recorded events.
+func (t *TraceRecorder) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.epochs) + len(t.instants) + len(t.spans)
+}
+
+// jsonlLine wraps each JSONL record with its type tag so mixed streams
+// stay self-describing.
+type jsonlLine struct {
+	Type    string       `json:"type"`
+	Epoch   *EpochRecord `json:"epoch,omitempty"`
+	Instant *Instant     `json:"instant,omitempty"`
+	Span    *Span        `json:"span,omitempty"`
+}
+
+// WriteJSONL writes the trace as one JSON object per line: epoch records
+// first (in epoch order), then instants, then spans. The schema is pinned
+// by a golden-file test.
+func (t *TraceRecorder) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	for i := range t.epochs {
+		if err := enc.Encode(jsonlLine{Type: "epoch", Epoch: &t.epochs[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range t.instants {
+		if err := enc.Encode(jsonlLine{Type: "instant", Instant: &t.instants[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range t.spans {
+		if err := enc.Encode(jsonlLine{Type: "span", Span: &t.spans[i]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event array. Field names
+// follow the trace-event format spec (ph = phase, ts/dur in microseconds).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level Chrome trace JSON object.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Track/pid layout of the Chrome export: simulated time on pid 1
+// (epochs + config + counters + instants), wall-clock engine spans on
+// pid 2, one tid per worker.
+const (
+	simPID    = 1
+	enginePID = 2
+
+	epochTID   = 1
+	configTID  = 2
+	instantTID = 3
+)
+
+// WriteChromeTrace writes the trace in Chrome trace_event JSON (the
+// "JSON object format"), loadable in chrome://tracing and
+// https://ui.perfetto.dev. Simulated time maps to the trace's microsecond
+// axis: one "X" (complete) event per epoch on the epoch track, one per
+// contiguous configuration stretch on the config track, "C" (counter)
+// events for GFLOPS and GFLOPS/W, "i" (instant) events for
+// reconfigurations and watchdog activity, and one "X" event per engine
+// task on the wall-clock process.
+func (t *TraceRecorder) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	us := func(sec float64) float64 { return sec * 1e6 }
+	var evs []chromeEvent
+
+	// Metadata: name the processes and threads so Perfetto labels tracks.
+	meta := func(pid, tid int, key, name string) {
+		ev := chromeEvent{Name: key, Phase: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": name}}
+		evs = append(evs, ev)
+	}
+	meta(simPID, 0, "process_name", "simulated time")
+	meta(simPID, epochTID, "thread_name", "epochs")
+	meta(simPID, configTID, "thread_name", "configuration")
+	meta(simPID, instantTID, "thread_name", "controller events")
+
+	epochs := append([]EpochRecord(nil), t.epochs...)
+	sort.SliceStable(epochs, func(i, j int) bool { return epochs[i].Epoch < epochs[j].Epoch })
+
+	for _, ep := range epochs {
+		name := fmt.Sprintf("epoch %d", ep.Epoch)
+		if ep.Phase != "" {
+			name += " · " + ep.Phase
+		}
+		args := map[string]any{
+			"config":   ep.Config,
+			"energy_j": ep.EnergyJ,
+			"fp_ops":   ep.FPOps,
+		}
+		if ep.Predicted != "" {
+			args["predicted"] = ep.Predicted
+		}
+		if ep.Chosen != "" {
+			args["chosen"] = ep.Chosen
+		}
+		if ep.Reconfigured {
+			args["reconfigured"] = true
+			args["penalty_cycles"] = ep.PenaltyCycles
+		}
+		if ep.Repairs > 0 {
+			args["repairs"] = ep.Repairs
+		}
+		if ep.TelemetryDropped {
+			args["telemetry_dropped"] = true
+		}
+		if ep.Degraded {
+			args["degraded"] = true
+		}
+		if ep.Fallback {
+			args["fallback"] = true
+		}
+		for k, v := range ep.Counters {
+			args["counter."+k] = v
+		}
+		evs = append(evs, chromeEvent{
+			Name: name, Cat: "epoch", Phase: "X",
+			TS: us(ep.StartSec), Dur: us(ep.DurSec),
+			PID: simPID, TID: epochTID, Args: args,
+		})
+		// Counter track: throughput and efficiency per epoch.
+		if ep.DurSec > 0 && ep.FPOps > 0 {
+			gflops := ep.FPOps / ep.DurSec / 1e9
+			evs = append(evs, chromeEvent{
+				Name: "GFLOPS", Phase: "C", TS: us(ep.StartSec),
+				PID: simPID, TID: 0, Args: map[string]any{"value": gflops},
+			})
+			if ep.EnergyJ > 0 {
+				evs = append(evs, chromeEvent{
+					Name: "GFLOPS/W", Phase: "C", TS: us(ep.StartSec),
+					PID: simPID, TID: 0,
+					Args: map[string]any{"value": gflops * ep.DurSec / ep.EnergyJ},
+				})
+			}
+		}
+	}
+
+	// Config track: merge contiguous epochs under the same configuration
+	// into one span, so reconfigurations are visible as span boundaries.
+	for i := 0; i < len(epochs); {
+		j := i
+		end := epochs[i].StartSec + epochs[i].DurSec
+		for j+1 < len(epochs) && epochs[j+1].Config == epochs[i].Config {
+			j++
+			end = epochs[j].StartSec + epochs[j].DurSec
+		}
+		evs = append(evs, chromeEvent{
+			Name: epochs[i].Config, Cat: "config", Phase: "X",
+			TS: us(epochs[i].StartSec), Dur: us(end - epochs[i].StartSec),
+			PID: simPID, TID: configTID,
+			Args: map[string]any{"epochs": j - i + 1},
+		})
+		i = j + 1
+	}
+
+	for _, in := range t.instants {
+		args := make(map[string]any, len(in.Args))
+		for k, v := range in.Args {
+			args[k] = v
+		}
+		evs = append(evs, chromeEvent{
+			Name: in.Name, Cat: in.Cat, Phase: "i", Scope: "g",
+			TS: us(in.TSSec), PID: simPID, TID: instantTID, Args: args,
+		})
+	}
+
+	if len(t.spans) > 0 {
+		meta(enginePID, 0, "process_name", "engine (wall clock)")
+		for _, sp := range t.spans {
+			args := make(map[string]any, len(sp.Args))
+			for k, v := range sp.Args {
+				args[k] = v
+			}
+			evs = append(evs, chromeEvent{
+				Name: sp.Name, Cat: sp.Cat, Phase: "X",
+				TS: us(sp.StartSec), Dur: us(sp.DurSec),
+				PID: enginePID, TID: sp.TID + 1, Args: args,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// WriteFile writes the trace to path, choosing the format by extension:
+// ".jsonl" (or ".ndjson") writes the line-oriented schema, anything else
+// writes Chrome trace_event JSON.
+func (t *TraceRecorder) WriteFile(path string) error {
+	if t == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: trace: %w", err)
+	}
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".jsonl", ".ndjson":
+		err = t.WriteJSONL(f)
+	default:
+		err = t.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fixedTrace builds a deterministic two-epoch trace used by the golden and
+// Chrome-format tests.
+func fixedTrace() *TraceRecorder {
+	tr := NewTraceRecorder()
+	tr.RecordEpoch(EpochRecord{
+		Epoch: 0, Phase: "multiply", StartSec: 0, DurSec: 0.5,
+		EnergyJ: 0.25, FPOps: 1000, Config: "cfgA", Predicted: "cfgB", Chosen: "cfgB",
+		Counters: map[string]float64{"l1-miss-rate": 0.5},
+	})
+	tr.RecordEpoch(EpochRecord{
+		Epoch: 1, Phase: "merge", StartSec: 0.5, DurSec: 0.25,
+		EnergyJ: 0.1, FPOps: 500, Config: "cfgB",
+		Reconfigured: true, PenaltyCycles: 120,
+		Repairs: 2, Degraded: true, Fallback: true,
+	})
+	tr.RecordInstant(Instant{
+		Name: "reconfig", Cat: "controller", TSSec: 0.5,
+		Args: map[string]string{"from": "cfgA", "to": "cfgB"},
+	})
+	tr.RecordSpan(Span{
+		Name: "task 0", Cat: "engine-task", TID: 1, StartSec: 0.01, DurSec: 0.02,
+		Args: map[string]string{"cache": "miss"},
+	})
+	return tr
+}
+
+// goldenJSONL pins the JSONL export schema: a renamed or retyped field
+// breaks this test, which is the point — downstream tooling (and the
+// COGNATE-style training-data consumers the trace feeds) parse these
+// lines. Extend the schema only by appending new omitempty fields.
+const goldenJSONL = `{"type":"epoch","epoch":{"epoch":0,"phase":"multiply","start_sec":0,"dur_sec":0.5,"energy_j":0.25,"fp_ops":1000,"config":"cfgA","predicted":"cfgB","chosen":"cfgB","counters":{"l1-miss-rate":0.5}}}
+{"type":"epoch","epoch":{"epoch":1,"phase":"merge","start_sec":0.5,"dur_sec":0.25,"energy_j":0.1,"fp_ops":500,"config":"cfgB","reconfigured":true,"penalty_cycles":120,"repairs":2,"degraded":true,"fallback":true}}
+{"type":"instant","instant":{"name":"reconfig","cat":"controller","ts_sec":0.5,"args":{"from":"cfgA","to":"cfgB"}}}
+{"type":"span","span":{"name":"task 0","cat":"engine-task","tid":1,"start_sec":0.01,"dur_sec":0.02,"args":{"cache":"miss"}}}
+`
+
+func TestWriteJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedTrace().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != goldenJSONL {
+		t.Errorf("JSONL schema drifted.\ngot:\n%s\nwant:\n%s", got, goldenJSONL)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var top struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if top.Unit != "ms" {
+		t.Errorf("displayTimeUnit = %q", top.Unit)
+	}
+	count := map[string]int{}
+	for _, ev := range top.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			t.Fatalf("event without ph: %v", ev)
+		}
+		count[ph]++
+		if ph == "X" || ph == "i" || ph == "C" {
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("event without numeric ts: %v", ev)
+			}
+		}
+	}
+	// 2 epoch spans + 1 merged-config span per config (2) + 1 engine span.
+	if count["X"] != 5 {
+		t.Errorf("complete events = %d, want 5", count["X"])
+	}
+	if count["i"] != 1 {
+		t.Errorf("instant events = %d, want 1", count["i"])
+	}
+	if count["C"] != 4 { // GFLOPS + GFLOPS/W per epoch
+		t.Errorf("counter events = %d, want 4", count["C"])
+	}
+	if count["M"] == 0 {
+		t.Error("missing metadata (track name) events")
+	}
+	// Epoch 0's config track: microseconds on the trace axis.
+	found := false
+	for _, ev := range top.TraceEvents {
+		if ev["name"] == "cfgA" && ev["ph"] == "X" {
+			found = true
+			if dur := ev["dur"].(float64); dur != 0.5e6 {
+				t.Errorf("cfgA config span dur = %v us, want 5e5", dur)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing config-track span for cfgA")
+	}
+}
+
+func TestWriteFileByExtension(t *testing.T) {
+	dir := t.TempDir()
+	tr := fixedTrace()
+
+	jl := dir + "/out.jsonl"
+	if err := tr.WriteFile(jl); err != nil {
+		t.Fatal(err)
+	}
+	b := mustRead(t, jl)
+	if !strings.HasPrefix(string(b), `{"type":"epoch"`) {
+		t.Errorf("jsonl file has wrong leading line: %.60s", b)
+	}
+
+	cj := dir + "/out.json"
+	if err := tr.WriteFile(cj); err != nil {
+		t.Fatal(err)
+	}
+	var top map[string]any
+	if err := json.Unmarshal(mustRead(t, cj), &top); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := top["traceEvents"]; !ok {
+		t.Error(".json file is not a Chrome trace")
+	}
+}
+
+func TestEpochsCopy(t *testing.T) {
+	tr := fixedTrace()
+	eps := tr.Epochs()
+	if len(eps) != 2 || eps[0].Config != "cfgA" {
+		t.Fatalf("unexpected epochs: %+v", eps)
+	}
+	eps[0].Config = "mutated"
+	if tr.Epochs()[0].Config != "cfgA" {
+		t.Fatal("Epochs must return a copy")
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+}

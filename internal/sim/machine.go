@@ -60,6 +60,10 @@ type Machine struct {
 
 	trace *Trace
 
+	// mx is the optional registry-backed instrumentation (see Instrument);
+	// nil means observability is off and costs one branch per epoch.
+	mx *machineMetrics
+
 	// Pending reconfiguration penalty, folded into the next epoch.
 	pendCycles float64
 	pendCounts power.Counts
@@ -474,6 +478,9 @@ func (m *Machine) RunEpoch(ep EpochRange) EpochResult {
 	m.pendCounts = power.Counts{}
 
 	energy := power.Energy(m.chip, m.cfg, cnt, t)
+	if m.mx != nil {
+		m.mx.recordEpoch(cycles, t, cnt, l1Cont+l2Cont, energy)
+	}
 
 	res := EpochResult{
 		Metrics: power.Metrics{TimeSec: t, EnergyJ: energy, FPOps: float64(ep.FPOps)},

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"sparseadapt/internal/obs"
+	"sparseadapt/internal/power"
+)
+
+// machineMetrics is the machine's registry-backed instrumentation: raw
+// event totals per epoch (the inputs the energy model and the Table 2
+// counters are derived from) plus reconfiguration accounting. All updates
+// are single atomic adds at epoch/reconfiguration granularity, so the
+// per-access hot path is untouched.
+type machineMetrics struct {
+	epochs     *obs.Counter
+	cycles     *obs.Counter
+	l1Acc      *obs.Counter
+	l2Acc      *obs.Counter
+	spmAcc     *obs.Counter
+	xbarXfers  *obs.Counter
+	xbarConts  *obs.Counter
+	dramRead   *obs.Counter
+	dramWrite  *obs.Counter
+	gpeInstrs  *obs.Counter
+	lcpInstrs  *obs.Counter
+	epochSecs  *obs.Histogram
+	reconfigs  *obs.Counter
+	rcCycles   *obs.Counter
+	rcL1Flush  *obs.Counter
+	rcL2Flush  *obs.Counter
+	rcDRAMWr   *obs.Counter
+	simSeconds *obs.Gauge
+	energyJ    *obs.Gauge
+}
+
+// Instrument attaches the machine to a metrics registry: from now on every
+// RunEpoch and Reconfigure updates the `sim_*` metric family (see
+// docs/OBSERVABILITY.md for the catalog). A nil registry detaches the
+// machine. Instrumentation adds a handful of atomic adds per epoch —
+// nothing on the per-access path — so the overhead is unmeasurable next to
+// trace replay.
+func (m *Machine) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		m.mx = nil
+		return
+	}
+	m.mx = &machineMetrics{
+		epochs:     reg.Counter("sim_epochs_total", "trace epochs replayed"),
+		cycles:     reg.Counter("sim_epoch_cycles_total", "critical-path compute cycles across epochs"),
+		l1Acc:      reg.Counter("sim_l1_accesses_total", "L1 cache accesses (demand + writeback + prefetch)"),
+		l2Acc:      reg.Counter("sim_l2_accesses_total", "L2 cache accesses"),
+		spmAcc:     reg.Counter("sim_spm_accesses_total", "scratchpad accesses (L1 SPM mode)"),
+		xbarXfers:  reg.Counter("sim_xbar_transfers_total", "crossbar transfers"),
+		xbarConts:  reg.Counter("sim_xbar_contention_total", "crossbar contention collisions"),
+		dramRead:   reg.Counter("sim_dram_read_bytes_total", "DRAM bytes read"),
+		dramWrite:  reg.Counter("sim_dram_write_bytes_total", "DRAM bytes written"),
+		gpeInstrs:  reg.Counter("sim_gpe_instrs_total", "GPE instructions replayed"),
+		lcpInstrs:  reg.Counter("sim_lcp_instrs_total", "LCP instructions replayed"),
+		epochSecs:  reg.Histogram("sim_epoch_seconds", "simulated wall time per epoch", epochSecondsBounds),
+		reconfigs:  reg.Counter("sim_reconfig_total", "reconfigurations applied"),
+		rcCycles:   reg.Counter("sim_reconfig_cycles_total", "reconfiguration penalty cycles"),
+		rcL1Flush:  reg.Counter("sim_reconfig_l1_flushed_lines_total", "dirty L1 lines flushed by reconfigurations"),
+		rcL2Flush:  reg.Counter("sim_reconfig_l2_flushed_lines_total", "dirty L2 lines flushed by reconfigurations"),
+		rcDRAMWr:   reg.Counter("sim_reconfig_dram_write_bytes_total", "DRAM writeback bytes caused by reconfigurations"),
+		simSeconds: reg.Gauge("sim_time_seconds", "cumulative simulated time"),
+		energyJ:    reg.Gauge("sim_energy_joules", "cumulative simulated energy"),
+	}
+}
+
+// epochSecondsBounds spans the simulated epoch durations seen from the
+// test scale (microseconds) up to paper-scale memory-bound epochs.
+var epochSecondsBounds = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
+
+// recordEpoch publishes one epoch's raw totals.
+func (x *machineMetrics) recordEpoch(cycles float64, t float64, cnt power.Counts, conts int, energyJ float64) {
+	x.epochs.Inc()
+	x.cycles.Add(int64(cycles))
+	x.l1Acc.Add(int64(cnt.L1Accesses))
+	x.l2Acc.Add(int64(cnt.L2Accesses))
+	x.spmAcc.Add(int64(cnt.SPMAccesses))
+	x.xbarXfers.Add(int64(cnt.XbarTransfers))
+	x.xbarConts.Add(int64(conts))
+	x.dramRead.Add(int64(cnt.DRAMReadBytes))
+	x.dramWrite.Add(int64(cnt.DRAMWriteBytes))
+	x.gpeInstrs.Add(int64(cnt.GPEInstrs))
+	x.lcpInstrs.Add(int64(cnt.LCPInstrs))
+	x.epochSecs.Observe(t)
+	x.simSeconds.Add(t)
+	x.energyJ.Add(energyJ)
+}
+
+// recordReconfig publishes one reconfiguration's cost.
+func (x *machineMetrics) recordReconfig(rc ReconfigCost) {
+	x.reconfigs.Inc()
+	x.rcCycles.Add(int64(rc.Cycles))
+	x.rcL1Flush.Add(int64(rc.L1Flushed))
+	x.rcL2Flush.Add(int64(rc.L2Flushed))
+	x.rcDRAMWr.Add(int64(rc.DRAMWrites))
+}

@@ -110,6 +110,9 @@ func (m *Machine) Reconfigure(to config.Config) (ReconfigCost, error) {
 	}
 
 	cnt.DRAMWriteBytes = rc.DRAMWrites
+	if m.mx != nil {
+		m.mx.recordReconfig(rc)
+	}
 	m.cfg = to
 	m.rebuildSPMResidency()
 	m.pendCycles += rc.Cycles
