@@ -1,0 +1,160 @@
+// Command benchdiff compares `go test -bench` output against a committed
+// baseline (BENCH_BASELINE.json) and flags regressions, a dependency-free
+// stand-in for benchstat sized for this repository's CI. With -write it
+// (re)generates the baseline instead.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. ./... | tee bench.out
+//	go run ./cmd/benchdiff -baseline BENCH_BASELINE.json bench.out
+//	go run ./cmd/benchdiff -write -baseline BENCH_BASELINE.json bench.out
+//
+// Comparison is warn-only by default (exit 0) because single-run CI
+// benchmark numbers are noisy; -fail turns regressions into a non-zero
+// exit for local use.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the committed benchmark reference: geometric ns/op per
+// benchmark, keyed by name with the GOMAXPROCS suffix stripped so the file
+// is portable across machines with different core counts.
+type Baseline struct {
+	Note       string             `json:"note"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches standard testing output:
+// BenchmarkName-8   1234   5678 ns/op   90 B/op   1 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// parseBench extracts name → ns/op from -bench output. Repeated runs of
+// the same benchmark keep the minimum (the least-noise sample).
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, w io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(w)
+	baselinePath := fs.String("baseline", "BENCH_BASELINE.json", "baseline file")
+	write := fs.Bool("write", false, "write the baseline from the input instead of comparing")
+	threshold := fs.Float64("threshold", 0.15, "relative ns/op regression that triggers a warning")
+	failOnRegress := fs.Bool("fail", false, "exit non-zero on regression (default: warn only)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	in := io.Reader(os.Stdin)
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(w, "benchdiff:", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(w, "benchdiff:", err)
+		return 2
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(w, "benchdiff: no benchmark lines in input")
+		return 2
+	}
+
+	if *write {
+		b := Baseline{
+			Note:       "committed benchmark reference; regenerate with: go test -run=NONE -bench=. ./... | go run ./cmd/benchdiff -write",
+			Benchmarks: got,
+		}
+		data, err := json.MarshalIndent(b, "", " ")
+		if err != nil {
+			fmt.Fprintln(w, "benchdiff:", err)
+			return 2
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(w, "benchdiff:", err)
+			return 2
+		}
+		fmt.Fprintf(w, "benchdiff: wrote %d benchmarks to %s\n", len(got), *baselinePath)
+		return 0
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(w, "benchdiff:", err)
+		return 2
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(w, "benchdiff: %s: %v\n", *baselinePath, err)
+		return 2
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for n := range base.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	regressions := 0
+	fmt.Fprintf(w, "%-40s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, n := range names {
+		b := base.Benchmarks[n]
+		g, ok := got[n]
+		if !ok {
+			fmt.Fprintf(w, "%-40s %14.1f %14s %8s  MISSING from current run\n", n, b, "-", "-")
+			regressions++
+			continue
+		}
+		delta := (g - b) / b
+		mark := ""
+		if delta > *threshold {
+			mark = fmt.Sprintf("  WARN regression > %.0f%%", *threshold*100)
+			regressions++
+		}
+		fmt.Fprintf(w, "%-40s %14.1f %14.1f %+7.1f%%%s\n", n, b, g, delta*100, mark)
+	}
+	for n := range got {
+		if _, ok := base.Benchmarks[n]; !ok {
+			fmt.Fprintf(w, "%-40s %14s %14.1f %8s  new (not in baseline; re-bless with -write)\n", n, "-", got[n], "-")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "benchdiff: %d benchmark(s) regressed past %.0f%% or went missing\n", regressions, *threshold*100)
+		if *failOnRegress {
+			return 1
+		}
+	}
+	return 0
+}

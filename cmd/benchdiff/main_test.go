@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+BenchmarkFast-8        	 1000000	       100 ns/op	       0 B/op
+BenchmarkSlow-16       	     100	     50000 ns/op
+BenchmarkSlow-16       	     100	     48000 ns/op
+ok  	example	1.2s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	if got["BenchmarkFast"] != 100 {
+		t.Errorf("BenchmarkFast = %v, want 100 (GOMAXPROCS suffix stripped)", got["BenchmarkFast"])
+	}
+	if got["BenchmarkSlow"] != 48000 {
+		t.Errorf("BenchmarkSlow = %v, want min of repeated runs 48000", got["BenchmarkSlow"])
+	}
+}
+
+func TestWriteThenCompare(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	in := filepath.Join(dir, "bench.out")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if code := run([]string{"-write", "-baseline", baseline, in}, &out); code != 0 {
+		t.Fatalf("write failed (%d): %s", code, out.String())
+	}
+
+	// Identical input: clean comparison, exit 0.
+	out.Reset()
+	if code := run([]string{"-baseline", baseline, in}, &out); code != 0 {
+		t.Fatalf("compare failed (%d): %s", code, out.String())
+	}
+	if strings.Contains(out.String(), "WARN") {
+		t.Fatalf("identical run warned: %s", out.String())
+	}
+
+	// Regressed input: warn by default (exit 0), fail with -fail.
+	slow := filepath.Join(dir, "slow.out")
+	if err := os.WriteFile(slow, []byte(strings.ReplaceAll(sample, "       100 ns/op", "       200 ns/op")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"-baseline", baseline, slow}, &out); code != 0 {
+		t.Fatalf("warn-only compare exited %d: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "WARN") {
+		t.Fatalf("regression not flagged: %s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-fail", "-baseline", baseline, slow}, &out); code != 1 {
+		t.Fatalf("-fail compare exited %d, want 1: %s", code, out.String())
+	}
+}

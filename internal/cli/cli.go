@@ -48,6 +48,8 @@ func Main(args []string, stdout io.Writer) int {
 		err = cmdRun(stdout, args[1:])
 	case "check":
 		err = cmdCheck(stdout, args[1:])
+	case "verify":
+		err = cmdVerify(stdout, args[1:])
 	case "-h", "--help", "help":
 		usage(stdout)
 	default:
@@ -74,7 +76,10 @@ commands:
                        (-faults injects failures, -checkpoint/-resume cover
                        crash recovery; see README)
   check [flags]        re-run the suite at test scale and diff against the
-                       recorded reference shapes (artifact rep_check)`)
+                       recorded reference shapes (artifact rep_check)
+  verify [flags]       run the verification subsystem: golden-trace corpus,
+                       differential kernel checks and metamorphic invariants
+                       (see docs/TESTING.md)`)
 }
 
 func scaleByName(name string) (experiments.Scale, error) {

@@ -1,0 +1,110 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"sparseadapt/internal/verify"
+)
+
+// cmdVerify runs the end-to-end verification subsystem: the golden-trace
+// corpus comparison, the differential kernel/controller checks and the
+// metamorphic invariant suite. The golden records are embedded in the
+// binary, so this works from any directory; it is also what CI runs.
+func cmdVerify(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	fs.SetOutput(w)
+	corpus := fs.Bool("corpus", true, "compare the scenario corpus against embedded golden records")
+	diff := fs.Bool("differential", true, "run dense-reference kernel checks and the controller-vs-oracle EDP bound")
+	invariants := fs.Bool("invariants", true, "run the metamorphic invariant suite")
+	scenario := fs.String("scenario", "", "restrict the corpus pillar to one scenario")
+	invariant := fs.String("invariant", "", "restrict the invariant pillar to one invariant")
+	cases := fs.Int("cases", 0, "override cases per invariant (0 = each invariant's default; VERIFY_CASES also applies)")
+	seed := fs.Int64("seed", verify.DefaultBaseSeed, "base seed for invariant case derivation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fails := 0
+
+	if *corpus {
+		scenarios := verify.Corpus()
+		if *scenario != "" {
+			s, err := verify.ScenarioByName(*scenario)
+			if err != nil {
+				return err
+			}
+			scenarios = []verify.Scenario{s}
+		}
+		for _, s := range scenarios {
+			out, err := verify.Run(s)
+			if err != nil {
+				return err
+			}
+			got := verify.Golden(out)
+			committed, err := verify.LoadGolden(s.Name)
+			if err != nil {
+				return err
+			}
+			if lines := verify.Diff(committed, got, 10); len(lines) > 0 {
+				fails++
+				fmt.Fprintf(w, "FAIL golden %-32s %d mismatches\n", s.Name, len(lines))
+				fmt.Fprintln(w, "  "+strings.Join(lines, "\n  "))
+			} else {
+				fmt.Fprintf(w, "ok   golden %-32s %d epochs, %d reconfigs\n", s.Name, len(got.Epochs), got.Reconfigs)
+			}
+		}
+	}
+
+	if *diff && *invariant == "" {
+		if err := verify.CheckCorpusKernels(); err != nil {
+			fails++
+			fmt.Fprintf(w, "FAIL differential kernels: %v\n", err)
+		} else {
+			fmt.Fprintln(w, "ok   differential kernels match dense references on the corpus")
+		}
+		reports, err := verify.CheckControllerEDP()
+		if err != nil {
+			fails++
+			fmt.Fprintf(w, "FAIL controller EDP bound: %v\n", err)
+		}
+		for _, r := range reports {
+			fmt.Fprintf(w, "ok   controller EDP %-27s %.2fx of Ideal Static (limit %.2fx)\n",
+				r.Scenario, r.Ratio, verify.MaxEDPRatio)
+		}
+	}
+
+	if *invariants {
+		invs := verify.Invariants()
+		if *invariant != "" {
+			inv, err := verify.InvariantByName(*invariant)
+			if err != nil {
+				return err
+			}
+			invs = []verify.Invariant{inv}
+		}
+		n := *cases
+		if n == 0 {
+			n = verify.CasesOverride()
+		}
+		for _, inv := range invs {
+			if err := verify.RunInvariant(inv, *seed, n); err != nil {
+				fails++
+				fmt.Fprintf(w, "FAIL %v\n", err)
+			} else {
+				c := n
+				if c == 0 {
+					c = inv.Cases
+				}
+				fmt.Fprintf(w, "ok   invariant %-32s %d cases — %s\n", inv.Name, c, inv.Doc)
+			}
+		}
+	}
+
+	if fails > 0 {
+		return fmt.Errorf("verify: %d check(s) failed", fails)
+	}
+	fmt.Fprintln(w, "verify: all checks passed")
+	return nil
+}

@@ -1,0 +1,38 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyScenario(t *testing.T) {
+	out, code := runCLI(t, "verify", "-scenario", "spmspv-uniform-baseline", "-invariants=false", "-differential=false")
+	if code != 0 {
+		t.Fatalf("code %d out %q", code, out)
+	}
+	if !strings.Contains(out, "ok   golden spmspv-uniform-baseline") || !strings.Contains(out, "all checks passed") {
+		t.Fatalf("unexpected output %q", out)
+	}
+}
+
+func TestVerifyOneInvariant(t *testing.T) {
+	out, code := runCLI(t, "verify", "-corpus=false", "-differential=false",
+		"-invariant", "config-index-bijection", "-cases", "25")
+	if code != 0 {
+		t.Fatalf("code %d out %q", code, out)
+	}
+	if !strings.Contains(out, "config-index-bijection") || !strings.Contains(out, "25 cases") {
+		t.Fatalf("unexpected output %q", out)
+	}
+}
+
+func TestVerifyUnknownSelectors(t *testing.T) {
+	out, code := runCLI(t, "verify", "-scenario", "nope")
+	if code != 1 || !strings.Contains(out, "unknown scenario") {
+		t.Fatalf("code %d out %q", code, out)
+	}
+	out, code = runCLI(t, "verify", "-corpus=false", "-invariant", "nope")
+	if code != 1 || !strings.Contains(out, "unknown invariant") {
+		t.Fatalf("code %d out %q", code, out)
+	}
+}

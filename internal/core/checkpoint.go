@@ -87,24 +87,36 @@ func (c *ResilientController) writeCheckpoint(m *sim.Machine, st *runState, done
 	return writeFileAtomic(c.Opts.CheckpointPath, data)
 }
 
+// DecodeCheckpoint parses and validates checkpoint bytes. It is the pure
+// decoding core of LoadCheckpoint, split out so untrusted bytes can be
+// checked without touching the filesystem (the fuzz harness drives it
+// directly).
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	ck := &Checkpoint{}
+	if err := json.Unmarshal(data, ck); err != nil {
+		return nil, fmt.Errorf("core: parsing checkpoint: %w", err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("core: checkpoint has version %d, want %d", ck.Version, checkpointVersion)
+	}
+	if ck.Epoch < 1 || len(ck.Epochs) != ck.Epoch {
+		return nil, fmt.Errorf("core: checkpoint records %d logs for %d epochs", len(ck.Epochs), ck.Epoch)
+	}
+	if !ck.Start.Valid() || !ck.Next.Valid() {
+		return nil, fmt.Errorf("core: checkpoint holds an invalid configuration")
+	}
+	return ck, nil
+}
+
 // LoadCheckpoint reads and validates a checkpoint file.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	ck := &Checkpoint{}
-	if err := json.Unmarshal(data, ck); err != nil {
-		return nil, fmt.Errorf("core: parsing checkpoint %s: %w", path, err)
-	}
-	if ck.Version != checkpointVersion {
-		return nil, fmt.Errorf("core: checkpoint %s has version %d, want %d", path, ck.Version, checkpointVersion)
-	}
-	if ck.Epoch < 1 || len(ck.Epochs) != ck.Epoch {
-		return nil, fmt.Errorf("core: checkpoint %s records %d logs for %d epochs", path, len(ck.Epochs), ck.Epoch)
-	}
-	if !ck.Start.Valid() || !ck.Next.Valid() {
-		return nil, fmt.Errorf("core: checkpoint %s holds an invalid configuration", path)
+	ck, err := DecodeCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
 	}
 	return ck, nil
 }

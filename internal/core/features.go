@@ -61,16 +61,32 @@ type Ensemble struct {
 
 // Predict returns the configuration the model deems best for the next
 // epoch. The compile-time L1 type of cur is always preserved; any parameter
-// without a trained tree keeps its current value.
+// without a trained tree keeps its current value. Trees trained on a wider
+// history-augmented layout (BuildHistoryFeatures) are fed the single
+// available frame repeated across the window, so loading a history model
+// into the plain controller degrades gracefully instead of reading past
+// the feature vector; a tree whose width matches no known layout is
+// skipped.
 func (e *Ensemble) Predict(cur config.Config, c sim.Counters) config.Config {
 	x := BuildFeatures(cur, c)
+	var wide []float64 // built lazily, shared by same-width trees
 	out := cur
 	for _, p := range config.RuntimeParams {
 		t, ok := e.Trees[p]
 		if !ok {
 			continue
 		}
-		v := t.Predict(x)
+		xi := x
+		if nf := t.NumFeatures(); nf != len(x) {
+			if nf < NumFeatures || (nf-len6)%sim.NumFeatures != 0 {
+				continue
+			}
+			if len(wide) != nf {
+				wide = BuildHistoryFeatures(cur, []sim.Counters{c}, (nf-len6)/sim.NumFeatures)
+			}
+			xi = wide
+		}
+		v := t.Predict(xi)
 		if v >= 0 && v < config.Cardinality(p) {
 			out[p] = v
 		}

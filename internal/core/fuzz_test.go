@@ -1,0 +1,83 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/ml"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
+)
+
+// fuzzSeedModel marshals a tiny real ensemble so the fuzzer starts from a
+// structurally valid artifact.
+func fuzzSeedModel(f *testing.F) []byte {
+	f.Helper()
+	x := [][]float64{make([]float64, NumFeatures), make([]float64, NumFeatures)}
+	x[1][0] = 1
+	tree, err := ml.TrainTree(x, []int{0, 1}, ml.TreeParams{MinSamplesLeaf: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	e := &Ensemble{Mode: power.EnergyEfficient, Trees: map[config.Param]*ml.Tree{config.Clock: tree}}
+	data, err := json.Marshal(e)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzLoadModelJSON hardens model deserialization: a model file is an
+// untrusted artifact, and whatever UnmarshalJSON accepts must drive Predict
+// without panicking and only ever emit valid configurations.
+func FuzzLoadModelJSON(f *testing.F) {
+	f.Add(fuzzSeedModel(f))
+	f.Add([]byte(`{"mode":0,"trees":{}}`))
+	f.Add([]byte(`{"mode":1,"trees":{"bogus-param":{}}}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"mode":0,"trees":{"clock":{"n_features":-1,"n_classes":2,"nodes":[]}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var e Ensemble
+		if err := json.Unmarshal(data, &e); err != nil {
+			return
+		}
+		for _, cur := range []config.Config{config.Baseline, config.BestAvgSPM, config.MaxCfg} {
+			got := e.Predict(cur, sim.Counters{})
+			if !got.Valid() {
+				t.Fatalf("accepted model predicted invalid config %v from %v", got, cur)
+			}
+		}
+	})
+}
+
+// FuzzDecodeCheckpoint hardens checkpoint recovery: a checkpoint is
+// whatever survived a crash, and DecodeCheckpoint must reject anything
+// inconsistent without panicking.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	valid, err := json.Marshal(&Checkpoint{
+		Version: 1, Epoch: 1, Start: config.Baseline, Next: config.Baseline,
+		Epochs: []EpochLog{{Config: config.Baseline}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"epoch":3,"epochs":[]}`))
+	f.Add([]byte(`{"version":1,"epoch":1,"start":[9,9,9,9,9,9,9],"next":[0,0,0,0,0,5,1],"epochs":[{}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		if ck.Epoch != len(ck.Epochs) {
+			t.Fatalf("accepted checkpoint with %d epochs claiming %d completed", len(ck.Epochs), ck.Epoch)
+		}
+		if !ck.Start.Valid() || !ck.Next.Valid() {
+			t.Fatalf("accepted checkpoint with invalid configs %v -> %v", ck.Start, ck.Next)
+		}
+	})
+}

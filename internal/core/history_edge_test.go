@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/ml"
+	"sparseadapt/internal/sim"
+)
+
+func frame(v float64) sim.Counters {
+	f := make([]float64, sim.NumFeatures)
+	for i := range f {
+		f[i] = v
+	}
+	return sim.CountersFromFeatures(f)
+}
+
+// TestHistoryPaddingBoundaries pins BuildHistoryFeatures at every window
+// boundary: empty, shorter than h, exactly h, longer than h, and h clamped
+// up from zero.
+func TestHistoryPaddingBoundaries(t *testing.T) {
+	cfg := config.Baseline
+	cases := []struct {
+		name   string
+		h      int
+		window []sim.Counters
+		// wantFrames is the expected telemetry frame sequence (as the
+		// constant fill value of each frame), oldest first.
+		wantFrames []float64
+	}{
+		{"h-clamped-from-zero", 0, []sim.Counters{frame(2)}, []float64{2}},
+		{"single-frame-window", 3, []sim.Counters{frame(5)}, []float64{5, 5, 5}},
+		{"partial-window-repeats-oldest", 3, []sim.Counters{frame(1), frame(2)}, []float64{1, 1, 2}},
+		{"exact-window", 3, []sim.Counters{frame(1), frame(2), frame(3)}, []float64{1, 2, 3}},
+		{"overfull-window-keeps-newest", 2, []sim.Counters{frame(1), frame(2), frame(3)}, []float64{2, 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x := BuildHistoryFeatures(cfg, tc.window, tc.h)
+			h := tc.h
+			if h < 1 {
+				h = 1
+			}
+			if len(x) != HistoryFeatureCount(h) {
+				t.Fatalf("width %d, want %d", len(x), HistoryFeatureCount(h))
+			}
+			for fi, want := range tc.wantFrames {
+				off := len6 + fi*sim.NumFeatures
+				for j := 0; j < sim.NumFeatures; j++ {
+					if x[off+j] != want {
+						t.Fatalf("frame %d feature %d = %v, want %v (x=%v)", fi, j, x[off+j], want, x)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHistoryEmptyWindowSanitized pins the empty-window contract: the pad
+// frame must be sanitized neutral telemetry, never raw zeros.
+func TestHistoryEmptyWindowSanitized(t *testing.T) {
+	x := BuildHistoryFeatures(config.Baseline, nil, 2)
+	if len(x) != HistoryFeatureCount(2) {
+		t.Fatalf("width %d, want %d", len(x), HistoryFeatureCount(2))
+	}
+	neutral, _ := SanitizeCounters(sim.Counters{})
+	nf := neutral.Features()
+	for fi := 0; fi < 2; fi++ {
+		off := len6 + fi*sim.NumFeatures
+		for j := 0; j < sim.NumFeatures; j++ {
+			if x[off+j] != nf[j] {
+				t.Fatalf("frame %d feature %d = %v, want sanitized %v", fi, j, x[off+j], nf[j])
+			}
+		}
+	}
+}
+
+// TestPredictWidthMismatch pins the width-compatibility layer of
+// Ensemble.Predict: a history-trained tree is fed a repeated-frame vector
+// instead of reading past the base feature vector, and a tree of impossible
+// width is skipped rather than crashing the controller.
+func TestPredictWidthMismatch(t *testing.T) {
+	trainTree := func(nf, label int) *ml.Tree {
+		x := [][]float64{make([]float64, nf), make([]float64, nf)}
+		x[1][0] = 1
+		tree, err := ml.TrainTree(x, []int{label, label}, ml.TreeParams{MinSamplesLeaf: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tree
+	}
+
+	// History-width tree (h=3): Predict must pad and honor the prediction.
+	e := &Ensemble{Trees: map[config.Param]*ml.Tree{
+		config.Clock: trainTree(HistoryFeatureCount(3), 2),
+	}}
+	got := e.Predict(config.Baseline, sim.Counters{})
+	if got[config.Clock] != 2 {
+		t.Errorf("history-width tree ignored: clock %d, want 2", got[config.Clock])
+	}
+
+	// Impossible width (not a history multiple): skipped, config unchanged.
+	e = &Ensemble{Trees: map[config.Param]*ml.Tree{
+		config.Clock: trainTree(NumFeatures+1, 2),
+	}}
+	got = e.Predict(config.Baseline, sim.Counters{})
+	if got != config.Baseline {
+		t.Errorf("incompatible-width tree changed the config: %v", got)
+	}
+
+	// Narrower than the base layout: also skipped.
+	e = &Ensemble{Trees: map[config.Param]*ml.Tree{
+		config.Clock: trainTree(3, 2),
+	}}
+	got = e.Predict(config.Baseline, sim.Counters{})
+	if got != config.Baseline {
+		t.Errorf("narrow tree changed the config: %v", got)
+	}
+}

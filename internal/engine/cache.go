@@ -132,16 +132,41 @@ func (c *Cache) Counts() (hits, misses, corrupt int64) {
 
 func (c *Cache) path(k Key) string { return filepath.Join(c.dir, k.String()+".bin") }
 
-// writeDisk persists one entry atomically (temp file + rename) as
+// EncodeEntry frames a payload in the on-disk cache entry format:
 // magic ∥ sha256(payload) ∥ payload.
-func (c *Cache) writeDisk(k Key, v []byte) {
-	sum := sha256.Sum256(v)
-	buf := make([]byte, 0, len(diskMagic)+len(sum)+len(v))
+func EncodeEntry(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	buf := make([]byte, 0, len(diskMagic)+len(sum)+len(payload))
 	buf = append(buf, diskMagic...)
 	buf = append(buf, sum[:]...)
-	buf = append(buf, v...)
+	return append(buf, payload...)
+}
+
+// DecodeEntry verifies a framed on-disk cache entry and returns its payload.
+// Truncation, a wrong magic or a checksum mismatch (torn write, bit rot,
+// foreign file) all return an error; the payload is only returned when the
+// checksum proves it is exactly what EncodeEntry stored.
+func DecodeEntry(data []byte) ([]byte, error) {
+	hdr := len(diskMagic) + sha256.Size
+	if len(data) < hdr {
+		return nil, fmt.Errorf("engine: cache entry truncated (%d bytes, header is %d)", len(data), hdr)
+	}
+	if string(data[:len(diskMagic)]) != diskMagic {
+		return nil, fmt.Errorf("engine: cache entry has wrong magic")
+	}
+	payload := data[hdr:]
+	sum := sha256.Sum256(payload)
+	if string(sum[:]) != string(data[len(diskMagic):hdr]) {
+		return nil, fmt.Errorf("engine: cache entry checksum mismatch")
+	}
+	return payload, nil
+}
+
+// writeDisk persists one entry atomically (temp file + rename) in
+// EncodeEntry framing.
+func (c *Cache) writeDisk(k Key, v []byte) {
 	tmp := c.path(k) + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	if err := os.WriteFile(tmp, EncodeEntry(v), 0o644); err != nil {
 		return // disk tier is best-effort
 	}
 	if err := os.Rename(tmp, c.path(k)); err != nil {
@@ -155,14 +180,8 @@ func (c *Cache) readDisk(k Key) ([]byte, bool) {
 	if err != nil {
 		return nil, false
 	}
-	hdr := len(diskMagic) + sha256.Size
-	ok := len(data) >= hdr && string(data[:len(diskMagic)]) == diskMagic
-	if ok {
-		payload := data[hdr:]
-		sum := sha256.Sum256(payload)
-		if string(sum[:]) == string(data[len(diskMagic):hdr]) {
-			return payload, true
-		}
+	if payload, err := DecodeEntry(data); err == nil {
+		return payload, true
 	}
 	// Torn write, bit rot or foreign file: drop it and recompute.
 	c.mu.Lock()

@@ -1,0 +1,38 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeCacheEntry hardens the on-disk cache entry codec: encode→decode
+// must be the identity, and DecodeEntry must reject arbitrary corruption
+// (truncation, magic damage, checksum flips) without panicking.
+func FuzzDecodeCacheEntry(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("hello"))
+	f.Add(EncodeEntry(nil))
+	f.Add(EncodeEntry([]byte("payload")))
+	f.Add([]byte(diskMagic))
+	corrupt := EncodeEntry([]byte("payload"))
+	corrupt[len(corrupt)-1] ^= 0xff
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Round-trip: any payload encodes and decodes to itself.
+		enc := EncodeEntry(data)
+		got, err := DecodeEntry(enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round-trip changed payload: %d bytes -> %d bytes", len(data), len(got))
+		}
+		// Arbitrary bytes: either rejected, or the checksum held — in which
+		// case the payload must re-encode to the identical entry.
+		if p, err := DecodeEntry(data); err == nil {
+			if !bytes.Equal(EncodeEntry(p), data) {
+				t.Fatalf("accepted entry does not re-encode identically")
+			}
+		}
+	})
+}

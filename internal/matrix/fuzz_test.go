@@ -1,0 +1,43 @@
+package matrix
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseMatrixMarket hardens the MatrixMarket reader against arbitrary
+// input: it must never panic, and anything it accepts must be a valid
+// matrix that survives a write/read round-trip.
+func FuzzParseMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.5\n3 2 -2\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n2 2 1\n2 1\n")
+	f.Add("%%MatrixMarket matrix coordinate integer skew-symmetric\n4 4 1\n2 1 7\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1e308\n")
+	f.Add("%%MatrixMarket matrix array real general\n2 2\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-1 5 0\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n9 9 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := ReadMatrixMarket(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("accepted matrix fails Validate: %v\ninput: %q", verr, in)
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			t.Fatalf("cannot re-write accepted matrix: %v\ninput: %q", err, in)
+		}
+		back, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Fatalf("cannot re-read own output: %v\ninput: %q", err, in)
+		}
+		if back.Rows != m.Rows || back.Cols != m.Cols || back.NNZ() != m.NNZ() {
+			t.Fatalf("round-trip changed shape: %dx%d nnz=%d -> %dx%d nnz=%d",
+				m.Rows, m.Cols, m.NNZ(), back.Rows, back.Cols, back.NNZ())
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package phase
+
+import (
+	"testing"
+)
+
+// Table-driven edge cases for the phase toolkit: empty histories,
+// single-epoch sequences and constant telemetry are all states a short or
+// degenerate run produces, and none may crash or invent phases.
+
+func constRows(n, nf int, v float64) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, nf)
+		for j := range out[i] {
+			out[i][j] = v
+		}
+	}
+	return out
+}
+
+func TestNormalizeEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		in   [][]float64
+		want [][]float64
+	}{
+		{"empty", nil, nil},
+		{"single-epoch", [][]float64{{3, -1}}, [][]float64{{0, 0}}},
+		{"all-identical", constRows(5, 2, 7), constRows(5, 2, 0)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Normalize(tc.in)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d rows, want %d", len(got), len(tc.want))
+			}
+			for i := range got {
+				for j := range got[i] {
+					if got[i][j] != tc.want[i][j] {
+						t.Fatalf("row %d: got %v, want %v", i, got[i], tc.want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBoundariesEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		det  Detector
+		in   [][]float64
+		want []int
+	}{
+		{"empty-history", DefaultDetector(), nil, nil},
+		{"single-epoch", DefaultDetector(), [][]float64{{1, 2}}, []int{0}},
+		{"all-identical", DefaultDetector(), constRows(20, 3, 5), []int{0}},
+		// Zero MinLen/Window are clamped to 1, not divided by.
+		{"zero-detector", Detector{Threshold: 0.5}, constRows(4, 2, 1), []int{0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.det.Boundaries(tc.in)
+			if len(got) != len(tc.want) {
+				t.Fatalf("boundaries %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("boundaries %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestKMeansEdges(t *testing.T) {
+	// Single observation: k collapses to 1 and the centroid is the point.
+	assign, cents, err := KMeans([][]float64{{2, 4}}, 3, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != 1 || assign[0] != 0 || len(cents) != 1 {
+		t.Fatalf("assign %v centroids %v", assign, cents)
+	}
+
+	// All-identical observations: every assignment is one cluster and no
+	// centroid is NaN.
+	assign, cents, err = KMeans(constRows(8, 2, 3), 2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range assign {
+		if a != assign[0] {
+			t.Fatalf("identical observations split across clusters: %v", assign)
+		}
+	}
+	for _, c := range cents {
+		for _, v := range c {
+			if v != v {
+				t.Fatalf("NaN centroid: %v", cents)
+			}
+		}
+	}
+}
+
+func TestRecallAndChangesEdges(t *testing.T) {
+	if r := BoundaryRecall(nil, nil, 2); r != 1 {
+		t.Fatalf("empty reference recall = %v, want 1 (vacuous)", r)
+	}
+	if r := BoundaryRecall(nil, []int{0, 5}, 2); r != 0 {
+		t.Fatalf("no detections recall = %v, want 0", r)
+	}
+	intra, total := IntraPhaseChanges(nil, nil)
+	if intra != 0 || total != 0 {
+		t.Fatalf("empty sequence changes = %d/%d, want 0/0", intra, total)
+	}
+	intra, total = IntraPhaseChanges([]int{3}, []int{0})
+	if intra != 0 || total != 0 {
+		t.Fatalf("single-epoch changes = %d/%d, want 0/0", intra, total)
+	}
+}

@@ -1,0 +1,40 @@
+package verify
+
+import (
+	"testing"
+)
+
+// BenchmarkScenarioReplay times a full static corpus scenario — kernel
+// trace generation plus the epoch replay loop. This is the macro number the
+// committed BENCH_BASELINE.json tracks: a regression here means the
+// simulator or kernels got slower.
+func BenchmarkScenarioReplay(b *testing.B) {
+	s, err := ScenarioByName("spmspv-uniform-baseline")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGoldenDigest times reducing a run outcome to its golden record
+// (the FNV digest path).
+func BenchmarkGoldenDigest(b *testing.B) {
+	s, err := ScenarioByName("spmspv-uniform-baseline")
+	if err != nil {
+		b.Fatal(err)
+	}
+	out, err := Run(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Golden(out)
+	}
+}

@@ -1,0 +1,240 @@
+package verify
+
+import (
+	"embed"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"sparseadapt/internal/config"
+)
+
+// goldenFS carries the committed golden corpus inside the binary, so the
+// `sparseadapt verify` subcommand checks the same blessed state the tests
+// do, from any working directory.
+//
+//go:embed golden/*.json
+var goldenFS embed.FS
+
+// EpochGold is the committed record of one epoch: an exact digest over the
+// epoch's telemetry and metrics (the regression tripwire) plus rounded
+// human-readable fields so a diff is interpretable without replaying.
+type EpochGold struct {
+	Config       int     `json:"config"` // config.Config Index()
+	Phase        string  `json:"phase,omitempty"`
+	Reconfigured bool    `json:"reconfigured,omitempty"`
+	Digest       string  `json:"digest"`
+	L1MissRate   float64 `json:"l1_miss_rate"`
+	GPEIPC       float64 `json:"gpe_ipc"`
+	TimeUS       float64 `json:"time_us"`
+	EnergyUJ     float64 `json:"energy_uj"`
+}
+
+// Gold is the committed record of one scenario.
+type Gold struct {
+	Scenario      string      `json:"scenario"`
+	Kernel        string      `json:"kernel"`
+	Schedule      string      `json:"schedule"`
+	Epochs        []EpochGold `json:"epochs"`
+	Reconfigs     int         `json:"reconfigs"`
+	TotalDigest   string      `json:"total_digest"`
+	TotalTimeMS   float64     `json:"total_time_ms"`
+	TotalEnergyMJ float64     `json:"total_energy_mj"`
+	TotalFPOps    float64     `json:"total_fp_ops"`
+	// Decisions is the configuration index entering each epoch — for
+	// controller scenarios, the model+policy decision sequence.
+	Decisions []int `json:"decisions"`
+}
+
+const (
+	fnvOffset64 = 1469598103934665603
+	fnvPrime64  = 1099511628211
+)
+
+// digest64 folds float64 values into an FNV-1a hash over their exact IEEE
+// bit patterns. Go's float64 arithmetic is strictly evaluated IEEE 754, so
+// equal computations digest equally on every platform; any behavioral
+// change — however small — changes the digest.
+type digest64 uint64
+
+func newDigest() digest64 { return fnvOffset64 }
+
+func (d digest64) f64(vs ...float64) digest64 {
+	h := uint64(d)
+	for _, v := range vs {
+		b := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			h ^= (b >> (8 * i)) & 0xff
+			h *= fnvPrime64
+		}
+	}
+	return digest64(h)
+}
+
+func (d digest64) hex() string { return fmt.Sprintf("%016x", uint64(d)) }
+
+// epochDigest hashes everything the golden harness pins about one epoch:
+// the configuration, the full Table 2 counter vector and the metrics.
+func epochDigest(e EpochOutcome) string {
+	d := newDigest().f64(float64(e.Config.Index()))
+	d = d.f64(e.Result.Counters.Features()...)
+	m := e.Result.Metrics
+	return d.f64(m.TimeSec, m.EnergyJ, m.FPOps).hex()
+}
+
+// round6 trims a value to 6 significant digits for the readable fields.
+func round6(v float64) float64 {
+	if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return v
+	}
+	mag := math.Pow(10, 5-math.Floor(math.Log10(math.Abs(v))))
+	return math.Round(v*mag) / mag
+}
+
+// Golden reduces a run outcome to its committed form.
+func Golden(out *RunOutcome) *Gold {
+	g := &Gold{
+		Scenario:  out.Scenario.Name,
+		Kernel:    out.Scenario.Kernel,
+		Schedule:  out.Scenario.Schedule.Name(),
+		Reconfigs: out.Reconfig,
+	}
+	total := newDigest()
+	for _, e := range out.Epochs {
+		dg := epochDigest(e)
+		total = total.f64(float64(e.Config.Index()))
+		total = total.f64(e.Result.Metrics.TimeSec, e.Result.Metrics.EnergyJ)
+		g.Epochs = append(g.Epochs, EpochGold{
+			Config:       e.Config.Index(),
+			Phase:        e.Result.Phase,
+			Reconfigured: e.Reconfigured,
+			Digest:       dg,
+			L1MissRate:   round6(e.Result.Counters.L1MissRate),
+			GPEIPC:       round6(e.Result.Counters.GPEIPC),
+			TimeUS:       round6(e.Result.Metrics.TimeSec * 1e6),
+			EnergyUJ:     round6(e.Result.Metrics.EnergyJ * 1e6),
+		})
+		g.Decisions = append(g.Decisions, e.Config.Index())
+	}
+	g.TotalDigest = total.hex()
+	g.TotalTimeMS = round6(out.Total.TimeSec * 1e3)
+	g.TotalEnergyMJ = round6(out.Total.EnergyJ * 1e3)
+	g.TotalFPOps = out.Total.FPOps
+	return g
+}
+
+// goldenFile maps a scenario name to its golden path inside goldenFS.
+func goldenFile(name string) string { return "golden/" + name + ".json" }
+
+// LoadGolden reads the committed golden record for a scenario from the
+// embedded corpus.
+func LoadGolden(name string) (*Gold, error) {
+	data, err := goldenFS.ReadFile(goldenFile(name))
+	if err != nil {
+		return nil, fmt.Errorf("verify: no golden file for scenario %q (run `go test ./internal/verify -run TestGolden -update`): %w", name, err)
+	}
+	g := &Gold{}
+	if err := json.Unmarshal(data, g); err != nil {
+		return nil, fmt.Errorf("verify: golden file for %q: %w", name, err)
+	}
+	return g, nil
+}
+
+// GoldenNames lists the scenarios with committed golden files.
+func GoldenNames() []string {
+	entries, err := goldenFS.ReadDir("golden")
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		n := e.Name()
+		if filepath.Ext(n) == ".json" {
+			out = append(out, n[:len(n)-len(".json")])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteGolden re-blesses one scenario's golden file under dir (the package
+// source directory when invoked via the test -update flag).
+func WriteGolden(dir string, g *Gold) error {
+	data, err := json.MarshalIndent(g, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, g.Scenario+".json"), append(data, '\n'), 0o644)
+}
+
+// Diff compares a freshly computed golden record against the committed one
+// and returns human-readable mismatch lines, each naming the scenario, the
+// epoch and the field. An empty slice means exact agreement. maxLines
+// truncates long diffs (0 = unlimited).
+func Diff(committed, got *Gold, maxLines int) []string {
+	var out []string
+	add := func(format string, args ...any) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+	name := committed.Scenario
+	if committed.Schedule != got.Schedule {
+		add("%s: schedule: committed %q, got %q", name, committed.Schedule, got.Schedule)
+	}
+	if len(committed.Epochs) != len(got.Epochs) {
+		add("%s: epoch count: committed %d, got %d", name, len(committed.Epochs), len(got.Epochs))
+	}
+	n := len(committed.Epochs)
+	if len(got.Epochs) < n {
+		n = len(got.Epochs)
+	}
+	for i := 0; i < n; i++ {
+		c, g := committed.Epochs[i], got.Epochs[i]
+		if c.Config != g.Config {
+			add("%s: epoch %d: config: committed %v (#%d), got %v (#%d)",
+				name, i, cfgString(c.Config), c.Config, cfgString(g.Config), g.Config)
+		}
+		if c.Reconfigured != g.Reconfigured {
+			add("%s: epoch %d: reconfigured: committed %v, got %v", name, i, c.Reconfigured, g.Reconfigured)
+		}
+		if c.Phase != g.Phase {
+			add("%s: epoch %d: phase: committed %q, got %q", name, i, c.Phase, g.Phase)
+		}
+		if c.Digest != g.Digest {
+			add("%s: epoch %d: digest: committed %s, got %s (l1-miss %v→%v, ipc %v→%v, time %vus→%vus, energy %vuJ→%vuJ)",
+				name, i, c.Digest, g.Digest,
+				c.L1MissRate, g.L1MissRate, c.GPEIPC, g.GPEIPC,
+				c.TimeUS, g.TimeUS, c.EnergyUJ, g.EnergyUJ)
+		}
+	}
+	if committed.Reconfigs != got.Reconfigs {
+		add("%s: reconfig count: committed %d, got %d", name, committed.Reconfigs, got.Reconfigs)
+	}
+	if committed.TotalDigest != got.TotalDigest {
+		add("%s: total digest: committed %s, got %s (time %vms→%vms, energy %vmJ→%vmJ)",
+			name, committed.TotalDigest, got.TotalDigest,
+			committed.TotalTimeMS, got.TotalTimeMS,
+			committed.TotalEnergyMJ, got.TotalEnergyMJ)
+	}
+	if committed.TotalFPOps != got.TotalFPOps {
+		add("%s: total FP-ops: committed %v, got %v", name, committed.TotalFPOps, got.TotalFPOps)
+	}
+	if maxLines > 0 && len(out) > maxLines {
+		trimmed := len(out) - maxLines
+		out = append(out[:maxLines], fmt.Sprintf("%s: ... %d more mismatches", name, trimmed))
+	}
+	return out
+}
+
+// cfgString renders a golden config index readably.
+func cfgString(idx int) string {
+	if idx < 0 || idx >= config.SpaceSize() {
+		return fmt.Sprintf("invalid(%d)", idx)
+	}
+	return config.FromIndex(idx).String()
+}

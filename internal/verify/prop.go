@@ -1,0 +1,79 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+)
+
+// The property framework: each invariant is a predicate over a seeded
+// random case. The runner derives one seed per case from a base seed, so
+// any failure is replayable in isolation — the error always names the
+// exact seed, and VERIFY_SEED pins the whole suite to it.
+
+// Invariant is one property of the system checked across many seeded
+// random cases.
+type Invariant struct {
+	// Name identifies the invariant in reports and -invariant selection.
+	Name string
+	// Doc is a one-line statement of the property.
+	Doc string
+	// Cases is the default number of seeded cases (scaled by VERIFY_CASES
+	// or the runner's cases argument).
+	Cases int
+	// Check runs one case with the given deterministic RNG and returns an
+	// error describing the violation, if any.
+	Check func(rng *rand.Rand) error
+}
+
+// DefaultBaseSeed seeds the case derivation when the caller does not
+// choose one.
+const DefaultBaseSeed = 1
+
+// caseSeed derives the seed of case i under base, mixing with
+// splitmix64-style constants so neighbouring bases do not share case
+// streams.
+func caseSeed(base int64, i int) int64 {
+	z := uint64(base) + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z^(z>>31)) & 0x7fffffffffffffff
+}
+
+// RunInvariant checks one invariant across `cases` seeded cases (Cases
+// when 0). The returned error names the invariant and the replay seed of
+// the first failing case.
+func RunInvariant(inv Invariant, base int64, cases int) error {
+	if cases <= 0 {
+		cases = inv.Cases
+	}
+	if s := os.Getenv("VERIFY_SEED"); s != "" {
+		// Replay mode: one case, exactly the given seed.
+		seed, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("verify: bad VERIFY_SEED %q: %v", s, err)
+		}
+		if err := inv.Check(rand.New(rand.NewSource(seed))); err != nil {
+			return fmt.Errorf("invariant %s: seed %d: %w (replay with VERIFY_SEED=%d)", inv.Name, seed, err, seed)
+		}
+		return nil
+	}
+	for i := 0; i < cases; i++ {
+		seed := caseSeed(base, i)
+		if err := inv.Check(rand.New(rand.NewSource(seed))); err != nil {
+			return fmt.Errorf("invariant %s: case %d/%d: %w (replay with VERIFY_SEED=%d)", inv.Name, i, cases, err, seed)
+		}
+	}
+	return nil
+}
+
+// CasesOverride reads VERIFY_CASES (0 = use each invariant's default).
+func CasesOverride() int {
+	if s := os.Getenv("VERIFY_CASES"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+}

@@ -1,0 +1,73 @@
+package verify
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestInvariants runs the full metamorphic suite. Each invariant checks at
+// least 100 seeded cases; any failure message carries the replay seed
+// (re-run a single case with VERIFY_SEED=<seed>, shrink the suite with
+// VERIFY_CASES=<n>).
+func TestInvariants(t *testing.T) {
+	cases := CasesOverride()
+	for _, inv := range Invariants() {
+		inv := inv
+		t.Run(inv.Name, func(t *testing.T) {
+			t.Parallel()
+			if inv.Cases < 100 {
+				t.Errorf("invariant %s declares only %d cases; the suite guarantees >=100", inv.Name, inv.Cases)
+			}
+			if err := RunInvariant(inv, DefaultBaseSeed, cases); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestInvariantRegistry pins registry hygiene: unique names, docs present,
+// and lookup by name working.
+func TestInvariantRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, inv := range Invariants() {
+		if inv.Name == "" || inv.Doc == "" || inv.Check == nil {
+			t.Fatalf("invariant %+v is incomplete", inv.Name)
+		}
+		if seen[inv.Name] {
+			t.Fatalf("duplicate invariant name %q", inv.Name)
+		}
+		seen[inv.Name] = true
+		got, err := InvariantByName(inv.Name)
+		if err != nil || got.Name != inv.Name {
+			t.Fatalf("InvariantByName(%q) = %v, %v", inv.Name, got.Name, err)
+		}
+	}
+	if _, err := InvariantByName("no-such-invariant"); err == nil {
+		t.Fatal("InvariantByName accepted an unknown name")
+	}
+}
+
+// TestRunInvariantReportsSeed verifies the failure path: the error of a
+// failing case must carry the replayable seed.
+func TestRunInvariantReportsSeed(t *testing.T) {
+	calls := 0
+	inv := Invariant{
+		Name:  "always-fails",
+		Doc:   "test fixture",
+		Cases: 5,
+		Check: func(rng *rand.Rand) error { calls++; return errors.New("boom") },
+	}
+	err := RunInvariant(inv, 42, 0)
+	if err == nil {
+		t.Fatal("failing invariant returned nil")
+	}
+	if calls != 1 {
+		t.Fatalf("runner continued after first failure: %d calls", calls)
+	}
+	got := err.Error()
+	if !strings.Contains(got, "replay with VERIFY_SEED=") || !strings.Contains(got, "always-fails") {
+		t.Fatalf("error %q does not carry the invariant name and replay seed", got)
+	}
+}

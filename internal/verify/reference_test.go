@@ -1,0 +1,30 @@
+package verify
+
+import (
+	"testing"
+)
+
+// TestCorpusKernelsDifferential checks every corpus scenario's kernel
+// output against the naive dense references.
+func TestCorpusKernelsDifferential(t *testing.T) {
+	if err := CheckCorpusKernels(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestControllerEDP cross-checks the learned controller against the
+// brute-force oracle on the corpus: its energy-delay product must stay
+// within MaxEDPRatio of Ideal Static's.
+func TestControllerEDP(t *testing.T) {
+	reports, err := CheckControllerEDP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no controller scenarios in the corpus")
+	}
+	for _, r := range reports {
+		t.Logf("%s: controller EDP %.3g vs Ideal Static %.3g (%.2fx, limit %.2fx)",
+			r.Scenario, r.ControllerEDP, r.IdealStaticEDP, r.Ratio, MaxEDPRatio)
+	}
+}

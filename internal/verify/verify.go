@@ -1,0 +1,326 @@
+// Package verify is the repository's end-to-end correctness subsystem: the
+// safety net that makes cross-package behavioral regressions visible even
+// when every unit test stays green. It has three pillars:
+//
+//   - A golden-trace regression harness: a canonical corpus of small
+//     scenarios (kernel × matrix structure × configuration schedule) whose
+//     per-epoch counter digests, energy totals and controller decision
+//     sequences are committed as golden JSON files. Any change to the
+//     simulator, power model, kernels, controller or trainer that shifts
+//     observable behavior fails the comparison with a readable diff naming
+//     the scenario, epoch and field; intentional changes re-bless the
+//     corpus with `go test ./internal/verify -run TestGolden -update`.
+//
+//   - Differential checking: naive dense reference implementations of each
+//     sparse kernel validated against the traced kernels, and a cross-check
+//     that the learned controller's energy-delay product stays within a
+//     configured ratio of the brute-force oracle's Ideal Static bound on
+//     the corpus.
+//
+//   - A property-based/metamorphic framework (prop.go, invariants.go) with
+//     seeded generators asserting physical invariants of the model — cache
+//     misses monotone in capacity, power monotone in frequency, FLOPs
+//     invariant under row permutation, reconfiguration penalties exactly
+//     conserved — where every failure reports the seed that replays it.
+//
+// The `sparseadapt verify` subcommand runs all three pillars; CI runs them
+// on every push at two worker counts to pin down scheduling determinism.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/core"
+	"sparseadapt/internal/kernels"
+	"sparseadapt/internal/matrix"
+	"sparseadapt/internal/ml"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
+	"sparseadapt/internal/trainer"
+)
+
+// corpusChip is the machine topology every corpus scenario runs on: half
+// the paper's 2×8 system, big enough to exercise sharing/contention and
+// small enough that the whole corpus replays in a couple of seconds.
+var corpusChip = power.Chip{Tiles: 2, GPEsPerTile: 4}
+
+// corpusBW is the corpus off-chip bandwidth (the paper's deployment point).
+const corpusBW = 1e9
+
+// Schedule decides the configuration for the next epoch of a scenario run.
+type Schedule interface {
+	// Name identifies the schedule in golden files and reports.
+	Name() string
+	// Start returns the initial configuration.
+	Start() config.Config
+	// Next returns the configuration to enter epoch i+1 with, given the
+	// epoch-i result (the machine currently holds cur). Static schedules
+	// return cur unchanged.
+	Next(i int, cur config.Config, r sim.EpochResult) config.Config
+}
+
+// staticSchedule holds one configuration for the whole run.
+type staticSchedule struct {
+	name string
+	cfg  config.Config
+}
+
+func (s staticSchedule) Name() string         { return s.name }
+func (s staticSchedule) Start() config.Config { return s.cfg }
+func (s staticSchedule) Next(int, config.Config, sim.EpochResult) config.Config {
+	return s.cfg
+}
+
+// alternateSchedule flips between two configurations every `period` epochs,
+// exercising Reconfigure (flushes, resizes, prefetcher resets) on a fixed,
+// model-free cadence.
+type alternateSchedule struct {
+	a, b   config.Config
+	period int
+}
+
+func (s alternateSchedule) Name() string         { return "alternate" }
+func (s alternateSchedule) Start() config.Config { return s.a }
+func (s alternateSchedule) Next(i int, _ config.Config, _ sim.EpochResult) config.Config {
+	if ((i+1)/s.period)%2 == 1 {
+		return s.b
+	}
+	return s.a
+}
+
+// controllerSchedule drives the run through the real core.Controller with a
+// deterministic corpus-trained model, so golden decision sequences cover
+// the model/controller layers too.
+type controllerSchedule struct {
+	mode power.Mode
+}
+
+func (s controllerSchedule) Name() string {
+	return "controller-" + s.mode.String()
+}
+func (s controllerSchedule) Start() config.Config { return config.Baseline }
+func (s controllerSchedule) Next(int, config.Config, sim.EpochResult) config.Config {
+	panic("verify: controller schedule is driven by core.Controller, not Next")
+}
+
+// Scenario is one corpus entry: a workload recipe plus a config schedule.
+type Scenario struct {
+	Name       string
+	Kernel     string // "spmspm" or "spmspv"
+	Gen        string // matrix generator: uniform|banded|rmat|strips
+	Dim        int
+	NNZ        int
+	Seed       int64
+	Schedule   Schedule
+	EpochScale float64
+}
+
+// Corpus returns the canonical scenario set. Names are stable identifiers:
+// golden files are keyed by them, and `sparseadapt verify -scenario` selects
+// by them. Keep additions append-only; renaming a scenario orphans its
+// golden file.
+func Corpus() []Scenario {
+	return []Scenario{
+		{
+			Name: "spmspv-uniform-baseline", Kernel: "spmspv", Gen: "uniform",
+			Dim: 96, NNZ: 700, Seed: 1,
+			Schedule:   staticSchedule{"static-baseline", config.Baseline},
+			EpochScale: 0.05,
+		},
+		{
+			Name: "spmspv-rmat-maxcfg", Kernel: "spmspv", Gen: "rmat",
+			Dim: 64, NNZ: 500, Seed: 2,
+			Schedule:   staticSchedule{"static-maxcfg", config.MaxCfg},
+			EpochScale: 0.05,
+		},
+		{
+			Name: "spmspv-banded-alternate", Kernel: "spmspv", Gen: "banded",
+			Dim: 96, NNZ: 600, Seed: 3,
+			Schedule:   alternateSchedule{a: config.BestAvgCache, b: config.MaxCfg, period: 2},
+			EpochScale: 0.05,
+		},
+		{
+			Name: "spmspv-uniform-spm", Kernel: "spmspv", Gen: "uniform",
+			Dim: 80, NNZ: 500, Seed: 4,
+			Schedule:   staticSchedule{"static-bestavg-spm", config.BestAvgSPM},
+			EpochScale: 0.05,
+		},
+		{
+			Name: "spmspv-uniform-controller-ee", Kernel: "spmspv", Gen: "uniform",
+			Dim: 96, NNZ: 700, Seed: 1,
+			Schedule:   controllerSchedule{mode: power.EnergyEfficient},
+			EpochScale: 0.05,
+		},
+		{
+			Name: "spmspm-uniform-baseline", Kernel: "spmspm", Gen: "uniform",
+			Dim: 48, NNZ: 350, Seed: 5,
+			Schedule:   staticSchedule{"static-baseline", config.Baseline},
+			EpochScale: 0.02,
+		},
+		{
+			Name: "spmspm-strips-bestavg", Kernel: "spmspm", Gen: "strips",
+			Dim: 48, NNZ: 0, Seed: 6, // strips sizes by density, not NNZ
+			Schedule:   staticSchedule{"static-bestavg", config.BestAvgCache},
+			EpochScale: 0.02,
+		},
+		{
+			Name: "spmspm-banded-alternate", Kernel: "spmspm", Gen: "banded",
+			Dim: 48, NNZ: 400, Seed: 7,
+			Schedule:   alternateSchedule{a: config.Baseline, b: config.BestAvgCache, period: 3},
+			EpochScale: 0.02,
+		},
+	}
+}
+
+// ScenarioByName finds a corpus scenario.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, s := range Corpus() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("verify: unknown scenario %q", name)
+}
+
+// buildMatrix realizes the scenario's matrix recipe.
+func buildMatrix(s Scenario) (*matrix.COO, error) {
+	rng := rand.New(rand.NewSource(s.Seed))
+	switch s.Gen {
+	case "uniform":
+		return matrix.Uniform(rng, s.Dim, s.Dim, s.NNZ), nil
+	case "banded":
+		return matrix.Banded(rng, s.Dim, s.NNZ, 6), nil
+	case "rmat":
+		return matrix.RMATDefault(rng, s.Dim, s.NNZ), nil
+	case "strips":
+		return matrix.DenseStrips(rng, s.Dim, 0.12, 3), nil
+	default:
+		return nil, fmt.Errorf("verify: unknown generator %q", s.Gen)
+	}
+}
+
+// Workload builds the scenario's kernel workload (deterministic in Seed).
+func (s Scenario) Workload() (kernels.Workload, error) {
+	am, err := buildMatrix(s)
+	if err != nil {
+		return kernels.Workload{}, err
+	}
+	a := am.ToCSC()
+	switch s.Kernel {
+	case "spmspm":
+		_, w, err := kernels.SpMSpM(a, am.ToCSR(), corpusChip.NGPE(), corpusChip.Tiles)
+		return w, err
+	case "spmspv":
+		x := matrix.RandomVec(rand.New(rand.NewSource(s.Seed+100)), a.Cols, 0.5)
+		_, w, err := kernels.SpMSpV(a, x, corpusChip.NGPE(), corpusChip.Tiles)
+		return w, err
+	default:
+		return kernels.Workload{}, fmt.Errorf("verify: unknown kernel %q", s.Kernel)
+	}
+}
+
+// corpusModel lazily trains the deterministic tiny model the controller
+// scenarios run under. The sweep is fixed — independent of experiment
+// scales — so the decision sequences in golden files only move when the
+// trainer, ml, sim or power layers change behavior, which is the point.
+var corpusModel = struct {
+	once sync.Once
+	ens  *core.Ensemble
+	err  error
+}{}
+
+// Model returns the corpus controller model (trained once per process).
+func Model() (*core.Ensemble, error) {
+	corpusModel.once.Do(func() {
+		sw := trainer.SweepSpec{
+			Kernel: "spmspv", L1Type: config.CacheMode,
+			Dims: []int{32, 64}, Densities: []float64{0.02, 0.08},
+			BandwidthsGBps: []float64{0.5, 2},
+			K:              4, Seed: 9, Chip: corpusChip,
+			EpochScale: 0.05, Warmup: 1, Measure: 1,
+		}
+		ds, err := trainer.Generate(sw, power.EnergyEfficient)
+		if err != nil {
+			corpusModel.err = fmt.Errorf("verify: training corpus model: %w", err)
+			return
+		}
+		corpusModel.ens, corpusModel.err = trainer.Train(ds, ml.TreeParams{
+			Criterion: ml.Gini, MaxDepth: 6, MinSamplesLeaf: 3,
+		})
+	})
+	return corpusModel.ens, corpusModel.err
+}
+
+// EpochOutcome is one epoch of a scenario run, in the exact form the golden
+// digests are computed over.
+type EpochOutcome struct {
+	Config       config.Config
+	Reconfigured bool
+	Result       sim.EpochResult
+}
+
+// RunOutcome is a full scenario execution.
+type RunOutcome struct {
+	Scenario Scenario
+	Total    power.Metrics
+	Epochs   []EpochOutcome
+	Reconfig int
+}
+
+// Run executes the scenario and returns every epoch's outcome.
+func Run(s Scenario) (*RunOutcome, error) {
+	w, err := s.Workload()
+	if err != nil {
+		return nil, err
+	}
+	if _, isCtl := s.Schedule.(controllerSchedule); isCtl {
+		return runController(s, w)
+	}
+	m := sim.New(corpusChip, corpusBW, s.Schedule.Start())
+	m.BindTrace(w.Trace)
+	out := &RunOutcome{Scenario: s}
+	reconfigured := false
+	for i, ep := range w.Epochs(s.EpochScale) {
+		r := m.RunEpoch(ep)
+		out.Total.Add(r.Metrics)
+		out.Epochs = append(out.Epochs, EpochOutcome{Config: m.Config(), Reconfigured: reconfigured, Result: r})
+		next := s.Schedule.Next(i, m.Config(), r)
+		reconfigured = false
+		if next != m.Config() {
+			if _, err := m.Reconfigure(next); err != nil {
+				return nil, fmt.Errorf("verify: scenario %s epoch %d: %w", s.Name, i, err)
+			}
+			out.Reconfig++
+			reconfigured = true
+		}
+	}
+	return out, nil
+}
+
+// runController executes a controller scenario through core.Controller.
+func runController(s Scenario, w kernels.Workload) (*RunOutcome, error) {
+	ens, err := Model()
+	if err != nil {
+		return nil, err
+	}
+	sched := s.Schedule.(controllerSchedule)
+	m := sim.New(corpusChip, corpusBW, sched.Start())
+	ctl := core.NewController(ens, core.Options{
+		Policy: core.Hybrid, Tolerance: 0.4, EpochScale: s.EpochScale,
+	})
+	res := ctl.Run(m, w)
+	out := &RunOutcome{Scenario: s, Total: res.Total, Reconfig: res.Reconfig}
+	for _, ep := range res.Epochs {
+		out.Epochs = append(out.Epochs, EpochOutcome{
+			Config:       ep.Config,
+			Reconfigured: ep.Reconfigured,
+			Result: sim.EpochResult{
+				Metrics: ep.Metrics, Counters: ep.Counters, Phase: ep.Phase,
+			},
+		})
+	}
+	return out, nil
+}
