@@ -1,15 +1,23 @@
 // Command sparseadapt is the main CLI of the reproduction: it lists and
 // runs the paper's experiments, trains and saves predictive models, runs
-// individual workloads under SparseAdapt control, and prints the dataset
-// inventory. See internal/cli for the implementation.
+// individual workloads under SparseAdapt control, submits jobs to a
+// sparseadaptd server, and prints the dataset inventory. See internal/cli
+// for the implementation.
 package main
 
 import (
+	"context"
 	"os"
 
 	"sparseadapt/internal/cli"
+	"sparseadapt/internal/sigctx"
 )
 
 func main() {
-	os.Exit(cli.Main(os.Args[1:], os.Stdout))
+	// SIGINT/SIGTERM cancel the run context: simulations stop at the next
+	// epoch or task boundary and the CLI flushes any -metrics/-trace/
+	// -manifest sinks before exiting. A second signal force-exits.
+	ctx, stop := sigctx.WithSignals(context.Background(), os.Stderr)
+	defer stop()
+	os.Exit(cli.MainContext(ctx, os.Args[1:], os.Stdout))
 }

@@ -1,0 +1,105 @@
+// Command sparseadaptd is the simulation-as-a-service daemon: it serves
+// the sparseadapt run modes (static, adaptive, resilient, batch) over an
+// HTTP/JSON API with a bounded job queue, admission control, per-client
+// rate limiting, SSE progress streaming, Prometheus metrics and pprof on
+// one listener. See docs/SERVER.md for the API reference and capacity
+// tuning guidance.
+//
+// Usage:
+//
+//	sparseadaptd -addr 127.0.0.1:8080 -workers 4 -queue 64
+//
+// SIGINT/SIGTERM drains gracefully: intake stops (submissions get 503),
+// queued and in-flight jobs run to completion (bounded by -drain-timeout),
+// then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"sparseadapt/internal/obs"
+	"sparseadapt/internal/server"
+	"sparseadapt/internal/sigctx"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("sparseadaptd", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	workers := fs.Int("workers", 0, "concurrent job executions (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "admission queue depth; a full queue rejects with 429")
+	rate := fs.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
+	burst := fs.Int("burst", 8, "per-client submission burst")
+	maxBody := fs.Int64("max-body", 8<<20, "request body limit in bytes (caps MatrixMarket uploads)")
+	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "default and maximum per-job execution deadline")
+	maxJobs := fs.Int("max-jobs", 1024, "retained job records before the oldest finished jobs are evicted")
+	cacheDir := fs.String("cache-dir", "", "on-disk tier of the result cache (empty = memory only)")
+	cacheEntries := fs.Int("cache-entries", 512, "in-memory result cache entries")
+	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "grace period for in-flight jobs on shutdown")
+	version := fs.Bool("version", false, "print build identity and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, obs.Version("sparseadaptd"))
+		return 0
+	}
+
+	srv, err := server.New(server.Config{
+		Workers: *workers, QueueDepth: *queue,
+		RatePerSec: *rate, Burst: *burst,
+		MaxBodyBytes: *maxBody, JobTimeout: *jobTimeout, MaxJobs: *maxJobs,
+		CacheDir: *cacheDir, CacheEntries: *cacheEntries,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	}
+	srv.Start()
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	// The e2e harness parses this line to find the bound port; keep the
+	// format stable.
+	fmt.Fprintf(stdout, "sparseadaptd listening on http://%s\n", ln.Addr())
+
+	ctx, stop := sigctx.WithSignals(context.Background(), stderr)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "error:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Drain jobs first so SSE subscribers receive their terminal events,
+	// then close the HTTP side (Shutdown waits for those streams to end).
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintln(stderr, "drain:", err)
+		code = 1
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		fmt.Fprintln(stderr, "shutdown:", err)
+		code = 1
+	}
+	fmt.Fprintln(stdout, "shutdown complete")
+	return code
+}

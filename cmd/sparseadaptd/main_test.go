@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"sparseadapt/internal/server"
+	"sparseadapt/internal/server/client"
+)
+
+// TestDaemonEndToEnd boots the real sparseadaptd binary on a random port,
+// drives the full job lifecycle through the Go client (submit → stream →
+// result), scrapes /metrics, and checks SIGTERM produces a clean drain and
+// exit 0 — the whole service surface as an operator sees it.
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "sparseadaptd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building daemon: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2", "-queue", "8")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() //nolint:errcheck // backstop if the test fails early
+
+	// The daemon prints "sparseadaptd listening on http://<addr>" once the
+	// listener is bound; everything after that is captured for the
+	// shutdown assertion.
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		if _, addr, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			base = addr
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never announced its address: %v", sc.Err())
+	}
+	var rest strings.Builder
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		io.Copy(&rest, stdout) //nolint:errcheck // test capture
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	c := client.New(base)
+
+	st, err := c.Submit(ctx, server.JobRequest{Mode: "adaptive", Kernel: "spmspv", Matrix: "R04", Scale: "test"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	epochs := 0
+	if err := c.Stream(ctx, st.ID, func(ev server.Event) error {
+		if ev.Type == "epoch" {
+			epochs++
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	final, err := c.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if final.State != server.StateDone || final.Result == nil {
+		t.Fatalf("job ended %s (%s), want done", final.State, final.Error)
+	}
+	if epochs != final.Result.Epochs || epochs == 0 {
+		t.Errorf("streamed %d epochs, result says %d", epochs, final.Result.Epochs)
+	}
+
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, want := range []string{
+		"server_jobs_submitted_total 1",
+		"server_jobs_completed_total 1",
+		"server_http_requests_total",
+		"engine_tasks_completed_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the pipe before Wait: Wait closes it and would race the copy.
+	<-drained
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v", err)
+	}
+	if !strings.Contains(rest.String(), "shutdown complete") {
+		t.Errorf("daemon did not report a clean shutdown; output:\n%s", rest.String())
+	}
+}
+
+// TestDaemonVersionFlag checks -version prints the build identity and
+// exits 0 without binding a port.
+func TestDaemonVersionFlag(t *testing.T) {
+	out := capture(t, func(stdout *os.File) int {
+		return run([]string{"-version"}, stdout, os.Stderr)
+	})
+	if !strings.Contains(out, "sparseadaptd") {
+		t.Errorf("version output %q does not name the tool", out)
+	}
+}
+
+// capture runs fn with a pipe as stdout and returns what it wrote.
+func capture(t *testing.T, fn func(*os.File) int) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := fn(w); code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}

@@ -36,7 +36,12 @@ func main() {
 	tracePath := flag.String("trace", "", "write the engine task trace to this file (.jsonl = JSONL, else Chrome trace_event JSON)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address while generating")
 	manifestPath := flag.String("manifest", "", "write a reproducibility manifest (JSON)")
+	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.Version("traingen"))
+		return
+	}
 
 	var reg *obs.Registry
 	var trace *obs.TraceRecorder

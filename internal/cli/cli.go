@@ -22,6 +22,7 @@ import (
 	"sparseadapt/internal/kernels"
 	"sparseadapt/internal/matrix"
 	"sparseadapt/internal/ml"
+	"sparseadapt/internal/obs"
 	"sparseadapt/internal/power"
 	"sparseadapt/internal/sim"
 	"sparseadapt/internal/trainer"
@@ -30,6 +31,14 @@ import (
 // Main dispatches the sparseadapt subcommands, writing to stdout. It
 // returns a process exit code.
 func Main(args []string, stdout io.Writer) int {
+	return MainContext(context.Background(), args, stdout)
+}
+
+// MainContext is Main under a cancelable context: the simulation
+// subcommands check ctx at their epoch/task boundaries, so canceling it
+// (the binary wires it to SIGINT/SIGTERM via sigctx) stops the run
+// promptly while still flushing any -metrics/-trace/-manifest sinks.
+func MainContext(ctx context.Context, args []string, stdout io.Writer) int {
 	if len(args) < 1 {
 		usage(stdout)
 		return 2
@@ -41,17 +50,21 @@ func Main(args []string, stdout io.Writer) int {
 	case "datasets":
 		err = cmdDatasets(stdout)
 	case "exp":
-		err = cmdExp(stdout, args[1:])
+		err = cmdExp(ctx, stdout, args[1:])
 	case "train":
-		err = cmdTrain(stdout, args[1:])
+		err = cmdTrain(ctx, stdout, args[1:])
 	case "run":
-		err = cmdRun(stdout, args[1:])
+		err = cmdRun(ctx, stdout, args[1:])
+	case "submit":
+		err = cmdSubmit(ctx, stdout, args[1:])
 	case "check":
 		err = cmdCheck(stdout, args[1:])
 	case "verify":
 		err = cmdVerify(stdout, args[1:])
 	case "-h", "--help", "help":
 		usage(stdout)
+	case "-version", "--version", "version":
+		fmt.Fprintln(stdout, obs.Version("sparseadapt"))
 	default:
 		fmt.Fprintf(stdout, "unknown command %q\n", args[0])
 		usage(stdout)
@@ -79,7 +92,10 @@ commands:
                        recorded reference shapes (artifact rep_check)
   verify [flags]       run the verification subsystem: golden-trace corpus,
                        differential kernel checks and metamorphic invariants
-                       (see docs/TESTING.md)`)
+                       (see docs/TESTING.md)
+  submit [flags]       submit a job to a sparseadaptd server and stream its
+                       progress (see docs/SERVER.md)
+  version              print build identity (also -version on every binary)`)
 }
 
 func scaleByName(name string) (experiments.Scale, error) {
@@ -136,7 +152,7 @@ func cmdDatasets(w io.Writer) error {
 	return nil
 }
 
-func cmdExp(w io.Writer, args []string) error {
+func cmdExp(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("exp", flag.ExitOnError)
 	scaleName := fs.String("scale", "small", "experiment scale: test|small|paper")
 	seed := fs.Int64("seed", 42, "deterministic seed")
@@ -167,11 +183,12 @@ func cmdExp(w io.Writer, args []string) error {
 		return err
 	}
 	of.annotate(sc.Seed, *scaleName)
+	defer of.finish(w) //nolint:errcheck // interrupt path; success path checks
 	if sc.Eng, err = ef.build(w, of); err != nil {
 		return err
 	}
 	if id == "all" {
-		reps, err := experiments.RunAll(sc, *csvDir)
+		reps, err := experiments.RunAllContext(ctx, sc, *csvDir)
 		for _, rep := range reps {
 			fmt.Fprint(w, rep.String())
 			fmt.Fprintln(w)
@@ -215,7 +232,7 @@ func cmdExp(w io.Writer, args []string) error {
 	return of.finish(w)
 }
 
-func cmdTrain(w io.Writer, args []string) error {
+func cmdTrain(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	kernel := fs.String("kernel", "spmspv", "kernel: spmspm|spmspv")
 	l1 := fs.String("l1", "cache", "L1 type: cache|spm")
@@ -242,6 +259,7 @@ func cmdTrain(w io.Writer, args []string) error {
 		return err
 	}
 	of.annotate(0, fmt.Sprintf("sweep=%g", *scale))
+	defer of.finish(w) //nolint:errcheck // interrupt path; success path checks
 	eng, err := ef.build(w, of)
 	if err != nil {
 		return err
@@ -249,7 +267,7 @@ func cmdTrain(w io.Writer, args []string) error {
 	sw := trainer.DefaultSweep(*kernel, l1Type, *scale)
 	fmt.Fprintf(w, "generating dataset: kernel=%s l1=%s mode=%s dims=%v densities=%v bw=%v K=%d workers=%d\n",
 		*kernel, *l1, mode, sw.Dims, sw.Densities, sw.BandwidthsGBps, sw.K, eng.Workers())
-	ds, err := trainer.GenerateEngine(context.Background(), eng, sw, mode, 1)
+	ds, err := trainer.GenerateEngine(ctx, eng, sw, mode, 1)
 	if err != nil {
 		return err
 	}
@@ -283,7 +301,7 @@ func cmdTrain(w io.Writer, args []string) error {
 	return of.finish(w)
 }
 
-func cmdRun(w io.Writer, args []string) error {
+func cmdRun(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	kernel := fs.String("kernel", "spmspv", "workload: spmspm|spmspv|bfs|sssp")
 	matID := fs.String("matrix", "R12", "dataset matrix ID (see `sparseadapt datasets`)")
@@ -311,6 +329,7 @@ func cmdRun(w io.Writer, args []string) error {
 		return err
 	}
 	of.annotate(sc.Seed, *scaleName)
+	defer of.finish(w) //nolint:errcheck // interrupt path; success path checks
 	// The engine accelerates the on-the-fly model training below; the
 	// controlled run itself is a single sequential simulation.
 	if sc.Eng, err = ef.build(w, of); err != nil {
@@ -410,8 +429,8 @@ func cmdRun(w io.Writer, args []string) error {
 		} else if dyn, err = rc.Run(m, wl); err != nil {
 			return err
 		}
-	} else {
-		dyn = core.NewController(ens, opts).Observe(observer).Run(m, wl)
+	} else if dyn, err = core.NewController(ens, opts).Observe(observer).RunContext(ctx, m, wl); err != nil {
+		return err
 	}
 
 	fmt.Fprintf(w, "workload %s on %s (%d epochs, %d reconfigs, mode %s, policy %s)\n",

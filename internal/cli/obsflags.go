@@ -26,6 +26,7 @@ type obsFlags struct {
 	trace    *obs.TraceRecorder
 	manifest *obs.Manifest
 	pprof    *obs.PprofServer
+	finished bool
 }
 
 // addObsFlags registers -metrics/-trace/-trace-counters/-pprof/-manifest
@@ -87,7 +88,14 @@ func (of *obsFlags) observer() *core.Observer {
 }
 
 // finish closes the pprof server and writes every configured output file.
+// It is idempotent: the subcommands call it on their success path AND from
+// a defer, so an interrupted run (SIGINT/SIGTERM canceling the context)
+// still flushes whatever metrics and trace data it gathered before exit.
 func (of *obsFlags) finish(w io.Writer) error {
+	if of.finished {
+		return nil
+	}
+	of.finished = true
 	of.pprof.Close()
 	if of.reg != nil {
 		if err := of.reg.WriteFile(*of.metricsPath); err != nil {

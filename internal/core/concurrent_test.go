@@ -1,0 +1,100 @@
+package core_test
+
+// Pins the concurrency contract documented on core.Ensemble: a trained
+// model is immutable and Predict is read-only, so one shared Ensemble may
+// serve any number of concurrent controllers. The batch offload paths did
+// this already; the job server multiplies the concurrency, so the contract
+// is now load-bearing enough to deserve a -race proof of its own.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/core"
+	"sparseadapt/internal/experiments"
+	"sparseadapt/internal/kernels"
+	"sparseadapt/internal/matrix"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
+)
+
+// harvestCounters runs a small static simulation and returns its per-epoch
+// telemetry, giving Predict realistic, varied inputs.
+func harvestCounters(t *testing.T, sc experiments.Scale) []sim.Counters {
+	t.Helper()
+	entry, err := matrix.Entry("R04")
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := entry.Generate(sc.Matrix, sc.Seed)
+	a := am.ToCSC()
+	x := matrix.RandomVec(rand.New(rand.NewSource(sc.Seed+1)), a.Cols, 0.5)
+	_, wl, err := kernels.SpMSpV(a, x, sc.Chip.NGPE(), sc.Chip.Tiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.RunStatic(sc.Chip, sc.BW, config.Baseline, wl, sc.Epoch)
+	if len(res.Epochs) == 0 {
+		t.Fatal("static run produced no epochs")
+	}
+	out := make([]sim.Counters, len(res.Epochs))
+	for i, ep := range res.Epochs {
+		out[i] = ep.Counters
+	}
+	return out
+}
+
+// TestEnsemblePredictConcurrent hammers one shared model from many
+// goroutines and cross-checks every prediction against a serial golden
+// pass: under -race this proves Predict is data-race-free, and the value
+// comparison proves concurrency cannot change what the model predicts.
+func TestEnsemblePredictConcurrent(t *testing.T) {
+	sc := experiments.TestScale()
+	model, err := experiments.Model(sc, "spmspv", config.CacheMode, power.EnergyEfficient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := harvestCounters(t, sc)
+
+	// Golden pass: one prediction per (config, counters) pair, serially.
+	cfgs := []config.Config{config.Baseline, config.BestAvgCache, config.MaxCfg}
+	type cell struct{ pred config.Config }
+	golden := make([][]cell, len(cfgs))
+	for i, cfg := range cfgs {
+		golden[i] = make([]cell, len(counters))
+		for j, c := range counters {
+			golden[i][j] = cell{model.Predict(cfg, c)}
+		}
+	}
+
+	const goroutines = 16
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (g + r) % len(cfgs)
+				j := (g * 31) % len(counters)
+				got := model.Predict(cfgs[i], counters[j])
+				if got != golden[i][j].pred {
+					select {
+					case errs <- got.String() + " != " + golden[i][j].pred.String():
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatalf("concurrent Predict diverged from serial prediction: %s", msg)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sparseadapt/internal/config"
@@ -156,11 +157,25 @@ func (c *Controller) filter(m *sim.Machine, pred config.Config, lastEpochTime fl
 // Run executes the workload under SparseAdapt control: telemetry,
 // inference and reconfiguration at every epoch boundary (Figure 3a).
 func (c *Controller) Run(m *sim.Machine, w kernels.Workload) RunResult {
+	res, _ := c.RunContext(context.Background(), m, w)
+	return res
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// at every epoch boundary, and a cancelled or expired context stops the run
+// there, returning the partial result accumulated so far together with the
+// context's error. A background context makes it exactly Run — the two
+// share one loop, so results are bit-identical.
+func (c *Controller) RunContext(ctx context.Context, m *sim.Machine, w kernels.Workload) (RunResult, error) {
 	m.BindTrace(w.Trace)
 	eps := w.Epochs(c.Opts.EpochScale)
 	var res RunResult
 	reconfigured := false
 	for i, ep := range eps {
+		if err := ctx.Err(); err != nil {
+			c.Obs.flush()
+			return res, err
+		}
 		r := m.RunEpoch(ep)
 		res.Total.Add(r.Metrics)
 		log := EpochLog{
@@ -183,20 +198,31 @@ func (c *Controller) Run(m *sim.Machine, w kernels.Workload) RunResult {
 		}
 	}
 	c.Obs.flush()
-	return res
+	return res, nil
 }
 
 // RunStatic executes the workload under a fixed configuration — the
 // non-reconfiguring comparison points of Section 5.3 (Baseline, Best Avg,
 // Max Cfg, Ideal Static).
 func RunStatic(chip power.Chip, bw float64, cfg config.Config, w kernels.Workload, epochScale float64) RunResult {
+	res, _ := RunStaticContext(context.Background(), chip, bw, cfg, w, epochScale)
+	return res
+}
+
+// RunStaticContext is RunStatic with cooperative cancellation checked at
+// every epoch boundary; a cancelled context returns the partial result and
+// the context's error.
+func RunStaticContext(ctx context.Context, chip power.Chip, bw float64, cfg config.Config, w kernels.Workload, epochScale float64) (RunResult, error) {
 	m := sim.New(chip, bw, cfg)
 	m.BindTrace(w.Trace)
 	var res RunResult
 	for _, ep := range w.Epochs(epochScale) {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		r := m.RunEpoch(ep)
 		res.Total.Add(r.Metrics)
 		res.Epochs = append(res.Epochs, EpochLog{Config: cfg, Metrics: r.Metrics, Counters: r.Counters, Phase: r.Phase})
 	}
-	return res
+	return res, nil
 }

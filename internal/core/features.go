@@ -54,6 +54,15 @@ func FeatureGroup(i int) string {
 // Ensemble is the predictive model: one decision-tree classifier per
 // runtime configuration parameter, assumed conditionally independent given
 // the features (Section 4.1).
+//
+// Concurrency contract: an Ensemble is immutable after construction
+// (training or LoadEnsemble), and Predict only reads the tree structures —
+// it allocates its feature vectors on the caller's stack/heap and never
+// writes shared state. One Ensemble may therefore be shared by any number
+// of concurrently running controllers (the batch/adaptive host paths and
+// the job server all rely on this); see TestEnsemblePredictConcurrent for
+// the -race proof. Mutating Trees or Mode after the model is published to
+// other goroutines is a data race.
 type Ensemble struct {
 	Trees map[config.Param]*ml.Tree
 	Mode  power.Mode

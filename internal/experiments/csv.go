@@ -51,6 +51,13 @@ func (r *Report) WriteCSV(path string) error {
 // reports are still returned and written in ID order. The first failure
 // cancels the run.
 func RunAll(sc Scale, dir string) ([]*Report, error) {
+	return RunAllContext(context.Background(), sc, dir)
+}
+
+// RunAllContext is RunAll with cooperative cancellation: cancelling the
+// context (e.g. on SIGINT) stops the engine batch and returns the reports
+// completed so far together with the context's error.
+func RunAllContext(ctx context.Context, sc Scale, dir string) ([]*Report, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, err
@@ -75,7 +82,7 @@ func RunAll(sc Scale, dir string) ([]*Report, error) {
 			return rep, nil
 		}}
 	}
-	out, err := engine.Map(context.Background(), sc.Eng, tasks)
+	out, err := engine.Map(ctx, sc.Eng, tasks)
 	if err != nil {
 		// Preserve the partial-prefix contract of the serial version.
 		var done []*Report

@@ -120,24 +120,49 @@ func (r *Runner) finish(dev power.Metrics, off Offload) Result {
 
 // RunStatic offloads under a fixed device configuration.
 func (r *Runner) RunStatic(cfg config.Config, off Offload) (Result, error) {
+	res, _, err := r.RunStaticFull(context.Background(), cfg, off)
+	return res, err
+}
+
+// RunStaticFull is RunStatic with cooperative cancellation (checked at
+// every device epoch boundary) and the full device-side run result, so
+// callers that need the per-epoch logs — the job server streams them as
+// progress events — get them without a second simulation. RunStatic
+// delegates here, so the two are guaranteed to agree.
+func (r *Runner) RunStaticFull(ctx context.Context, cfg config.Config, off Offload) (Result, core.RunResult, error) {
 	if off.Workload.Trace == nil {
-		return Result{}, fmt.Errorf("host: offload has no workload")
+		return Result{}, core.RunResult{}, fmt.Errorf("host: offload has no workload")
 	}
-	dev := core.RunStatic(r.Chip, r.BW, cfg, off.Workload, r.EpochScale).Total
-	return r.finish(dev, off), nil
+	run, err := core.RunStaticContext(ctx, r.Chip, r.BW, cfg, off.Workload, r.EpochScale)
+	if err != nil {
+		return Result{}, core.RunResult{}, err
+	}
+	return r.finish(run.Total, off), run, nil
 }
 
 // RunAdaptive offloads under SparseAdapt control with the given model.
 func (r *Runner) RunAdaptive(model *core.Ensemble, opts core.Options, start config.Config, off Offload) (Result, error) {
+	res, _, err := r.RunAdaptiveFull(context.Background(), model, opts, start, off)
+	return res, err
+}
+
+// RunAdaptiveFull is RunAdaptive with cooperative cancellation (checked at
+// every epoch boundary) and the full device-side run result alongside the
+// offload economics. RunAdaptive delegates here, so a background context
+// produces bit-identical results on both paths.
+func (r *Runner) RunAdaptiveFull(ctx context.Context, model *core.Ensemble, opts core.Options, start config.Config, off Offload) (Result, core.RunResult, error) {
 	if off.Workload.Trace == nil {
-		return Result{}, fmt.Errorf("host: offload has no workload")
+		return Result{}, core.RunResult{}, fmt.Errorf("host: offload has no workload")
 	}
 	if opts.EpochScale <= 0 {
 		opts.EpochScale = r.EpochScale
 	}
 	m := sim.New(r.Chip, r.BW, start)
-	dev := core.NewController(model, opts).Observe(r.Obs).Run(m, off.Workload).Total
-	return r.finish(dev, off), nil
+	run, err := core.NewController(model, opts).Observe(r.Obs).RunContext(ctx, m, off.Workload)
+	if err != nil {
+		return Result{}, core.RunResult{}, err
+	}
+	return r.finish(run.Total, off), run, nil
 }
 
 // RunResilient offloads under resilient SparseAdapt control: the full

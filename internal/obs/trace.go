@@ -90,12 +90,28 @@ type TraceRecorder struct {
 	epochs   []EpochRecord
 	instants []Instant
 	spans    []Span
+
+	// hook, when set, observes every RecordEpoch call as it happens —
+	// the live-streaming tap the job server uses to push SSE progress
+	// events while a run is still executing. Set before recording starts.
+	hook func(EpochRecord)
 }
 
 // NewTraceRecorder returns an empty recorder.
 func NewTraceRecorder() *TraceRecorder { return &TraceRecorder{} }
 
-// RecordEpoch appends one epoch record.
+// SetEpochHook registers fn to be called with every epoch record as it is
+// recorded, outside the recorder's lock. It must be set before the run
+// starts recording; fn must be safe for concurrent invocation if multiple
+// producers feed the recorder. A nil recorder ignores the call.
+func (t *TraceRecorder) SetEpochHook(fn func(EpochRecord)) {
+	if t == nil {
+		return
+	}
+	t.hook = fn
+}
+
+// RecordEpoch appends one epoch record and invokes the epoch hook, if set.
 func (t *TraceRecorder) RecordEpoch(rec EpochRecord) {
 	if t == nil {
 		return
@@ -103,6 +119,9 @@ func (t *TraceRecorder) RecordEpoch(rec EpochRecord) {
 	t.mu.Lock()
 	t.epochs = append(t.epochs, rec)
 	t.mu.Unlock()
+	if t.hook != nil {
+		t.hook(rec)
+	}
 }
 
 // RecordInstant appends one point event.

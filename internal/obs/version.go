@@ -1,0 +1,27 @@
+package obs
+
+import "fmt"
+
+// Version renders a one-line version string for a binary's --version flag,
+// reusing the run manifest's embedded VCS build info so all binaries report
+// the same identity the reproducibility manifests record: tool name, VCS
+// revision (with a +dirty marker for builds from a modified tree), commit
+// time when known, and the Go toolchain/platform.
+func Version(tool string) string {
+	m := NewManifest(tool, nil)
+	rev := m.VCSRevision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev == "" {
+		rev = "untracked"
+	}
+	if m.VCSDirty {
+		rev += "+dirty"
+	}
+	when := ""
+	if m.VCSTime != "" {
+		when = " " + m.VCSTime
+	}
+	return fmt.Sprintf("%s %s%s (%s %s/%s)", tool, rev, when, m.GoVersion, m.OS, m.Arch)
+}

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestValidateDefaults(t *testing.T) {
+	var r JobRequest
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := JobRequest{Mode: ModeAdaptive, Kernel: "spmspv", Matrix: "R04", Scale: "test", OptMode: "ee", Config: "baseline"}
+	if r != want {
+		t.Errorf("defaults = %+v, want %+v", r, want)
+	}
+	b := JobRequest{Mode: ModeBatch}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Count != 4 {
+		t.Errorf("batch count default = %d, want 4", b.Count)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		req  JobRequest
+	}{
+		{"mode", JobRequest{Mode: "warp"}},
+		{"kernel", JobRequest{Kernel: "gemm"}},
+		{"matrix", JobRequest{Matrix: "ZZZ"}},
+		{"both-inputs", JobRequest{Matrix: "R04", MatrixMarket: "%%MatrixMarket matrix coordinate real general\n"}},
+		{"not-mm", JobRequest{MatrixMarket: "1 1 1\n"}},
+		{"scale", JobRequest{Scale: "huge"}},
+		{"opt", JobRequest{OptMode: "fast"}},
+		{"policy", JobRequest{Policy: "bold"}},
+		{"tolerance", JobRequest{Tolerance: 11}},
+		{"neg-tolerance", JobRequest{Tolerance: -1}},
+		{"config", JobRequest{Config: "turbo"}},
+		{"faults-mode", JobRequest{Faults: "nan=0.1"}},
+		{"count-mode", JobRequest{Count: 2}},
+		{"count-range", JobRequest{Mode: ModeBatch, Count: 9999}},
+		{"neg-timeout", JobRequest{TimeoutSec: -1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.req.Validate(); err == nil {
+				t.Errorf("Validate(%+v) accepted, want error", tc.req)
+			}
+		})
+	}
+}
+
+func TestRateLimiterRefill(t *testing.T) {
+	rl := newRateLimiter(1, 2) // 1 token/s, burst 2
+	now := time.Unix(0, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := rl.allow("a", now); !ok {
+			t.Fatalf("request %d within burst rejected", i)
+		}
+	}
+	ok, wait := rl.allow("a", now)
+	if ok {
+		t.Fatal("empty bucket must reject")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Errorf("wait = %v, want (0, 1s]", wait)
+	}
+	// A different client has its own bucket.
+	if ok, _ := rl.allow("b", now); !ok {
+		t.Error("other client must not be throttled")
+	}
+	// After the refill interval the original client gets a token back.
+	if ok, _ := rl.allow("a", now.Add(1100*time.Millisecond)); !ok {
+		t.Error("bucket did not refill")
+	}
+	// Disabled limiter always allows.
+	if ok, _ := newRateLimiter(0, 1).allow("a", now); !ok {
+		t.Error("rate 0 must disable limiting")
+	}
+}
+
+func TestEventLogReplayAndSeal(t *testing.T) {
+	l := newEventLog()
+	l.append(Event{Type: "state", State: StateQueued})
+	l.append(Event{Type: "epoch"})
+	evs, done, _ := l.since(0)
+	if len(evs) != 2 || done {
+		t.Fatalf("since(0) = %d events done=%v, want 2 false", len(evs), done)
+	}
+	if evs[0].Seq != 0 || evs[1].Seq != 1 {
+		t.Errorf("sequence numbers = %d,%d, want 0,1", evs[0].Seq, evs[1].Seq)
+	}
+	l.close()
+	// The post-close wake channel must be closed so drained subscribers
+	// exit instead of blocking forever.
+	_, done, wake := l.since(2)
+	if !done {
+		t.Fatal("closed log must report done")
+	}
+	select {
+	case <-wake:
+	default:
+		t.Fatal("wake channel after close must be closed")
+	}
+	l.append(Event{Type: "epoch"}) // dropped: stream is sealed
+	if evs, _, _ := l.since(0); len(evs) != 2 {
+		t.Errorf("append after close must be dropped, log has %d events", len(evs))
+	}
+}
+
+// FuzzDecodeJobRequest fuzzes the public decoding surface: arbitrary bytes
+// must never panic, and an accepted request must be stable under
+// re-validation and JSON round-tripping.
+func FuzzDecodeJobRequest(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"mode":"adaptive","kernel":"spmspv","matrix":"R04","scale":"test"}`))
+	f.Add([]byte(`{"mode":"batch","count":8}`))
+	f.Add([]byte(`{"mode":"resilient","faults":"nan=0.1,stuck=0.05,seed=7"}`))
+	f.Add([]byte(`{"matrix_market":"%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1.0\n"}`))
+	f.Add([]byte(`{"tolerance":0.4,"timeout_sec":1.5,"counters":true}`))
+	f.Add([]byte(`{"mode":`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"mode":"adaptive"}{"x":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeJobRequest(data)
+		if err != nil {
+			return
+		}
+		if err := req.Validate(); err != nil {
+			t.Fatalf("accepted request fails re-validation: %v", err)
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not marshal: %v", err)
+		}
+		again, err := DecodeJobRequest(b)
+		if err != nil {
+			t.Fatalf("round-tripped request rejected: %v\n%s", err, b)
+		}
+		if again != req {
+			t.Fatalf("round trip changed the request:\n got %+v\nwant %+v", again, req)
+		}
+	})
+}

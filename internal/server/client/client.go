@@ -1,0 +1,245 @@
+// Package client is the typed Go client of the sparseadaptd HTTP API: it
+// submits jobs, polls status, streams Server-Sent Events and decodes the
+// wire types of package server. The `sparseadapt submit` subcommand and
+// the daemon's end-to-end tests are built on it, so the client exercises
+// exactly the surface external consumers would.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"sparseadapt/internal/matrix"
+	"sparseadapt/internal/server"
+)
+
+// Client talks to one sparseadaptd instance.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the transport; nil uses a client with a 30s overall timeout
+	// for unary calls (streams always use a timeout-free clone, since an
+	// SSE response legitimately outlives any fixed deadline).
+	HTTP *http.Client
+}
+
+// New returns a client for the server at base.
+func New(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/"), HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// APIError is a non-2xx response, carrying the decoded server error body
+// and the Retry-After hint of 429s.
+type APIError struct {
+	StatusCode int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do performs one JSON round trip, decoding into out when non-nil.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	apiErr := &APIError{StatusCode: resp.StatusCode}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err == nil {
+		apiErr.Message = body.Error
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if sec, err := strconv.Atoi(ra); err == nil {
+			apiErr.RetryAfter = time.Duration(sec) * time.Second
+		}
+	}
+	return apiErr
+}
+
+// Submit posts a job and returns its accepted status (state "queued").
+func (c *Client) Submit(ctx context.Context, req server.JobRequest) (server.JobStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return server.JobStatus{}, err
+	}
+	var st server.JobStatus
+	err = c.do(ctx, http.MethodPost, "/v1/jobs", body, &st)
+	return st, err
+}
+
+// Get fetches a job's current status.
+func (c *Client) Get(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// List fetches all retained jobs in submission order.
+func (c *Client) List(ctx context.Context) ([]server.JobStatus, error) {
+	var out []server.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel requests cancellation of a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Datasets fetches the server's dataset inventory.
+func (c *Client) Datasets(ctx context.Context) ([]matrix.DatasetEntry, error) {
+	var out []matrix.DatasetEntry
+	err := c.do(ctx, http.MethodGet, "/v1/datasets", nil, &out)
+	return out, err
+}
+
+// Version fetches the server's build identity.
+func (c *Client) Version(ctx context.Context) (string, error) {
+	var out struct {
+		Version string `json:"version"`
+	}
+	err := c.do(ctx, http.MethodGet, "/version", nil, &out)
+	return out.Version, err
+}
+
+// Metrics fetches the raw Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// Stream subscribes to a job's event stream and calls fn for every event,
+// from the beginning of the job's history, until the stream closes (the
+// job reached a terminal state), fn returns an error, or ctx is canceled.
+func (c *Client) Stream(ctx context.Context, id string, fn func(server.Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	// Clone the unary client minus its overall timeout: an event stream is
+	// expected to stay open for the lifetime of the job.
+	hc := *c.http()
+	hc.Timeout = 0
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var data strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		case line == "" && data.Len() > 0:
+			var ev server.Event
+			if err := json.Unmarshal([]byte(data.String()), &ev); err != nil {
+				return fmt.Errorf("decoding event: %w", err)
+			}
+			data.Reset()
+			if err := fn(ev); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// Wait follows the job's event stream to completion and returns the
+// terminal status. It degrades to polling when streaming fails (proxies
+// that buffer SSE, for instance).
+func (c *Client) Wait(ctx context.Context, id string) (server.JobStatus, error) {
+	var final *server.JobStatus
+	err := c.Stream(ctx, id, func(ev server.Event) error {
+		if ev.Status != nil && ev.Status.Terminal() {
+			final = ev.Status
+		}
+		return nil
+	})
+	if final != nil {
+		return *final, nil
+	}
+	if err != nil && ctx.Err() != nil {
+		return server.JobStatus{}, err
+	}
+	// Stream closed without a terminal event (or failed): poll.
+	for {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			return server.JobStatus{}, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}

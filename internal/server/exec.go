@@ -1,0 +1,383 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/core"
+	"sparseadapt/internal/engine"
+	"sparseadapt/internal/experiments"
+	"sparseadapt/internal/fault"
+	"sparseadapt/internal/graph"
+	"sparseadapt/internal/host"
+	"sparseadapt/internal/kernels"
+	"sparseadapt/internal/matrix"
+	"sparseadapt/internal/obs"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
+)
+
+// execute runs one dequeued job to a terminal state. The actual simulation
+// goes through the engine as a single content-addressed task, which buys
+// panic-to-error isolation (a panicking run fails its own job, not the
+// worker), the shared result cache (identical requests are served without
+// re-simulating) and engine_* accounting for free.
+func (s *Server) execute(j *job) {
+	s.met.queueWait.Observe(time.Since(j.created).Seconds())
+	timeout := s.cfg.JobTimeout
+	if j.req.TimeoutSec > 0 {
+		if d := time.Duration(j.req.TimeoutSec * float64(time.Second)); d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if !j.start(cancel, time.Now()) {
+		return // canceled while queued; requestCancel already finalized it
+	}
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
+	begin := time.Now()
+	computed := false
+	res, err := engine.Map(ctx, s.eng, []engine.Task[JobResult]{{
+		Key: jobKey(j.req),
+		Compute: func(ctx context.Context) (JobResult, error) {
+			computed = true
+			return s.runJob(ctx, j)
+		},
+	}})
+	s.met.jobDuration.Observe(time.Since(begin).Seconds())
+	if err != nil {
+		j.finish(nil, false, err, time.Now())
+		if j.status().State == StateCanceled {
+			s.met.canceled.Inc()
+		} else {
+			s.met.failed.Inc()
+		}
+		return
+	}
+	r := res[0]
+	hit := !computed
+	if hit && j.events.epochEvents() == 0 {
+		// Cache-served result: the live run streamed its epochs as they
+		// happened; replay the retained trace so subscribers of this job see
+		// the same stream.
+		for _, rec := range r.Trace {
+			j.epoch(rec)
+		}
+	}
+	j.finish(&r, hit, nil, time.Now())
+	s.met.completed.Inc()
+}
+
+// jobKey content-addresses a request: every field that determines the
+// result participates; TimeoutSec deliberately does not (a timed-out job
+// errors and is never cached).
+func jobKey(r JobRequest) engine.Key {
+	counters := 0
+	if r.Counters {
+		counters = 1
+	}
+	return engine.NewHasher("server-job/v1").
+		Str(r.Mode).Str(r.Kernel).Str(r.Matrix).Str(r.MatrixMarket).
+		Str(r.Scale).I64(r.Seed).Str(r.OptMode).Str(r.Policy).
+		F64(r.Tolerance).Str(r.Config).Str(r.Faults).
+		Int(r.Count, counters).Sum()
+}
+
+// runJob performs the simulation a validated request describes. It is pure
+// with respect to jobKey: identical requests produce identical JobResults
+// (the engine cache depends on this).
+func (s *Server) runJob(ctx context.Context, j *job) (JobResult, error) {
+	req := j.req
+	sc, err := scaleFor(req.Scale)
+	if err != nil {
+		return JobResult{}, err
+	}
+	if req.Seed != 0 {
+		sc.Seed = req.Seed
+	}
+	// Nested engine use is safe: each Map call gets its own worker set, so
+	// a job's internal fan-out (model training sweeps, batch offloads) is
+	// bounded per batch and cached in the same store.
+	sc.Eng = s.eng
+
+	off, modelKernel, err := buildWorkload(req, sc)
+	if err != nil {
+		return JobResult{}, err
+	}
+	startCfg, err := configFor(req.Config)
+	if err != nil {
+		return JobResult{}, err
+	}
+
+	// Per-job observer: controller_* metrics land in the shared registry
+	// (instruments are atomic), the per-epoch trace is private to the job
+	// and streamed live to SSE subscribers via the epoch hook. Observers are
+	// single-run — never shared between concurrent jobs.
+	tr := obs.NewTraceRecorder()
+	tr.SetEpochHook(j.epoch)
+	observer := core.NewObserver(s.reg, tr)
+	observer.TraceCounters = req.Counters
+
+	runner := host.NewRunner(sc.Chip, sc.BW, sc.Epoch)
+	runner.Obs = observer
+
+	if req.Mode == ModeStatic {
+		hres, run, err := runner.RunStaticFull(ctx, startCfg, off)
+		if err != nil {
+			return JobResult{}, err
+		}
+		// Static runs bypass the controller and its observer; synthesize the
+		// epoch stream from the device-side log.
+		recs := epochRecords(run, req.Counters)
+		for _, rec := range recs {
+			j.epoch(rec)
+		}
+		return JobResult{Host: hres, Epochs: len(run.Epochs), Reconfigs: run.Reconfig, Trace: recs}, nil
+	}
+
+	mode, err := modeFor(req.OptMode)
+	if err != nil {
+		return JobResult{}, err
+	}
+	model, err := s.models.get(sc, req.Scale, modelKernel, mode)
+	if err != nil {
+		return JobResult{}, fmt.Errorf("training model: %w", err)
+	}
+	opts := controlOptions(req, modelKernel, sc)
+
+	switch req.Mode {
+	case ModeAdaptive:
+		hres, run, err := runner.RunAdaptiveFull(ctx, model, opts, startCfg, off)
+		if err != nil {
+			return JobResult{}, err
+		}
+		return JobResult{Host: hres, Epochs: len(run.Epochs), Reconfigs: run.Reconfig, Trace: tr.Epochs()}, nil
+
+	case ModeResilient:
+		spec, err := fault.ParseSpec(req.Faults)
+		if err != nil {
+			return JobResult{}, err
+		}
+		ropts := core.DefaultResilientOptions()
+		ropts.Options = opts
+		var inject core.FaultInjector
+		if !spec.IsZero() {
+			inject = fault.New(spec)
+		}
+		// The resilient controller manages its own recovery machinery and
+		// runs to completion; cancellation takes effect between jobs, not
+		// mid-run (documented limitation, see docs/SERVER.md).
+		hres, run, err := runner.RunResilient(model, ropts, startCfg, off, inject)
+		if err != nil {
+			return JobResult{}, err
+		}
+		return JobResult{
+			Host: hres, Epochs: len(run.Epochs), Reconfigs: run.Reconfig,
+			Resilience: run.Resilience.String(), Trace: tr.Epochs(),
+		}, nil
+
+	case ModeBatch:
+		// Batch jobs fan N copies of the offload through the engine; each
+		// offload runs its own controller over the shared read-only model
+		// (see the Ensemble concurrency contract). The per-run observer
+		// can't follow N concurrent runs, so batch jobs stream no epochs.
+		runner.Obs = nil
+		offs := make([]host.Offload, req.Count)
+		for i := range offs {
+			offs[i] = off
+		}
+		results, err := runner.RunBatchAdaptive(ctx, s.eng, model, opts, startCfg, offs)
+		if err != nil {
+			return JobResult{}, err
+		}
+		res := JobResult{Batch: results, Epochs: 0}
+		if len(results) > 0 {
+			res.Host = results[0]
+		}
+		return res, nil
+	}
+	return JobResult{}, fmt.Errorf("unhandled mode %q", req.Mode)
+}
+
+// buildWorkload generates or parses the input matrix and schedules the
+// requested kernel on it, mirroring the CLI `run` path exactly so a job
+// submitted over HTTP computes the same workload as the equivalent local
+// run. It returns the offload, plus the kernel name used for model lookup
+// (graph kernels reuse the SpMSpV model, Section 5.2).
+func buildWorkload(req JobRequest, sc experiments.Scale) (host.Offload, string, error) {
+	var am *matrix.COO
+	var err error
+	if req.MatrixMarket != "" {
+		am, err = matrix.ReadMatrixMarket(strings.NewReader(req.MatrixMarket))
+		if err != nil {
+			return host.Offload{}, "", fmt.Errorf("parsing matrix_market: %w", err)
+		}
+	} else {
+		entry, eerr := matrix.Entry(req.Matrix)
+		if eerr != nil {
+			return host.Offload{}, "", eerr
+		}
+		am = entry.Generate(sc.Matrix, sc.Seed)
+	}
+	a := am.ToCSC()
+	dim := a.Cols
+	modelKernel := req.Kernel
+	var wl kernels.Workload
+	bytesIn := host.InputBytes(a.NNZ(), dim)
+	bytesOut := 0
+	switch req.Kernel {
+	case "spmspm":
+		var out *matrix.CSR
+		out, wl, err = kernels.SpMSpM(a, am.ToCSR().Transpose(), sc.Chip.NGPE(), sc.Chip.Tiles)
+		bytesIn *= 2 // both operands stream in
+		if out != nil {
+			bytesOut = host.InputBytes(out.NNZ(), dim)
+		}
+	case "spmspv":
+		x := matrix.RandomVec(rand.New(rand.NewSource(sc.Seed+1)), dim, 0.5)
+		var y *matrix.SparseVec
+		y, wl, err = kernels.SpMSpV(a, x, sc.Chip.NGPE(), sc.Chip.Tiles)
+		bytesIn += host.InputBytes(x.NNZ(), dim)
+		if y != nil {
+			bytesOut = y.NNZ() * 12
+		}
+	case "bfs":
+		_, wl, err = graph.BFS(a, 0, sc.Chip.NGPE(), sc.Chip.Tiles)
+		bytesOut = dim * 8
+		modelKernel = "spmspv"
+	case "sssp":
+		_, wl, err = graph.SSSP(a, 0, sc.Chip.NGPE(), sc.Chip.Tiles)
+		bytesOut = dim * 8
+		modelKernel = "spmspv"
+	default:
+		return host.Offload{}, "", fmt.Errorf("unknown kernel %q", req.Kernel)
+	}
+	if err != nil {
+		return host.Offload{}, "", err
+	}
+	return host.Offload{Workload: wl, BytesIn: bytesIn, BytesOut: bytesOut}, modelKernel, nil
+}
+
+// controlOptions mirrors the CLI's policy selection: hybrid with the
+// paper's 40% tolerance for SpMSpV-class workloads, conservative for
+// SpMSpM (Section 5.4), with explicit request overrides on top.
+func controlOptions(req JobRequest, modelKernel string, sc experiments.Scale) core.Options {
+	opts := core.Options{Policy: core.Hybrid, Tolerance: 0.4, EpochScale: sc.Epoch}
+	if req.Tolerance != 0 {
+		opts.Tolerance = req.Tolerance
+	}
+	if modelKernel == "spmspm" {
+		opts = core.Options{Policy: core.Conservative, EpochScale: sc.Epoch}
+	}
+	switch req.Policy {
+	case "conservative":
+		opts.Policy = core.Conservative
+	case "aggressive":
+		opts.Policy = core.Aggressive
+	case "hybrid":
+		opts.Policy = core.Hybrid
+	}
+	return opts
+}
+
+func scaleFor(name string) (experiments.Scale, error) {
+	switch name {
+	case "test":
+		return experiments.TestScale(), nil
+	case "small":
+		return experiments.SmallScale(), nil
+	case "paper":
+		return experiments.PaperScale(), nil
+	}
+	return experiments.Scale{}, fmt.Errorf("unknown scale %q", name)
+}
+
+func modeFor(name string) (power.Mode, error) {
+	switch name {
+	case "ee":
+		return power.EnergyEfficient, nil
+	case "pp":
+		return power.PowerPerformance, nil
+	}
+	return 0, fmt.Errorf("unknown opt_mode %q", name)
+}
+
+func configFor(name string) (config.Config, error) {
+	switch name {
+	case "baseline":
+		return config.Baseline, nil
+	case "best-avg":
+		return config.BestAvgCache, nil
+	case "max":
+		return config.MaxCfg, nil
+	}
+	return config.Config{}, fmt.Errorf("unknown config %q", name)
+}
+
+// epochRecords converts a device-side run log to the trace-record form the
+// SSE stream carries, reproducing the observer's mapping (static runs
+// bypass the controller, so no observer saw them).
+func epochRecords(run core.RunResult, counters bool) []obs.EpochRecord {
+	recs := make([]obs.EpochRecord, 0, len(run.Epochs))
+	t := 0.0
+	for i, ep := range run.Epochs {
+		rec := obs.EpochRecord{
+			Epoch: i, Phase: ep.Phase, StartSec: t,
+			DurSec: ep.Metrics.TimeSec, EnergyJ: ep.Metrics.EnergyJ, FPOps: ep.Metrics.FPOps,
+			Config: ep.Config.String(), Reconfigured: ep.Reconfigured,
+		}
+		if counters {
+			names := sim.FeatureNames()
+			vals := ep.Counters.Features()
+			rec.Counters = make(map[string]float64, len(names))
+			for k, n := range names {
+				rec.Counters[n] = vals[k]
+			}
+		}
+		t += ep.Metrics.TimeSec
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// modelCache memoizes trained ensembles by (scale, seed, kernel, mode).
+// Training is expensive (a full oracle + sweep pass), so concurrent jobs
+// wanting the same model wait for one training run instead of duplicating
+// it; the coarse lock is exactly that singleflight.
+type modelCache struct {
+	mu sync.Mutex
+	m  map[modelKey]*core.Ensemble
+}
+
+type modelKey struct {
+	scale  string
+	seed   int64
+	kernel string
+	mode   power.Mode
+}
+
+func (c *modelCache) get(sc experiments.Scale, scaleName, kernel string, mode power.Mode) (*core.Ensemble, error) {
+	key := modelKey{scale: scaleName, seed: sc.Seed, kernel: kernel, mode: mode}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = map[modelKey]*core.Ensemble{}
+	}
+	if ens, ok := c.m[key]; ok {
+		return ens, nil
+	}
+	ens, err := experiments.Model(sc, kernel, config.CacheMode, mode)
+	if err != nil {
+		return nil, err
+	}
+	c.m[key] = ens
+	return ens, nil
+}

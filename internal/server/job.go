@@ -1,0 +1,195 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"sparseadapt/internal/obs"
+)
+
+// job is the server-side record of one submitted simulation: the request,
+// the lifecycle state machine, the cancellation handle of a running
+// execution and the append-only event log SSE subscribers replay.
+type job struct {
+	id      string
+	req     JobRequest
+	created time.Time
+
+	mu       sync.Mutex
+	state    string
+	started  time.Time
+	finished time.Time
+	errMsg   string
+	result   *JobResult
+	cacheHit bool
+	cancel   context.CancelFunc // non-nil while running
+	canceled bool               // cancel requested (possibly pre-start)
+
+	events *eventLog
+}
+
+func newJob(id string, req JobRequest, now time.Time) *job {
+	j := &job{id: id, req: req, created: now, state: StateQueued, events: newEventLog()}
+	j.events.append(Event{Type: "state", State: StateQueued})
+	return j
+}
+
+// status snapshots the job under its lock.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+func (j *job) statusLocked() JobStatus {
+	return JobStatus{
+		ID: j.id, State: j.state, Request: j.req,
+		CreatedAt: j.created, StartedAt: j.started, FinishedAt: j.finished,
+		Error: j.errMsg, Result: j.result, CacheHit: j.cacheHit,
+	}
+}
+
+// start transitions queued → running and installs the execution's cancel
+// handle. It reports false when the job was canceled while queued, in
+// which case the worker must skip it.
+func (j *job) start(cancel context.CancelFunc, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.canceled {
+		return false
+	}
+	j.state = StateRunning
+	j.started = now
+	j.cancel = cancel
+	j.events.append(Event{Type: "state", State: StateRunning})
+	return true
+}
+
+// finish records the terminal state, emits the final event and closes the
+// event stream. A canceled job that raced to completion stays canceled.
+func (j *job) finish(res *JobResult, cacheHit bool, err error, now time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = now
+	j.cancel = nil
+	if err == nil {
+		j.state = StateDone
+		j.result = res
+		j.cacheHit = cacheHit
+	} else {
+		if j.canceled {
+			j.state = StateCanceled
+		} else {
+			j.state = StateFailed
+		}
+		j.errMsg = err.Error()
+	}
+	st := j.statusLocked()
+	typ := "result"
+	if st.State != StateDone {
+		typ = "error"
+	}
+	j.events.append(Event{Type: typ, Status: &st})
+	j.events.close()
+}
+
+// requestCancel marks the job canceled and cancels a running execution.
+// Returns false when the job is already terminal.
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateDone, StateFailed, StateCanceled:
+		return false
+	}
+	j.canceled = true
+	if j.cancel != nil {
+		j.cancel()
+		return true
+	}
+	// Still queued: finalize immediately, the worker will skip it.
+	j.state = StateCanceled
+	j.finished = time.Now()
+	j.errMsg = "canceled before start"
+	st := j.statusLocked()
+	j.events.append(Event{Type: "error", Status: &st})
+	j.events.close()
+	return true
+}
+
+// epoch appends one per-epoch progress event.
+func (j *job) epoch(rec obs.EpochRecord) {
+	r := rec
+	j.events.append(Event{Type: "epoch", Epoch: &r})
+}
+
+// eventLog is a job's append-only event history with broadcast: SSE
+// subscribers replay from any index and then block on the wake channel,
+// which is closed and replaced on every append, so late subscribers see
+// the full stream and live subscribers wake immediately.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+	done   bool
+	wake   chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{wake: make(chan struct{})}
+}
+
+// append assigns the event's sequence number and wakes subscribers.
+// Appending after close is dropped (the stream is sealed).
+func (l *eventLog) append(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return
+	}
+	ev.Seq = len(l.events)
+	l.events = append(l.events, ev)
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// close seals the stream and wakes subscribers one last time. The wake
+// channel is left closed (not replaced) so any subscriber that has drained
+// the log wakes immediately, observes done, and exits instead of blocking
+// on a channel that will never fire again.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return
+	}
+	l.done = true
+	close(l.wake)
+}
+
+// since returns the events from index from onward, whether the stream is
+// sealed, and the channel that will be closed on the next append/close.
+func (l *eventLog) since(from int) ([]Event, bool, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var evs []Event
+	if from < len(l.events) {
+		evs = append(evs, l.events[from:]...)
+	}
+	return evs, l.done, l.wake
+}
+
+// epochEvents counts the epoch events recorded so far — the executor uses
+// it to decide whether a cache-served result still needs its trace
+// replayed into the stream.
+func (l *eventLog) epochEvents() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, ev := range l.events {
+		if ev.Type == "epoch" {
+			n++
+		}
+	}
+	return n
+}

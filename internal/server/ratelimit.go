@@ -1,0 +1,74 @@
+package server
+
+import (
+	"math"
+	"net"
+	"sync"
+	"time"
+)
+
+// rateLimiter is the per-client admission throttle: one token bucket per
+// client key (the request's remote IP), refilled continuously at rate
+// tokens/second up to burst. Buckets idle for more than an hour are
+// pruned, so the map stays bounded by the active client set.
+type rateLimiter struct {
+	rate  float64 // tokens per second; <= 0 disables limiting
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	sweep   time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: float64(burst), buckets: map[string]*bucket{}}
+}
+
+// clientKey reduces a RemoteAddr to its host part, so all connections from
+// one client share a bucket regardless of ephemeral port.
+func clientKey(remoteAddr string) string {
+	if host, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		return host
+	}
+	return remoteAddr
+}
+
+// allow consumes one token from the client's bucket. When the bucket is
+// empty it reports false and how long until the next token accrues — the
+// Retry-After hint.
+func (rl *rateLimiter) allow(client string, now time.Time) (bool, time.Duration) {
+	if rl == nil || rl.rate <= 0 {
+		return true, 0
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	if now.Sub(rl.sweep) > time.Hour {
+		for k, b := range rl.buckets {
+			if now.Sub(b.last) > time.Hour {
+				delete(rl.buckets, k)
+			}
+		}
+		rl.sweep = now
+	}
+	b, ok := rl.buckets[client]
+	if !ok {
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[client] = b
+	}
+	b.tokens = math.Min(rl.burst, b.tokens+now.Sub(b.last).Seconds()*rl.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+	return false, wait
+}

@@ -1,0 +1,496 @@
+// Package server is the simulation-as-a-service subsystem: an HTTP/JSON
+// front end that turns the one-shot simulator + controller stack into a
+// long-lived queryable backend. POST /v1/jobs submits a simulation
+// (static, adaptive, resilient or batch; on a dataset entry or an uploaded
+// MatrixMarket body), GET /v1/jobs/{id} polls status, and
+// GET /v1/jobs/{id}/events streams per-epoch progress as Server-Sent
+// Events while the run executes.
+//
+// Behind the API sits a bounded job queue with admission control (a full
+// queue rejects with 429 + Retry-After instead of buffering unboundedly),
+// per-client token-bucket rate limiting, a fixed worker pool whose
+// executions run through the engine subsystem (content-addressed result
+// cache, panic-to-error isolation, engine_* metrics), per-job deadlines
+// and cancellation propagated via context, and graceful drain: Drain stops
+// intake and completes queued and in-flight jobs before returning.
+// Observability is native: the server_* metric family, the engine_* and
+// controller_* families of the runs it hosts, Prometheus /metrics and
+// net/http/pprof share one mux. See docs/SERVER.md.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparseadapt/internal/engine"
+	"sparseadapt/internal/matrix"
+	"sparseadapt/internal/obs"
+)
+
+// Config sizes the server. The zero value is usable: every field has a
+// production-lean default applied by New.
+type Config struct {
+	// Workers bounds concurrent job executions (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs; a full
+	// queue rejects submissions with 429 (default 64).
+	QueueDepth int
+	// RatePerSec is the per-client job submission rate (token bucket,
+	// default 0 = unlimited); Burst is the bucket depth (default 8).
+	RatePerSec float64
+	Burst      int
+	// MaxBodyBytes caps the request body, bounding MatrixMarket uploads
+	// (default 8 MiB). Oversized bodies get 413.
+	MaxBodyBytes int64
+	// JobTimeout is the default and maximum per-job execution deadline
+	// (default 5 minutes). Requests may ask for less, never more.
+	JobTimeout time.Duration
+	// MaxJobs bounds retained job records; the oldest terminal jobs are
+	// evicted beyond it (default 1024).
+	MaxJobs int
+	// CacheEntries sizes the in-memory tier of the content-addressed result
+	// cache (default 512); CacheDir adds a persistent on-disk tier.
+	CacheEntries int
+	CacheDir     string
+	// Metrics, when non-nil, receives the server_* family (and the engine_*
+	// family of the execution engine). New creates a private registry when
+	// nil, so /metrics always works.
+	Metrics *obs.Registry
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Burst <= 0 {
+		c.Burst = 8
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 512
+	}
+}
+
+// serverMetrics is the server_* instrument family (catalog in
+// docs/OBSERVABILITY.md).
+type serverMetrics struct {
+	submitted, completed, failed, canceled  *obs.Counter
+	rejectedQueue, rejectedRate, badRequest *obs.Counter
+	httpRequests                            *obs.Counter
+	queueDepth, inflight, sseClients        *obs.Gauge
+	jobDuration, queueWait, httpDuration    *obs.Histogram
+}
+
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
+
+func newServerMetrics(r *obs.Registry) serverMetrics {
+	return serverMetrics{
+		submitted:     r.Counter("server_jobs_submitted_total", "jobs accepted into the queue"),
+		completed:     r.Counter("server_jobs_completed_total", "jobs finished successfully"),
+		failed:        r.Counter("server_jobs_failed_total", "jobs finished with an error"),
+		canceled:      r.Counter("server_jobs_canceled_total", "jobs canceled by the client or deadline"),
+		rejectedQueue: r.Counter("server_admission_rejected_total", "submissions rejected because the queue was full"),
+		rejectedRate:  r.Counter("server_ratelimit_rejected_total", "submissions rejected by the per-client rate limit"),
+		badRequest:    r.Counter("server_bad_requests_total", "submissions rejected as malformed (400/413)"),
+		httpRequests:  r.Counter("server_http_requests_total", "HTTP requests served"),
+		queueDepth:    r.Gauge("server_queue_depth", "jobs waiting in the admission queue"),
+		inflight:      r.Gauge("server_jobs_inflight", "jobs currently executing"),
+		sseClients:    r.Gauge("server_sse_clients", "connected event-stream subscribers"),
+		jobDuration:   r.Histogram("server_job_duration_seconds", "job execution wall time", latencyBuckets),
+		queueWait:     r.Histogram("server_job_queue_wait_seconds", "time jobs spend queued before execution", latencyBuckets),
+		httpDuration:  r.Histogram("server_http_request_duration_seconds", "HTTP request latency", latencyBuckets),
+	}
+}
+
+// Server is the simulation job server. Construct with New, mount Handler
+// on an http.Server, call Start to launch the worker pool, and Drain on
+// shutdown.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+	eng *engine.Engine
+	met serverMetrics
+	rl  *rateLimiter
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // insertion order, for bounded retention
+	nextID   int64
+	draining bool
+	queue    chan *job
+
+	started atomic.Bool
+	wg      sync.WaitGroup
+	models  modelCache
+	birth   time.Time
+}
+
+// New builds a Server from cfg (zero value = defaults).
+func New(cfg Config) (*Server, error) {
+	cfg.defaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	cache, err := engine.NewCache(cfg.CacheEntries, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		reg:   reg,
+		eng:   engine.New(engine.Options{Workers: cfg.Workers, Cache: cache, Metrics: reg}),
+		met:   newServerMetrics(reg),
+		rl:    newRateLimiter(cfg.RatePerSec, cfg.Burst),
+		jobs:  map[string]*job{},
+		queue: make(chan *job, cfg.QueueDepth),
+		birth: time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// Metrics returns the server's registry (for embedding callers).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// Start launches the worker pool. Safe to call once.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Drain gracefully shuts the job side down: it stops accepting new
+// submissions (503), lets the workers finish every queued and in-flight
+// job, and returns when the pool has exited. If ctx expires first, the
+// remaining running jobs are canceled, the drain keeps waiting for the
+// workers to observe the cancellation, and ctx.Err() is returned.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	if !s.started.Load() {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Deadline: cancel whatever is still running so the workers can
+		// exit, then wait for them (cancellation is cooperative and prompt).
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.requestCancel()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// worker executes jobs from the queue until it closes (drain).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.met.queueDepth.Add(-1)
+		s.execute(j)
+	}
+}
+
+// Handler returns the server's HTTP handler: the versioned API, health
+// and readiness probes, Prometheus /metrics and /debug/pprof, all on one
+// mux, wrapped with request accounting.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.met.httpRequests.Inc()
+		s.mux.ServeHTTP(w, r)
+		s.met.httpDuration.Observe(time.Since(start).Seconds())
+	})
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /version", s.handleVersion)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit is POST /v1/jobs: rate limit → parse/validate → admission
+// control → enqueue. The three rejection layers are deliberately ordered
+// cheapest-first.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	if ok, wait := s.rl.allow(clientKey(r.RemoteAddr), now); !ok {
+		s.met.rejectedRate.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int(wait.Seconds())+1))
+		writeError(w, http.StatusTooManyRequests, "rate limit exceeded, retry in %s", wait.Round(time.Millisecond))
+		return
+	}
+	body, err := readBody(w, r, s.cfg.MaxBodyBytes)
+	if err != nil {
+		s.met.badRequest.Inc()
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", mbe.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	req, err := DecodeJobRequest(body)
+	if err != nil {
+		s.met.badRequest.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("job-%06d", s.nextID), req, now)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.met.rejectedQueue.Inc()
+		// The queue holds full jobs; suggest a retry after roughly one
+		// expected job drain at current depth.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.cfg.QueueDepth)
+		return
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	s.met.submitted.Inc()
+	s.met.queueDepth.Add(1)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// readBody consumes the request body under the size cap.
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	defer r.Body.Close()
+	return io.ReadAll(r.Body)
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention bound.
+// Live (queued/running) jobs are never evicted, so the map can exceed
+// MaxJobs only by the number of live jobs, which the queue bounds.
+func (s *Server) evictLocked() {
+	for len(s.order) > s.cfg.MaxJobs {
+		evicted := false
+		for i, id := range s.order {
+			if j, ok := s.jobs[id]; ok && j.status().Terminal() {
+				delete(s.jobs, id)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j.status())
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if !j.requestCancel() {
+		writeError(w, http.StatusConflict, "job %s already finished", j.id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleEvents is GET /v1/jobs/{id}/events: a Server-Sent Events stream
+// replaying the job's full event history and following it live until the
+// job reaches a terminal state or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	s.met.sseClients.Add(1)
+	defer s.met.sseClients.Add(-1)
+
+	idx := 0
+	// Honor Last-Event-ID resumption.
+	if last := r.Header.Get("Last-Event-ID"); last != "" {
+		if n, err := strconv.Atoi(last); err == nil && n >= 0 {
+			idx = n + 1
+		}
+	}
+	for {
+		evs, done, wake := j.events.since(idx)
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, data); err != nil {
+				return // client disconnected
+			}
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		idx += len(evs)
+		if done && len(evs) == 0 {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, matrix.Dataset)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_sec":     time.Since(s.birth).Seconds(),
+		"queue_depth":    int(s.met.queueDepth.Load()),
+		"jobs_inflight":  int(s.met.inflight.Load()),
+		"engine_workers": s.eng.Workers(),
+	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.started.Load() {
+		writeError(w, http.StatusServiceUnavailable, "worker pool not started")
+		return
+	}
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"version": obs.Version("sparseadaptd")})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WritePrometheus(w) //nolint:errcheck // best-effort scrape
+}

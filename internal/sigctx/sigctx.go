@@ -1,0 +1,57 @@
+// Package sigctx provides the shared shutdown plumbing of the binaries: a
+// context cancelled on SIGINT/SIGTERM so long-running work (experiment
+// sweeps, training, the job server's drain) can wind down cleanly, with a
+// second signal escalating to an immediate exit for the operator who has
+// stopped waiting.
+package sigctx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// WithSignals returns a copy of parent that is cancelled when the process
+// receives SIGINT or SIGTERM. The first signal cancels the context and
+// prints a one-line notice to w (nil silences it); a second signal calls
+// os.Exit(1) immediately, so a hung drain can always be escaped. The
+// returned stop function releases the signal handler and the watcher
+// goroutine; call it once shutdown has completed.
+func WithSignals(parent context.Context, w io.Writer) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			if w != nil {
+				fmt.Fprintf(w, "received %s: shutting down (send again to force exit)\n", sig)
+			}
+			cancel()
+		case <-done:
+			return
+		}
+		select {
+		case <-ch:
+			if w != nil {
+				fmt.Fprintln(w, "second signal: forcing exit")
+			}
+			os.Exit(1)
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+			cancel()
+		})
+	}
+	return ctx, stop
+}

@@ -1,0 +1,57 @@
+package sigctx
+
+import (
+	"context"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSignalCancels delivers a real SIGINT to the test process and checks
+// that the context cancels and the notice is printed. The escalation path
+// (second signal → exit) is exercised end-to-end by the daemon test, where
+// it can kill a child process instead of the test runner.
+func TestSignalCancels(t *testing.T) {
+	var buf strings.Builder
+	ctx, stop := WithSignals(context.Background(), &buf)
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled after SIGINT")
+	}
+	if !strings.Contains(buf.String(), "interrupt") {
+		t.Fatalf("expected signal notice, got %q", buf.String())
+	}
+}
+
+// TestStopIdempotent checks stop can be called repeatedly and releases the
+// handler without cancelling anyone else's signals.
+func TestStopIdempotent(t *testing.T) {
+	ctx, stop := WithSignals(context.Background(), nil)
+	stop()
+	stop()
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("stop should cancel the context")
+	}
+}
+
+// TestParentCancellationPropagates checks the returned context follows its
+// parent like any derived context.
+func TestParentCancellationPropagates(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, stop := WithSignals(parent, nil)
+	defer stop()
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("parent cancellation did not propagate")
+	}
+}
