@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"sparseadapt/internal/fault"
 	"sparseadapt/internal/obs"
 	"sparseadapt/internal/server"
 	"sparseadapt/internal/sigctx"
@@ -45,6 +46,9 @@ func run(args []string, stdout, stderr *os.File) int {
 	cacheDir := fs.String("cache-dir", "", "on-disk tier of the result cache (empty = memory only)")
 	cacheEntries := fs.Int("cache-entries", 512, "in-memory result cache entries")
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "grace period for in-flight jobs on shutdown")
+	storeDir := fs.String("store-dir", "", "durable job journal directory; on boot the journal is replayed and interrupted jobs re-run (empty = no durability)")
+	maxAttempts := fs.Int("max-attempts", 3, "execution attempts per job before quarantine")
+	chaosSpec := fs.String("chaos", "", "deterministic chaos spec, e.g. exec-panic=0.2,journal-err=0.05,seed=7 (testing only)")
 	version := fs.Bool("version", false, "print build identity and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -53,16 +57,29 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stdout, obs.Version("sparseadaptd"))
 		return 0
 	}
+	chaos, err := fault.ParseChaosSpec(*chaosSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "error:", err)
+		return 2
+	}
+	if !chaos.IsZero() {
+		fmt.Fprintf(stderr, "warning: chaos injection active (%s) — not for production\n", chaos)
+	}
 
 	srv, err := server.New(server.Config{
 		Workers: *workers, QueueDepth: *queue,
 		RatePerSec: *rate, Burst: *burst,
 		MaxBodyBytes: *maxBody, JobTimeout: *jobTimeout, MaxJobs: *maxJobs,
 		CacheDir: *cacheDir, CacheEntries: *cacheEntries,
+		StoreDir: *storeDir, MaxAttempts: *maxAttempts,
+		Chaos: fault.NewChaos(chaos),
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "error:", err)
 		return 1
+	}
+	if n := srv.Recovered(); n > 0 {
+		fmt.Fprintf(stdout, "recovered %d interrupted jobs from the journal\n", n)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -98,6 +115,14 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	if err := hs.Shutdown(dctx); err != nil {
 		fmt.Fprintln(stderr, "shutdown:", err)
+		code = 1
+	}
+	// Compact and close the journal only after the drain: every job that
+	// finished has its terminal record on disk, so the next boot recovers
+	// nothing. (After a crash this never runs — that is what recovery is
+	// for.)
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(stderr, "store:", err)
 		code = 1
 	}
 	fmt.Fprintln(stdout, "shutdown complete")

@@ -36,6 +36,8 @@ func cmdSubmit(ctx context.Context, w io.Writer, args []string) error {
 	timeout := fs.Duration("timeout", 0, "job execution deadline (0 = server default)")
 	follow := fs.Bool("follow", true, "stream job events until completion")
 	jsonOut := fs.Bool("json", false, "print the terminal status as JSON")
+	retries := fs.Int("retries", 3, "retry transiently rejected submissions (429/503) this many times (0 = fail fast)")
+	retryWait := fs.Duration("retry-wait", 500*time.Millisecond, "base backoff between submission retries (server Retry-After overrides)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +62,7 @@ func cmdSubmit(ctx context.Context, w io.Writer, args []string) error {
 	}
 
 	c := client.New(*serverURL)
+	c.Retry = client.RetryPolicy{Max: *retries, BaseWait: *retryWait}
 	st, err := c.Submit(ctx, req)
 	if err != nil {
 		return err

@@ -116,6 +116,28 @@ func (c *Cache) insertMem(k Key, v []byte) {
 	}
 }
 
+// DiskPath returns the on-disk file backing k, or "" for a memory-only
+// cache. Exposed for the chaos harness, which corrupts entries in place to
+// exercise the checksum-verified read path.
+func (c *Cache) DiskPath(k Key) string {
+	if c.dir == "" {
+		return ""
+	}
+	return c.path(k)
+}
+
+// DropMemory evicts k from the memory tier only, leaving any disk entry in
+// place, so the next Get must go through the checksummed disk read.
+// Chaos-harness hook.
+func (c *Cache) DropMemory(k Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[k]; ok {
+		c.ll.Remove(el)
+		delete(c.idx, k)
+	}
+}
+
 // MemLen returns the number of memory-tier entries.
 func (c *Cache) MemLen() int {
 	c.mu.Lock()

@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChaosSpecParseRoundTrip(t *testing.T) {
+	text := "cache-corrupt=0.3,exec-panic=0.2,fail-first=1,journal-err=0.05,kill-epoch=0.1,poison=0.15,seed=7"
+	spec, err := ParseChaosSpec(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.ExecPanic != 0.2 || spec.Poison != 0.15 || spec.FailFirst != 1 || spec.Seed != 7 {
+		t.Errorf("parsed spec = %+v", spec)
+	}
+	if got := spec.String(); got != text {
+		t.Errorf("String() = %q, want %q", got, text)
+	}
+	if got, err := ParseChaosSpec(""); err != nil || !got.IsZero() {
+		t.Errorf("empty spec = %+v, %v", got, err)
+	}
+}
+
+func TestChaosSpecParseRejects(t *testing.T) {
+	for _, text := range []string{
+		"exec-panic",        // no value
+		"nope=0.1",          // unknown class
+		"exec-panic=2",      // probability > 1
+		"exec-panic=-0.1",   // negative
+		"exec-panic=NaN",    // not finite
+		"seed=abc",          // bad seed
+		"exec-panic=0.1,,x", // malformed clause
+	} {
+		if _, err := ParseChaosSpec(text); err == nil {
+			t.Errorf("ParseChaosSpec(%q) accepted, want error", text)
+		}
+	}
+}
+
+// TestChaosDeterminism is the property the soak test stands on: every
+// decision is a pure function of (seed, job, attempt), so two injectors
+// with the same spec agree on everything.
+func TestChaosDeterminism(t *testing.T) {
+	spec := ChaosSpec{ExecPanic: 0.3, Poison: 0.2, KillEpoch: 0.25, CacheCorrupt: 0.4, Seed: 42}
+	a, b := NewChaos(spec), NewChaos(spec)
+	for i := 0; i < 64; i++ {
+		id := jobID(i)
+		for attempt := 1; attempt <= 3; attempt++ {
+			if a.ExecPanic(id, attempt) != b.ExecPanic(id, attempt) {
+				t.Fatalf("ExecPanic(%s, %d) disagrees", id, attempt)
+			}
+			ea, oka := a.KillAtEpoch(id, attempt)
+			eb, okb := b.KillAtEpoch(id, attempt)
+			if oka != okb || ea != eb {
+				t.Fatalf("KillAtEpoch(%s, %d) disagrees: (%d,%v) vs (%d,%v)", id, attempt, ea, oka, eb, okb)
+			}
+		}
+		if a.Poisoned(id) != b.Poisoned(id) || a.CorruptCache(id) != b.CorruptCache(id) {
+			t.Fatalf("per-job decisions disagree for %s", id)
+		}
+	}
+	// A different seed must not reproduce the same poison set.
+	c := NewChaos(ChaosSpec{Poison: 0.2, Seed: 43})
+	same := true
+	for i := 0; i < 64; i++ {
+		if a.Poisoned(jobID(i)) != c.Poisoned(jobID(i)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical poison sets")
+	}
+}
+
+func jobID(i int) string {
+	return "job-" + strings.Repeat("0", 5) + string(rune('a'+i%26)) + string(rune('a'+i/26))
+}
+
+// TestChaosPoisonImpliesEveryAttemptPanics: the quarantine guarantee.
+func TestChaosPoisonImpliesEveryAttemptPanics(t *testing.T) {
+	c := NewChaos(ChaosSpec{Poison: 0.5, Seed: 9})
+	poisoned := 0
+	for i := 0; i < 64; i++ {
+		id := jobID(i)
+		if !c.Poisoned(id) {
+			continue
+		}
+		poisoned++
+		for attempt := 1; attempt <= 10; attempt++ {
+			if !c.ExecPanic(id, attempt) {
+				t.Fatalf("poisoned job %s survived attempt %d", id, attempt)
+			}
+		}
+	}
+	if poisoned == 0 {
+		t.Fatal("poison=0.5 over 64 jobs poisoned none; hash stream is broken")
+	}
+}
+
+// TestChaosFailFirst forces exactly the first N attempts to fail.
+func TestChaosFailFirst(t *testing.T) {
+	c := NewChaos(ChaosSpec{FailFirst: 2, Seed: 3})
+	id := "job-000001"
+	if c.Poisoned(id) {
+		t.Fatal("poison must be off")
+	}
+	for attempt := 1; attempt <= 2; attempt++ {
+		if !c.ExecPanic(id, attempt) {
+			t.Errorf("attempt %d must panic under fail-first=2", attempt)
+		}
+	}
+	if c.ExecPanic(id, 3) {
+		t.Error("attempt 3 must succeed under fail-first=2")
+	}
+}
+
+// TestChaosNilIsNoOp: a nil injector must be safe everywhere.
+func TestChaosNilIsNoOp(t *testing.T) {
+	var c *Chaos
+	if c.ExecPanic("x", 1) || c.Poisoned("x") || c.CorruptCache("x") {
+		t.Error("nil chaos fired")
+	}
+	if _, ok := c.KillAtEpoch("x", 1); ok {
+		t.Error("nil chaos killed an epoch")
+	}
+	if err := c.JournalFault("append"); err != nil {
+		t.Error("nil chaos failed a journal write")
+	}
+	if c.Counts() != (ChaosCounts{}) {
+		t.Error("nil chaos counted fires")
+	}
+	if NewChaos(ChaosSpec{}) != nil {
+		t.Error("zero spec must build a nil injector")
+	}
+}
+
+// TestChaosJournalFault fires deterministically by write ordinal.
+func TestChaosJournalFault(t *testing.T) {
+	c := NewChaos(ChaosSpec{JournalErr: 0.5, Seed: 11})
+	errs := 0
+	for i := 0; i < 64; i++ {
+		if err := c.JournalFault("append"); err != nil {
+			if !strings.Contains(err.Error(), "chaos:") {
+				t.Fatalf("injected error %v lacks the chaos: prefix", err)
+			}
+			errs++
+		}
+	}
+	if errs == 0 || errs == 64 {
+		t.Fatalf("journal-err=0.5 fired %d/64 times", errs)
+	}
+	if got := c.Counts().JournalErrs; got != int64(errs) {
+		t.Errorf("counted %d journal errors, observed %d", got, errs)
+	}
+}

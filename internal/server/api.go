@@ -21,13 +21,16 @@ const (
 	ModeBatch     = "batch"     // N offloads through the engine pool (host.RunBatchAdaptive)
 )
 
-// Job lifecycle states, as reported by JobStatus.State.
+// Job lifecycle states, as reported by JobStatus.State. Quarantined is the
+// poison-job terminal state: the job failed MaxAttempts consecutive
+// execution attempts and the server refuses to burn more capacity on it.
 const (
-	StateQueued   = "queued"
-	StateRunning  = "running"
-	StateDone     = "done"
-	StateFailed   = "failed"
-	StateCanceled = "canceled"
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateCanceled    = "canceled"
+	StateQuarantined = "quarantined"
 )
 
 // JobRequest is the POST /v1/jobs body: one simulation job parameterized
@@ -212,18 +215,24 @@ type JobStatus struct {
 	// reaches a terminal state (done, failed, canceled), respectively.
 	StartedAt  time.Time `json:"started_at"`
 	FinishedAt time.Time `json:"finished_at"`
-	// Error is the failure reason of a failed or canceled job.
+	// Error is the failure reason of a failed, canceled or quarantined job.
 	Error string `json:"error,omitempty"`
 	// Result is present once the job is done.
 	Result *JobResult `json:"result,omitempty"`
 	// CacheHit marks a result served from the content-addressed cache.
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// Attempts counts execution attempts so far (0 while queued). A value
+	// above 1 means the job was retried after transient failures.
+	Attempts int `json:"attempts,omitempty"`
+	// Recovered marks a job restored from the durable journal after a
+	// daemon restart.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // Terminal reports whether the status is final.
 func (s JobStatus) Terminal() bool {
 	switch s.State {
-	case StateDone, StateFailed, StateCanceled:
+	case StateDone, StateFailed, StateCanceled, StateQuarantined:
 		return true
 	}
 	return false
@@ -231,13 +240,16 @@ func (s JobStatus) Terminal() bool {
 
 // Event is one entry of a job's SSE stream (/v1/jobs/{id}/events). Type
 // selects which payload field is set: "state" events mark lifecycle
-// transitions, "epoch" events carry per-epoch progress, and the final
-// "result" or "error" event carries the terminal JobStatus.
+// transitions, "epoch" events carry per-epoch progress, "retry" events
+// mark a failed attempt that will be re-executed (after a retry the epoch
+// stream restarts from epoch 0 — consumers should key on Epoch.Epoch, not
+// event count), and the final "result" or "error" event carries the
+// terminal JobStatus.
 type Event struct {
 	// Seq is the event's position in the job's stream, used as the SSE id
 	// so clients can resume.
 	Seq int `json:"seq"`
-	// Type is state|epoch|result|error.
+	// Type is state|epoch|retry|result|error.
 	Type string `json:"type"`
 	// State is the new lifecycle state of a "state" event.
 	State string `json:"state,omitempty"`
@@ -245,6 +257,9 @@ type Event struct {
 	Epoch *obs.EpochRecord `json:"epoch,omitempty"`
 	// Status is the terminal status of a "result" or "error" event.
 	Status *JobStatus `json:"status,omitempty"`
+	// Attempt and Error describe the failed attempt of a "retry" event.
+	Attempt int    `json:"attempt,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // apiError is the JSON error body every non-2xx response carries.

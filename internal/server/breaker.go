@@ -1,0 +1,81 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the failure-rate circuit breaker guarding admission. It
+// watches a sliding window of execution-attempt outcomes; when the window
+// is full and the failure fraction reaches the threshold, the breaker
+// opens for a cooldown: new submissions are shed with 503 (in-flight work
+// keeps draining) and /readyz reports not-ready, so load balancers steer
+// traffic away from a node whose executions are melting down instead of
+// letting it grind every retry budget to quarantine. After the cooldown
+// the breaker closes with a fresh window (a half-open probe is not needed:
+// admission volume is the probe, and a still-broken node re-opens within
+// one window).
+type breaker struct {
+	mu        sync.Mutex
+	window    []bool // ring buffer of outcomes, true = success
+	idx       int
+	filled    int
+	threshold float64
+	cooldown  time.Duration
+	openUntil time.Time
+	trips     int64
+}
+
+// newBreaker builds a breaker over the last size outcomes opening at the
+// given failure fraction. A threshold > 1 can never trip — the documented
+// way to disable the breaker.
+func newBreaker(size int, threshold float64, cooldown time.Duration) *breaker {
+	return &breaker{window: make([]bool, size), threshold: threshold, cooldown: cooldown}
+}
+
+// record adds one attempt outcome and reports whether this outcome tripped
+// the breaker open. Outcomes recorded while open still count: a node that
+// keeps failing while draining re-opens immediately after the cooldown.
+func (b *breaker) record(success bool, now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.window[b.idx] = success
+	b.idx = (b.idx + 1) % len(b.window)
+	if b.filled < len(b.window) {
+		b.filled++
+	}
+	if b.filled < len(b.window) || now.Before(b.openUntil) {
+		return false
+	}
+	failures := 0
+	for _, ok := range b.window {
+		if !ok {
+			failures++
+		}
+	}
+	if float64(failures)/float64(len(b.window)) >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+		b.trips++
+		b.filled, b.idx = 0, 0 // fresh window after the cooldown
+		return true
+	}
+	return false
+}
+
+// open reports whether the breaker is open and, if so, how long until it
+// closes — the Retry-After hint for shed submissions.
+func (b *breaker) open(now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now.Before(b.openUntil) {
+		return true, b.openUntil.Sub(now)
+	}
+	return false, 0
+}
+
+// tripCount returns how many times the breaker has opened.
+func (b *breaker) tripCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripAndCooldown(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := newBreaker(4, 0.5, 10*time.Second)
+	for i := 0; i < 3; i++ {
+		if b.record(false, now) {
+			t.Fatal("tripped before the window filled")
+		}
+	}
+	if open, _ := b.open(now); open {
+		t.Fatal("open before the window filled")
+	}
+	if !b.record(false, now) {
+		t.Fatal("a full window of failures must trip")
+	}
+	open, wait := b.open(now)
+	if !open || wait != 10*time.Second {
+		t.Fatalf("open = %v, wait = %v; want open for 10s", open, wait)
+	}
+	if open, _ := b.open(now.Add(9 * time.Second)); !open {
+		t.Error("closed before the cooldown elapsed")
+	}
+	if open, _ := b.open(now.Add(10 * time.Second)); open {
+		t.Error("still open after the cooldown")
+	}
+
+	// The post-trip window is fresh: it takes another full window to
+	// re-trip, and a failure fraction at the threshold trips again.
+	later := now.Add(11 * time.Second)
+	outcomes := []bool{true, false, true, false} // 2/4 = 0.5 >= threshold
+	tripped := false
+	for _, ok := range outcomes {
+		tripped = b.record(ok, later)
+	}
+	if !tripped {
+		t.Error("failure fraction at the threshold must re-trip")
+	}
+	if got := b.tripCount(); got != 2 {
+		t.Errorf("tripCount = %d, want 2", got)
+	}
+}
+
+func TestBreakerBelowThresholdStaysClosed(t *testing.T) {
+	b := newBreaker(4, 0.5, time.Second)
+	now := time.Unix(1000, 0)
+	outcomes := []bool{true, true, true, false} // 1/4 < 0.5
+	for _, ok := range outcomes {
+		if b.record(ok, now) {
+			t.Fatal("tripped below the threshold")
+		}
+	}
+	if open, _ := b.open(now); open {
+		t.Error("open below the threshold")
+	}
+}
+
+// TestBreakerDisabledByThresholdAboveOne: the documented off switch.
+func TestBreakerDisabledByThresholdAboveOne(t *testing.T) {
+	b := newBreaker(2, 2, time.Second)
+	now := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		if b.record(false, now) {
+			t.Fatal("a threshold above 1 must never trip")
+		}
+	}
+}

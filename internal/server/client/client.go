@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -29,6 +30,59 @@ type Client struct {
 	// for unary calls (streams always use a timeout-free clone, since an
 	// SSE response legitimately outlives any fixed deadline).
 	HTTP *http.Client
+	// Retry governs automatic retry of transiently rejected submissions.
+	// The zero value never retries (single-shot, the historical behavior).
+	Retry RetryPolicy
+}
+
+// RetryPolicy makes Submit retry transient rejections — 429 (rate limit,
+// queue full) and 503 (circuit breaker open, journal hiccup) — honoring
+// the server's Retry-After hint when present and falling back to capped
+// exponential backoff when not.
+type RetryPolicy struct {
+	// Max is the number of retries after the first attempt; 0 disables
+	// retrying entirely.
+	Max int
+	// BaseWait seeds the exponential backoff used when the server sends no
+	// Retry-After (default 500ms). MaxWait caps every wait, including
+	// server-suggested ones, so a pathological hint cannot stall the client
+	// (default 15s).
+	BaseWait time.Duration
+	MaxWait  time.Duration
+}
+
+// wait computes the pre-retry sleep for the given zero-based attempt,
+// preferring the server's hint within the cap.
+func (p RetryPolicy) wait(attempt int, hint time.Duration) time.Duration {
+	base, max := p.BaseWait, p.MaxWait
+	if base <= 0 {
+		base = 500 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 15 * time.Second
+	}
+	w := base << attempt
+	if hint > 0 {
+		w = hint
+	}
+	if w > max || w <= 0 {
+		w = max
+	}
+	return w
+}
+
+// transient reports whether err is a server rejection worth retrying: the
+// shed statuses (429, 503) that signal pressure, not a broken request.
+func transient(err error) (*APIError, bool) {
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		return nil, false
+	}
+	switch ae.StatusCode {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return ae, true
+	}
+	return nil, false
 }
 
 // New returns a client for the server at base.
@@ -99,14 +153,31 @@ func decodeError(resp *http.Response) error {
 }
 
 // Submit posts a job and returns its accepted status (state "queued").
+// Under a non-zero RetryPolicy, transient rejections (429/503) are retried
+// with the server's Retry-After hint; the last rejection is returned when
+// the budget runs out. Submission is safe to retry: a shed request was
+// never accepted (the server journals acceptance before responding 202).
 func (c *Client) Submit(ctx context.Context, req server.JobRequest) (server.JobStatus, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return server.JobStatus{}, err
 	}
 	var st server.JobStatus
-	err = c.do(ctx, http.MethodPost, "/v1/jobs", body, &st)
-	return st, err
+	for attempt := 0; ; attempt++ {
+		err = c.do(ctx, http.MethodPost, "/v1/jobs", body, &st)
+		if err == nil || attempt >= c.Retry.Max {
+			return st, err
+		}
+		ae, ok := transient(err)
+		if !ok {
+			return st, err
+		}
+		select {
+		case <-ctx.Done():
+			return st, err
+		case <-time.After(c.Retry.wait(attempt, ae.RetryAfter)):
+		}
+	}
 }
 
 // Get fetches a job's current status.

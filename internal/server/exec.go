@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -19,14 +20,18 @@ import (
 	"sparseadapt/internal/matrix"
 	"sparseadapt/internal/obs"
 	"sparseadapt/internal/power"
+	"sparseadapt/internal/server/store"
 	"sparseadapt/internal/sim"
 )
 
-// execute runs one dequeued job to a terminal state. The actual simulation
-// goes through the engine as a single content-addressed task, which buys
-// panic-to-error isolation (a panicking run fails its own job, not the
-// worker), the shared result cache (identical requests are served without
-// re-simulating) and engine_* accounting for free.
+// execute runs one dequeued job to a terminal state through the retry
+// state machine: attempt → on failure, journal + backoff + retry → after
+// MaxAttempts, quarantine. Each attempt goes through the engine as a
+// single content-addressed task, which buys panic-to-error isolation (a
+// panicking run — including an injected chaos panic — fails its own
+// attempt, not the worker), the shared result cache (identical requests,
+// and re-executions after a crash, are served without re-simulating) and
+// engine_* accounting for free.
 func (s *Server) execute(j *job) {
 	s.met.queueWait.Observe(time.Since(j.created).Seconds())
 	timeout := s.cfg.JobTimeout
@@ -35,32 +40,92 @@ func (s *Server) execute(j *job) {
 			timeout = d
 		}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	if !j.start(cancel, time.Now()) {
-		return // canceled while queued; requestCancel already finalized it
-	}
 	s.met.inflight.Add(1)
 	defer s.met.inflight.Add(-1)
 
 	begin := time.Now()
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		attempt := j.start(cancel, time.Now())
+		if attempt == 0 {
+			cancel()
+			return // canceled while queued; requestCancel already finalized it
+		}
+		// Best-effort: a lost running-record only means recovery re-runs an
+		// attempt that never reported back — exactly what it would do anyway.
+		s.journal(store.Record{Type: store.RecRunning, JobID: j.id, Attempt: attempt}) //nolint:errcheck
+
+		res, hit, err := s.attempt(ctx, j, attempt)
+		cancel()
+
+		if err == nil {
+			s.noteAttempt(true)
+			sec := time.Since(begin).Seconds()
+			s.met.jobDuration.Observe(sec)
+			s.noteJobDuration(sec)
+			s.finishJob(j, res, hit, nil, false)
+			return
+		}
+
+		// Client cancellations and deadline expiries are not transient: the
+		// job is done as far as the requester is concerned. Only execution
+		// failures feed the breaker and the retry loop.
+		if j.cancelRequested() || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.met.jobDuration.Observe(time.Since(begin).Seconds())
+			s.finishJob(j, nil, false, err, false)
+			return
+		}
+
+		s.noteAttempt(false)
+		if attempt >= s.cfg.MaxAttempts {
+			s.met.jobDuration.Observe(time.Since(begin).Seconds())
+			s.finishJob(j, nil, false,
+				fmt.Errorf("quarantined after %d failed attempts, last: %w", attempt, err), true)
+			return
+		}
+		s.met.retries.Inc()
+		j.retry(attempt, err)
+		s.journal(store.Record{Type: store.RecAttemptFailed, JobID: j.id, Attempt: attempt, Error: err.Error()}) //nolint:errcheck // best-effort
+		if !j.sleep(backoffDelay(s.cfg.RetryBaseDelay, s.cfg.RetryMaxDelay, j.id, attempt)) {
+			// Canceled during the backoff sleep.
+			s.met.jobDuration.Observe(time.Since(begin).Seconds())
+			s.finishJob(j, nil, false, fmt.Errorf("canceled during retry backoff (last error: %v)", err), false)
+			return
+		}
+	}
+}
+
+// attempt performs one execution attempt: chaos exec-panic gate, engine
+// map, cache-trace replay for subscribers, and post-success cache
+// corruption when chaos demands it.
+func (s *Server) attempt(ctx context.Context, j *job, attempt int) (*JobResult, bool, error) {
+	if s.cfg.Chaos.ExecPanic(j.id, attempt) {
+		// Route the injected panic through the engine's panic-to-error
+		// isolation under a per-(job, attempt) key, so the chaos failure
+		// exercises the real recovery path but can never be masked by — or
+		// leak into — the shared result cache.
+		_, err := engine.Map(ctx, s.eng, []engine.Task[struct{}]{{
+			Key: engine.NewHasher("chaos-panic/v1").Str(j.id).Int(attempt).Sum(),
+			Compute: func(ctx context.Context) (struct{}, error) {
+				panic(fmt.Sprintf("chaos: injected exec panic (job %s attempt %d)", j.id, attempt))
+			},
+		}})
+		if err == nil {
+			err = fmt.Errorf("chaos: injected exec panic (job %s attempt %d)", j.id, attempt)
+		}
+		return nil, false, err
+	}
+	key := jobKey(j.req)
 	computed := false
 	res, err := engine.Map(ctx, s.eng, []engine.Task[JobResult]{{
-		Key: jobKey(j.req),
+		Key: key,
 		Compute: func(ctx context.Context) (JobResult, error) {
 			computed = true
-			return s.runJob(ctx, j)
+			return s.runJob(ctx, j, attempt)
 		},
 	}})
-	s.met.jobDuration.Observe(time.Since(begin).Seconds())
 	if err != nil {
-		j.finish(nil, false, err, time.Now())
-		if j.status().State == StateCanceled {
-			s.met.canceled.Inc()
-		} else {
-			s.met.failed.Inc()
-		}
-		return
+		return nil, false, err
 	}
 	r := res[0]
 	hit := !computed
@@ -72,8 +137,61 @@ func (s *Server) execute(j *job) {
 			j.epoch(rec)
 		}
 	}
-	j.finish(&r, hit, nil, time.Now())
-	s.met.completed.Inc()
+	if computed && s.cfg.Chaos.CorruptCache(j.id) {
+		s.corruptCacheEntry(key)
+	}
+	return &r, hit, nil
+}
+
+// finishJob finalizes the job, bumps the terminal-state metric, and
+// journals the terminal record.
+func (s *Server) finishJob(j *job, res *JobResult, hit bool, err error, quarantine bool) {
+	j.finish(res, hit, err, quarantine, time.Now())
+	st := j.status()
+	switch st.State {
+	case StateDone:
+		s.met.completed.Inc()
+	case StateCanceled:
+		s.met.canceled.Inc()
+	case StateQuarantined:
+		s.met.quarantined.Inc()
+	default:
+		s.met.failed.Inc()
+	}
+	s.journalTerminal(st)
+}
+
+// noteAttempt feeds one execution-attempt outcome to the circuit breaker
+// and maintains the breaker gauge/trip counter.
+func (s *Server) noteAttempt(success bool) {
+	now := time.Now()
+	if s.brk.record(success, now) {
+		s.met.breakerTrips.Inc()
+	}
+	if open, _ := s.brk.open(now); open {
+		s.met.brkOpen.Set(1)
+	} else {
+		s.met.brkOpen.Set(0)
+	}
+}
+
+// corruptCacheEntry is the chaos cache-corruption fault: flip bytes in the
+// job's on-disk cache entry and evict the memory-tier copy, so the next
+// identical request must take the checksum-verified disk read — which
+// detects the damage, discards the entry and recomputes. The injected
+// fault therefore costs work, never correctness; the soak test relies on
+// that.
+func (s *Server) corruptCacheEntry(key engine.Key) {
+	cache := s.eng.Cache()
+	if cache == nil {
+		return
+	}
+	path := cache.DiskPath(key)
+	if path == "" {
+		return
+	}
+	fault.CorruptFile(path, 0xA5, 4) //nolint:errcheck // the entry may not exist; chaos is best-effort
+	cache.DropMemory(key)
 }
 
 // jobKey content-addresses a request: every field that determines the
@@ -91,11 +209,32 @@ func jobKey(r JobRequest) engine.Key {
 		Int(r.Count, counters).Sum()
 }
 
+// chaosEpochEmitter wraps the job's epoch emitter with the mid-epoch kill
+// fault: when chaos schedules a kill for this attempt, the Nth epoch event
+// panics from inside the compute function — the closest a simulation gets
+// to dying mid-run — which the engine's isolation converts into an attempt
+// failure for the retry loop to absorb.
+func (s *Server) chaosEpochEmitter(j *job, attempt int) func(obs.EpochRecord) {
+	kill, ok := s.cfg.Chaos.KillAtEpoch(j.id, attempt)
+	if !ok {
+		return j.epoch
+	}
+	n := 0
+	return func(rec obs.EpochRecord) {
+		n++
+		if n == kill {
+			panic(fmt.Sprintf("chaos: injected mid-epoch kill at epoch %d (job %s attempt %d)", kill, j.id, attempt))
+		}
+		j.epoch(rec)
+	}
+}
+
 // runJob performs the simulation a validated request describes. It is pure
 // with respect to jobKey: identical requests produce identical JobResults
 // (the engine cache depends on this).
-func (s *Server) runJob(ctx context.Context, j *job) (JobResult, error) {
+func (s *Server) runJob(ctx context.Context, j *job, attempt int) (JobResult, error) {
 	req := j.req
+	emit := s.chaosEpochEmitter(j, attempt)
 	sc, err := scaleFor(req.Scale)
 	if err != nil {
 		return JobResult{}, err
@@ -122,7 +261,7 @@ func (s *Server) runJob(ctx context.Context, j *job) (JobResult, error) {
 	// and streamed live to SSE subscribers via the epoch hook. Observers are
 	// single-run — never shared between concurrent jobs.
 	tr := obs.NewTraceRecorder()
-	tr.SetEpochHook(j.epoch)
+	tr.SetEpochHook(emit)
 	observer := core.NewObserver(s.reg, tr)
 	observer.TraceCounters = req.Counters
 
@@ -138,7 +277,7 @@ func (s *Server) runJob(ctx context.Context, j *job) (JobResult, error) {
 		// epoch stream from the device-side log.
 		recs := epochRecords(run, req.Counters)
 		for _, rec := range recs {
-			j.epoch(rec)
+			emit(rec)
 		}
 		return JobResult{Host: hres, Epochs: len(run.Epochs), Reconfigs: run.Reconfig, Trace: recs}, nil
 	}

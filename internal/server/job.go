@@ -9,28 +9,33 @@ import (
 )
 
 // job is the server-side record of one submitted simulation: the request,
-// the lifecycle state machine, the cancellation handle of a running
-// execution and the append-only event log SSE subscribers replay.
+// the lifecycle state machine (including the retry attempt counter), the
+// cancellation handle of a running execution and the append-only event log
+// SSE subscribers replay.
 type job struct {
 	id      string
 	req     JobRequest
 	created time.Time
 
-	mu       sync.Mutex
-	state    string
-	started  time.Time
-	finished time.Time
-	errMsg   string
-	result   *JobResult
-	cacheHit bool
-	cancel   context.CancelFunc // non-nil while running
-	canceled bool               // cancel requested (possibly pre-start)
+	mu        sync.Mutex
+	state     string
+	started   time.Time
+	finished  time.Time
+	errMsg    string
+	result    *JobResult
+	cacheHit  bool
+	attempts  int
+	recovered bool               // restored from the journal after a restart
+	cancel    context.CancelFunc // non-nil while running
+	canceled  bool               // cancel requested (possibly pre-start)
+	cancelCh  chan struct{}      // closed on cancel; wakes backoff sleeps
 
 	events *eventLog
 }
 
 func newJob(id string, req JobRequest, now time.Time) *job {
-	j := &job{id: id, req: req, created: now, state: StateQueued, events: newEventLog()}
+	j := &job{id: id, req: req, created: now, state: StateQueued,
+		cancelCh: make(chan struct{}), events: newEventLog()}
 	j.events.append(Event{Type: "state", State: StateQueued})
 	return j
 }
@@ -47,42 +52,61 @@ func (j *job) statusLocked() JobStatus {
 		ID: j.id, State: j.state, Request: j.req,
 		CreatedAt: j.created, StartedAt: j.started, FinishedAt: j.finished,
 		Error: j.errMsg, Result: j.result, CacheHit: j.cacheHit,
+		Attempts: j.attempts, Recovered: j.recovered,
 	}
 }
 
-// start transitions queued → running and installs the execution's cancel
-// handle. It reports false when the job was canceled while queued, in
-// which case the worker must skip it.
-func (j *job) start(cancel context.CancelFunc, now time.Time) bool {
+// start begins the next execution attempt, transitioning queued → running
+// on the first and installing the attempt's cancel handle. It returns the
+// 1-based attempt number, or 0 when the job was canceled while queued (the
+// worker must skip it). Attempts surviving a daemon restart keep counting
+// from their journaled value — a poison job cannot reset its quarantine
+// budget by crashing the server.
+func (j *job) start(cancel context.CancelFunc, now time.Time) int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.canceled {
-		return false
+		return 0
 	}
-	j.state = StateRunning
-	j.started = now
+	j.attempts++
+	if j.state != StateRunning {
+		j.state = StateRunning
+		j.started = now
+		j.events.append(Event{Type: "state", State: StateRunning})
+	}
 	j.cancel = cancel
-	j.events.append(Event{Type: "state", State: StateRunning})
-	return true
+	return j.attempts
+}
+
+// retry records a failed attempt that will be re-executed.
+func (j *job) retry(attempt int, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancel = nil
+	j.events.append(Event{Type: "retry", Attempt: attempt, Error: err.Error()})
 }
 
 // finish records the terminal state, emits the final event and closes the
-// event stream. A canceled job that raced to completion stays canceled.
-func (j *job) finish(res *JobResult, cacheHit bool, err error, now time.Time) {
+// event stream. A canceled job that raced to completion stays canceled;
+// quarantine marks a job whose retry budget is exhausted.
+func (j *job) finish(res *JobResult, cacheHit bool, err error, quarantine bool, now time.Time) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.finished = now
 	j.cancel = nil
-	if err == nil {
+	switch {
+	case err == nil:
 		j.state = StateDone
 		j.result = res
 		j.cacheHit = cacheHit
-	} else {
-		if j.canceled {
-			j.state = StateCanceled
-		} else {
-			j.state = StateFailed
-		}
+	case j.canceled:
+		j.state = StateCanceled
+		j.errMsg = err.Error()
+	case quarantine:
+		j.state = StateQuarantined
+		j.errMsg = err.Error()
+	default:
+		j.state = StateFailed
 		j.errMsg = err.Error()
 	}
 	st := j.statusLocked()
@@ -100,12 +124,18 @@ func (j *job) requestCancel() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	switch j.state {
-	case StateDone, StateFailed, StateCanceled:
+	case StateDone, StateFailed, StateCanceled, StateQuarantined:
 		return false
 	}
 	j.canceled = true
+	close(j.cancelCh)
 	if j.cancel != nil {
 		j.cancel()
+		return true
+	}
+	if j.state == StateRunning {
+		// Between attempts (backoff sleep): the worker observes cancelCh and
+		// finalizes; nothing to do here.
 		return true
 	}
 	// Still queued: finalize immediately, the worker will skip it.
@@ -116,6 +146,26 @@ func (j *job) requestCancel() bool {
 	j.events.append(Event{Type: "error", Status: &st})
 	j.events.close()
 	return true
+}
+
+// cancelRequested reports whether cancellation has been requested.
+func (j *job) cancelRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canceled
+}
+
+// sleep blocks for d or until the job is canceled, reporting whether the
+// full backoff elapsed (false = canceled, abandon the retry).
+func (j *job) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-j.cancelCh:
+		return false
+	}
 }
 
 // epoch appends one per-epoch progress event.

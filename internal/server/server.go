@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -33,8 +34,10 @@ import (
 	"time"
 
 	"sparseadapt/internal/engine"
+	"sparseadapt/internal/fault"
 	"sparseadapt/internal/matrix"
 	"sparseadapt/internal/obs"
+	"sparseadapt/internal/server/store"
 )
 
 // Config sizes the server. The zero value is usable: every field has a
@@ -62,6 +65,34 @@ type Config struct {
 	// cache (default 512); CacheDir adds a persistent on-disk tier.
 	CacheEntries int
 	CacheDir     string
+	// StoreDir enables the durable job store: a checksummed write-ahead
+	// journal of job lifecycle events under this directory. On boot the
+	// journal is replayed — terminal jobs are resurfaced with their
+	// persisted results, queued and in-flight jobs are re-queued and
+	// re-executed. Empty disables durability (a crash loses non-terminal
+	// jobs, the pre-journal behavior).
+	StoreDir string
+	// MaxAttempts bounds execution attempts per job (default 3). A job
+	// whose every attempt fails is quarantined: terminal state
+	// "quarantined", counted by server_jobs_quarantined_total.
+	MaxAttempts int
+	// RetryBaseDelay and RetryMaxDelay shape the exponential backoff with
+	// deterministic jitter between attempts (defaults 50ms and 2s).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// BreakerWindow, BreakerThreshold and BreakerCooldown configure the
+	// failure-rate circuit breaker: when the failure fraction of the last
+	// BreakerWindow execution attempts reaches BreakerThreshold (default
+	// 0.5 over 20), the server sheds new submissions with 503 and fails
+	// /readyz for BreakerCooldown (default 10s) while in-flight work
+	// drains. A threshold above 1 disables the breaker.
+	BreakerWindow    int
+	BreakerThreshold float64
+	BreakerCooldown  time.Duration
+	// Chaos, when non-nil, injects deterministic service-layer faults
+	// (exec panics, journal write errors, cache corruption, mid-epoch
+	// kills) for resilience testing. Never set in production.
+	Chaos *fault.Chaos
 	// Metrics, when non-nil, receives the server_* family (and the engine_*
 	// family of the execution engine). New creates a private registry when
 	// nil, so /metrics always works.
@@ -90,36 +121,65 @@ func (c *Config) defaults() {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 512
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = 2 * time.Second
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 20
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 0.5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
 }
 
 // serverMetrics is the server_* instrument family (catalog in
 // docs/OBSERVABILITY.md).
 type serverMetrics struct {
-	submitted, completed, failed, canceled  *obs.Counter
-	rejectedQueue, rejectedRate, badRequest *obs.Counter
-	httpRequests                            *obs.Counter
-	queueDepth, inflight, sseClients        *obs.Gauge
-	jobDuration, queueWait, httpDuration    *obs.Histogram
+	submitted, completed, failed, canceled    *obs.Counter
+	quarantined, retries, recovered           *obs.Counter
+	rejectedQueue, rejectedRate, badRequest   *obs.Counter
+	rejectedBreaker, breakerTrips             *obs.Counter
+	journalAppends, journalErrors             *obs.Counter
+	httpRequests                              *obs.Counter
+	queueDepth, inflight, sseClients, brkOpen *obs.Gauge
+	jobDuration, queueWait, httpDuration      *obs.Histogram
 }
 
 var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
 
 func newServerMetrics(r *obs.Registry) serverMetrics {
 	return serverMetrics{
-		submitted:     r.Counter("server_jobs_submitted_total", "jobs accepted into the queue"),
-		completed:     r.Counter("server_jobs_completed_total", "jobs finished successfully"),
-		failed:        r.Counter("server_jobs_failed_total", "jobs finished with an error"),
-		canceled:      r.Counter("server_jobs_canceled_total", "jobs canceled by the client or deadline"),
-		rejectedQueue: r.Counter("server_admission_rejected_total", "submissions rejected because the queue was full"),
-		rejectedRate:  r.Counter("server_ratelimit_rejected_total", "submissions rejected by the per-client rate limit"),
-		badRequest:    r.Counter("server_bad_requests_total", "submissions rejected as malformed (400/413)"),
-		httpRequests:  r.Counter("server_http_requests_total", "HTTP requests served"),
-		queueDepth:    r.Gauge("server_queue_depth", "jobs waiting in the admission queue"),
-		inflight:      r.Gauge("server_jobs_inflight", "jobs currently executing"),
-		sseClients:    r.Gauge("server_sse_clients", "connected event-stream subscribers"),
-		jobDuration:   r.Histogram("server_job_duration_seconds", "job execution wall time", latencyBuckets),
-		queueWait:     r.Histogram("server_job_queue_wait_seconds", "time jobs spend queued before execution", latencyBuckets),
-		httpDuration:  r.Histogram("server_http_request_duration_seconds", "HTTP request latency", latencyBuckets),
+		submitted:       r.Counter("server_jobs_submitted_total", "jobs accepted into the queue"),
+		completed:       r.Counter("server_jobs_completed_total", "jobs finished successfully"),
+		failed:          r.Counter("server_jobs_failed_total", "jobs finished with an error"),
+		canceled:        r.Counter("server_jobs_canceled_total", "jobs canceled by the client or deadline"),
+		quarantined:     r.Counter("server_jobs_quarantined_total", "jobs quarantined after exhausting their retry budget"),
+		retries:         r.Counter("server_job_retries_total", "execution attempts retried after a transient failure"),
+		recovered:       r.Counter("server_jobs_recovered_total", "non-terminal jobs re-queued from the journal at boot"),
+		rejectedQueue:   r.Counter("server_admission_rejected_total", "submissions rejected because the queue was full"),
+		rejectedRate:    r.Counter("server_ratelimit_rejected_total", "submissions rejected by the per-client rate limit"),
+		rejectedBreaker: r.Counter("server_breaker_rejected_total", "submissions shed while the circuit breaker was open"),
+		breakerTrips:    r.Counter("server_breaker_trips_total", "times the failure-rate circuit breaker opened"),
+		journalAppends:  r.Counter("server_journal_appends_total", "records committed to the durable job journal"),
+		journalErrors:   r.Counter("server_journal_errors_total", "journal writes that failed"),
+		badRequest:      r.Counter("server_bad_requests_total", "submissions rejected as malformed (400/413)"),
+		httpRequests:    r.Counter("server_http_requests_total", "HTTP requests served"),
+		queueDepth:      r.Gauge("server_queue_depth", "jobs waiting in the admission queue"),
+		inflight:        r.Gauge("server_jobs_inflight", "jobs currently executing"),
+		sseClients:      r.Gauge("server_sse_clients", "connected event-stream subscribers"),
+		brkOpen:         r.Gauge("server_breaker_open", "1 while the circuit breaker is shedding submissions"),
+		jobDuration:     r.Histogram("server_job_duration_seconds", "job execution wall time", latencyBuckets),
+		queueWait:       r.Histogram("server_job_queue_wait_seconds", "time jobs spend queued before execution", latencyBuckets),
+		httpDuration:    r.Histogram("server_http_request_duration_seconds", "HTTP request latency", latencyBuckets),
 	}
 }
 
@@ -127,12 +187,14 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 // on an http.Server, call Start to launch the worker pool, and Drain on
 // shutdown.
 type Server struct {
-	cfg Config
-	reg *obs.Registry
-	eng *engine.Engine
-	met serverMetrics
-	rl  *rateLimiter
-	mux *http.ServeMux
+	cfg   Config
+	reg   *obs.Registry
+	eng   *engine.Engine
+	met   serverMetrics
+	rl    *rateLimiter
+	brk   *breaker
+	store *store.Store // nil when durability is disabled
+	mux   *http.ServeMux
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -141,13 +203,18 @@ type Server struct {
 	draining bool
 	queue    chan *job
 
-	started atomic.Bool
-	wg      sync.WaitGroup
-	models  modelCache
-	birth   time.Time
+	started   atomic.Bool
+	wg        sync.WaitGroup
+	models    modelCache
+	birth     time.Time
+	recovered int           // non-terminal jobs re-queued at boot
+	avgJobSec atomic.Uint64 // EWMA of job wall time (float64 bits), for Retry-After
 }
 
-// New builds a Server from cfg (zero value = defaults).
+// New builds a Server from cfg (zero value = defaults). With StoreDir set
+// it opens (or creates) the durable job store and recovers: terminal jobs
+// reappear with their persisted results, queued and in-flight jobs are
+// re-queued for execution when Start launches the worker pool.
 func New(cfg Config) (*Server, error) {
 	cfg.defaults()
 	reg := cfg.Metrics
@@ -164,13 +231,46 @@ func New(cfg Config) (*Server, error) {
 		eng:   engine.New(engine.Options{Workers: cfg.Workers, Cache: cache, Metrics: reg}),
 		met:   newServerMetrics(reg),
 		rl:    newRateLimiter(cfg.RatePerSec, cfg.Burst),
+		brk:   newBreaker(cfg.BreakerWindow, cfg.BreakerThreshold, cfg.BreakerCooldown),
 		jobs:  map[string]*job{},
-		queue: make(chan *job, cfg.QueueDepth),
 		birth: time.Now(),
 	}
+	var pending []*job
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		st.FaultHook = cfg.Chaos.JournalFault
+		s.store = st
+		if pending, err = s.recoverFromStore(); err != nil {
+			st.Close() //nolint:errcheck // already failing
+			return nil, err
+		}
+	}
+	// Size the queue so every recovered job fits ahead of new admissions.
+	s.queue = make(chan *job, cfg.QueueDepth+len(pending))
+	for _, j := range pending {
+		s.queue <- j
+		s.met.queueDepth.Add(1)
+		s.met.recovered.Inc()
+	}
+	s.recovered = len(pending)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s, nil
+}
+
+// Recovered returns how many non-terminal jobs the boot recovery re-queued.
+func (s *Server) Recovered() int { return s.recovered }
+
+// Close compacts and closes the durable store. Call after Drain; the
+// server must not execute jobs afterwards.
+func (s *Server) Close() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
 }
 
 // Metrics returns the server's registry (for embedding callers).
@@ -279,15 +379,68 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
-// handleSubmit is POST /v1/jobs: rate limit → parse/validate → admission
-// control → enqueue. The three rejection layers are deliberately ordered
-// cheapest-first.
+// retryAfter sets the Retry-After header to d rounded up to whole seconds
+// (minimum 1, the header's resolution).
+func retryAfter(w http.ResponseWriter, d time.Duration) {
+	sec := int(math.Ceil(d.Seconds()))
+	if sec < 1 {
+		sec = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(sec))
+}
+
+// queueRetryHint estimates how long until a queue slot frees: the current
+// depth draining through the worker pool at the observed average job
+// duration, clamped to [1s, 60s]. Before any job has finished it falls
+// back to 1s.
+func (s *Server) queueRetryHint() time.Duration {
+	avg := math.Float64frombits(s.avgJobSec.Load())
+	depth := float64(s.met.queueDepth.Load())
+	workers := float64(s.cfg.Workers)
+	est := time.Duration(avg * depth / workers * float64(time.Second))
+	if est < time.Second {
+		return time.Second
+	}
+	if est > time.Minute {
+		return time.Minute
+	}
+	return est
+}
+
+// noteJobDuration folds one job wall time into the EWMA behind
+// queueRetryHint.
+func (s *Server) noteJobDuration(sec float64) {
+	for {
+		old := s.avgJobSec.Load()
+		avg := math.Float64frombits(old)
+		if avg == 0 {
+			avg = sec
+		} else {
+			avg = 0.8*avg + 0.2*sec
+		}
+		if s.avgJobSec.CompareAndSwap(old, math.Float64bits(avg)) {
+			return
+		}
+	}
+}
+
+// handleSubmit is POST /v1/jobs: rate limit → circuit breaker →
+// parse/validate → admission control → durable accept → enqueue. The
+// rejection layers are deliberately ordered cheapest-first, and every shed
+// response carries a real Retry-After so well-behaved clients back off by
+// the server's own estimate instead of guessing.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	now := time.Now()
 	if ok, wait := s.rl.allow(clientKey(r.RemoteAddr), now); !ok {
 		s.met.rejectedRate.Inc()
-		w.Header().Set("Retry-After", strconv.Itoa(int(wait.Seconds())+1))
+		retryAfter(w, wait)
 		writeError(w, http.StatusTooManyRequests, "rate limit exceeded, retry in %s", wait.Round(time.Millisecond))
+		return
+	}
+	if open, wait := s.brk.open(now); open {
+		s.met.rejectedBreaker.Inc()
+		retryAfter(w, wait)
+		writeError(w, http.StatusServiceUnavailable, "circuit breaker open (execution failure rate too high), retry in %s", wait.Round(time.Millisecond))
 		return
 	}
 	body, err := readBody(w, r, s.cfg.MaxBodyBytes)
@@ -321,9 +474,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.mu.Unlock()
 		s.met.rejectedQueue.Inc()
-		// The queue holds full jobs; suggest a retry after roughly one
-		// expected job drain at current depth.
-		w.Header().Set("Retry-After", "1")
+		retryAfter(w, s.queueRetryHint())
 		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.cfg.QueueDepth)
 		return
 	}
@@ -331,6 +482,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.order = append(s.order, j.id)
 	s.evictLocked()
 	s.mu.Unlock()
+
+	// Durability point: the job is accepted once (and only once) the
+	// journal record is committed. On journal failure, withdraw the job —
+	// the worker will skip the canceled record — and shed with 503 so the
+	// client knows the submission did not take.
+	if err := s.journalAccept(j); err != nil {
+		j.requestCancel()
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		for i, id := range s.order {
+			if id == j.id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		retryAfter(w, time.Second)
+		writeError(w, http.StatusServiceUnavailable, "journal write failed, job not accepted: %v", err)
+		return
+	}
 
 	s.met.submitted.Inc()
 	s.met.queueDepth.Add(1)
@@ -346,7 +517,9 @@ func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, erro
 
 // evictLocked drops the oldest terminal jobs beyond the retention bound.
 // Live (queued/running) jobs are never evicted, so the map can exceed
-// MaxJobs only by the number of live jobs, which the queue bounds.
+// MaxJobs only by the number of live jobs, which the queue bounds. Evicted
+// jobs are also forgotten by the durable store, keeping the snapshot
+// bounded by the same retention policy.
 func (s *Server) evictLocked() {
 	for len(s.order) > s.cfg.MaxJobs {
 		evicted := false
@@ -354,6 +527,9 @@ func (s *Server) evictLocked() {
 			if j, ok := s.jobs[id]; ok && j.status().Terminal() {
 				delete(s.jobs, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
+				if s.store != nil {
+					s.store.Forget(id)
+				}
 				evicted = true
 				break
 			}
@@ -465,13 +641,29 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	breakerState := "closed"
+	if open, _ := s.brk.open(time.Now()); open {
+		breakerState = "open"
+	}
+	info := map[string]any{
 		"status":         "ok",
 		"uptime_sec":     time.Since(s.birth).Seconds(),
 		"queue_depth":    int(s.met.queueDepth.Load()),
 		"jobs_inflight":  int(s.met.inflight.Load()),
 		"engine_workers": s.eng.Workers(),
-	})
+		"breaker":        breakerState,
+		"breaker_trips":  s.brk.tripCount(),
+		"durable":        s.store != nil,
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		info["jobs_recovered"] = s.recovered
+		info["journal_appends"] = st.Appends
+		info["journal_replayed"] = st.Replayed
+		info["journal_compactions"] = st.Compactions
+		info["journal_truncated_tail"] = st.TruncatedTail
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -481,6 +673,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.Draining() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if open, wait := s.brk.open(time.Now()); open {
+		// An open breaker fails readiness so load balancers steer new work
+		// away while in-flight jobs drain; liveness (healthz) stays ok.
+		retryAfter(w, wait)
+		writeError(w, http.StatusServiceUnavailable, "circuit breaker open for %s", wait.Round(time.Millisecond))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})

@@ -1,0 +1,493 @@
+// Package store is the durability layer of the simulation job server: an
+// append-only, checksummed JSONL write-ahead journal of job lifecycle
+// events plus a periodically compacted snapshot, so a daemon crash (power
+// loss, kill -9, OOM) loses no accepted job. The server journals every
+// transition — accepted → running → attempt-failed → done / failed /
+// canceled / quarantined — with an fsync after each record, and on boot
+// replays snapshot + journal into a fold of per-job states: terminal jobs
+// are resurfaced with their persisted results, non-terminal jobs are
+// re-queued and re-executed (safe, because execution is deterministic per
+// task seed and the content-addressed engine cache makes re-runs cheap).
+//
+// Corruption semantics match what a crash can actually produce: a torn
+// final record (the write that died with the process) is tolerated and
+// truncated away, while a corrupt record in the middle of the journal —
+// which a crash cannot produce, only bit rot or foreign writes can — is a
+// hard error, because silently skipping it could resurrect stale state.
+//
+// The package depends only on the standard library; the server layers its
+// own wire types on top via json.RawMessage payloads, so the store never
+// imports (and cannot cycle with) package server.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Record types, mirroring the job lifecycle. A Snapshot record carries a
+// whole folded JobState and only appears in compacted snapshots.
+const (
+	RecAccepted      = "accepted"
+	RecRunning       = "running"
+	RecAttemptFailed = "attempt_failed"
+	RecDone          = "done"
+	RecFailed        = "failed"
+	RecCanceled      = "canceled"
+	RecQuarantined   = "quarantined"
+	RecSnapshot      = "snapshot"
+)
+
+// Job states as the fold reports them. Queued and Running are the
+// non-terminal states a recovery re-executes.
+const (
+	StateQueued      = "queued"
+	StateRunning     = "running"
+	StateDone        = "done"
+	StateFailed      = "failed"
+	StateCanceled    = "canceled"
+	StateQuarantined = "quarantined"
+)
+
+// Record is one journal entry. Request and Result are opaque payloads
+// owned by the caller (the server stores its wire types there); the store
+// only carries them through replay.
+type Record struct {
+	Seq     int64     `json:"seq"`
+	Time    time.Time `json:"time"`
+	Type    string    `json:"type"`
+	JobID   string    `json:"job,omitempty"`
+	Attempt int       `json:"attempt,omitempty"`
+	Error   string    `json:"error,omitempty"`
+
+	Request  json.RawMessage `json:"request,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	CacheHit bool            `json:"cache_hit,omitempty"`
+
+	// State is the folded job state a Snapshot record carries.
+	State *JobState `json:"state,omitempty"`
+}
+
+// JobState is the fold of one job's records: its latest known lifecycle
+// state plus everything needed to resurface (terminal) or re-execute
+// (non-terminal) it after a restart.
+type JobState struct {
+	ID        string          `json:"id"`
+	State     string          `json:"state"`
+	Attempts  int             `json:"attempts,omitempty"`
+	LastError string          `json:"last_error,omitempty"`
+	Request   json.RawMessage `json:"request,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	CacheHit  bool            `json:"cache_hit,omitempty"`
+	Accepted  time.Time       `json:"accepted"`
+	Finished  time.Time       `json:"finished,omitempty"`
+}
+
+// Terminal reports whether the state needs no further execution.
+func (j JobState) Terminal() bool {
+	switch j.State {
+	case StateDone, StateFailed, StateCanceled, StateQuarantined:
+		return true
+	}
+	return false
+}
+
+// Stats counts the store's activity since Open.
+type Stats struct {
+	// Appends and Compactions count successful operations.
+	Appends, Compactions int64
+	// Replayed counts the records recovered at Open (snapshot + journal).
+	Replayed int64
+	// TruncatedTail reports that Open found and discarded a torn final
+	// record — the expected signature of a crash mid-append.
+	TruncatedTail bool
+}
+
+// ErrCorrupt marks a journal with an invalid record before its final one —
+// damage a crash cannot explain. Callers should refuse to run on it rather
+// than risk resurrecting stale job state.
+var ErrCorrupt = errors.New("store: journal corrupt")
+
+// Store is the durable journal. All methods are safe for concurrent use;
+// Append is serialized internally (one fsync per record, in order).
+type Store struct {
+	dir string
+
+	// CompactEvery triggers automatic compaction after that many appends
+	// (default 4096; set before concurrent use).
+	CompactEvery int
+	// FaultHook, when non-nil, is consulted before every journal write with
+	// the operation name ("append", "compact"); a returned error aborts the
+	// write. It exists for chaos injection and must be set before use.
+	FaultHook func(op string) error
+
+	mu      sync.Mutex
+	f       *os.File
+	nextSeq int64
+	fold    map[string]*JobState
+	order   []string // first-seen acceptance order
+	appends int      // since last compaction
+	stats   Stats
+}
+
+func (s *Store) journalPath() string  { return filepath.Join(s.dir, "journal.jsonl") }
+func (s *Store) snapshotPath() string { return filepath.Join(s.dir, "snapshot.jsonl") }
+
+// Open loads (or creates) the store in dir, replaying snapshot and journal
+// into the in-memory fold and truncating a torn journal tail. A corrupt
+// mid-file record fails with ErrCorrupt.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, CompactEvery: 4096, fold: map[string]*JobState{}}
+
+	for _, path := range []string{s.snapshotPath(), s.journalPath()} {
+		recs, _, truncated, err := readRecords(path)
+		if err != nil {
+			return nil, fmt.Errorf("store: %s: %w", filepath.Base(path), err)
+		}
+		if truncated {
+			s.stats.TruncatedTail = true
+		}
+		for _, rec := range recs {
+			s.apply(rec)
+			if rec.Seq >= s.nextSeq {
+				s.nextSeq = rec.Seq + 1
+			}
+			s.stats.Replayed++
+		}
+	}
+
+	// Re-open the journal for appending, dropping any torn tail first so
+	// new records start on a clean line boundary.
+	_, valid, _, err := readRecords(s.journalPath())
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", filepath.Base(s.journalPath()), err)
+	}
+	f, err := os.OpenFile(s.journalPath(), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s.f = f
+	return s, nil
+}
+
+// Jobs returns every folded job state in acceptance order.
+func (s *Store) Jobs() []JobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobState, 0, len(s.order))
+	for _, id := range s.order {
+		if js, ok := s.fold[id]; ok {
+			out = append(out, *js)
+		}
+	}
+	return out
+}
+
+// Stats returns the store's activity counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Append journals one record: assign sequence number, write, fsync, fold.
+// The record is durable — and only then visible in the fold — when Append
+// returns nil.
+func (s *Store) Append(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errors.New("store: closed")
+	}
+	if s.FaultHook != nil {
+		if err := s.FaultHook("append"); err != nil {
+			return err
+		}
+	}
+	rec.Seq = s.nextSeq
+	if rec.Time.IsZero() {
+		rec.Time = time.Now().UTC()
+	}
+	line, err := encodeLine(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	s.nextSeq++
+	s.apply(rec)
+	s.stats.Appends++
+	s.appends++
+	if s.CompactEvery > 0 && s.appends >= s.CompactEvery {
+		s.compactLocked() //nolint:errcheck // best-effort; journal remains authoritative
+	}
+	return nil
+}
+
+// Forget drops a job from the fold (and, after the next compaction, from
+// disk). The server calls it when evicting old terminal jobs, so the
+// snapshot stays bounded by the server's retention policy.
+func (s *Store) Forget(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.fold[id]; !ok {
+		return
+	}
+	delete(s.fold, id)
+	for i, o := range s.order {
+		if o == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Compact writes the current fold to the snapshot (atomically, via temp
+// file + rename) and truncates the journal. Crash-safe: the journal is only
+// truncated after the snapshot is durable, so a crash between the two
+// replays both — and replaying a snapshot plus the journal that produced it
+// folds to the same state (replay is idempotent).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	if s.f == nil {
+		return errors.New("store: closed")
+	}
+	if s.FaultHook != nil {
+		if err := s.FaultHook("compact"); err != nil {
+			return err
+		}
+	}
+	tmp := s.snapshotPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, id := range s.order {
+		js, ok := s.fold[id]
+		if !ok {
+			continue
+		}
+		state := *js
+		line, err := encodeLine(Record{Seq: s.nextSeq, Time: time.Now().UTC(), Type: RecSnapshot, JobID: id, State: &state})
+		if err == nil {
+			_, err = w.Write(line)
+		}
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		s.nextSeq++
+	}
+	if err := w.Flush(); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(tmp, s.snapshotPath()); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := s.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: compact: truncating journal: %w", err)
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	s.appends = 0
+	s.stats.Compactions++
+	return nil
+}
+
+// Close compacts and releases the journal. The store is unusable after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	cerr := s.compactLocked()
+	err := s.f.Close()
+	s.f = nil
+	if cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// apply folds one record into the per-job state. Caller holds s.mu (or is
+// single-threaded during Open). Unknown record types and records for
+// unknown jobs degrade gracefully: the fold tracks the most conservative
+// consistent state.
+func (s *Store) apply(rec Record) {
+	if rec.Type == RecSnapshot {
+		if rec.State == nil || rec.State.ID == "" {
+			return
+		}
+		st := *rec.State
+		if _, ok := s.fold[st.ID]; !ok {
+			s.order = append(s.order, st.ID)
+		}
+		s.fold[st.ID] = &st
+		return
+	}
+	if rec.JobID == "" {
+		return
+	}
+	js, ok := s.fold[rec.JobID]
+	if !ok {
+		js = &JobState{ID: rec.JobID, State: StateQueued, Accepted: rec.Time}
+		s.fold[rec.JobID] = js
+		s.order = append(s.order, rec.JobID)
+	}
+	switch rec.Type {
+	case RecAccepted:
+		js.State = StateQueued
+		js.Request = rec.Request
+		js.Accepted = rec.Time
+	case RecRunning:
+		js.State = StateRunning
+		js.Attempts = rec.Attempt
+	case RecAttemptFailed:
+		// The attempt failed but the job is still live: it will be retried
+		// (or quarantined, which writes its own record).
+		js.State = StateQueued
+		js.Attempts = rec.Attempt
+		js.LastError = rec.Error
+	case RecDone:
+		js.State = StateDone
+		js.Result = rec.Result
+		js.CacheHit = rec.CacheHit
+		js.LastError = ""
+		js.Finished = rec.Time
+	case RecFailed, RecCanceled, RecQuarantined:
+		js.State = map[string]string{
+			RecFailed:      StateFailed,
+			RecCanceled:    StateCanceled,
+			RecQuarantined: StateQuarantined,
+		}[rec.Type]
+		js.LastError = rec.Error
+		js.Finished = rec.Time
+	}
+}
+
+// journalLine frames one record on disk: the record JSON plus a CRC-32C of
+// exactly those bytes. A record is valid iff its line parses and the
+// checksum matches — anything else is a torn or corrupted write.
+type journalLine struct {
+	Sum string          `json:"sum"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func encodeLine(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding record: %w", err)
+	}
+	line, err := json.Marshal(journalLine{
+		Sum: fmt.Sprintf("%08x", crc32.Checksum(payload, crcTable)),
+		Rec: payload,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding line: %w", err)
+	}
+	return append(line, '\n'), nil
+}
+
+func decodeLine(data []byte) (Record, error) {
+	var jl journalLine
+	if err := json.Unmarshal(data, &jl); err != nil {
+		return Record{}, err
+	}
+	if got := fmt.Sprintf("%08x", crc32.Checksum(jl.Rec, crcTable)); got != jl.Sum {
+		return Record{}, fmt.Errorf("checksum mismatch (%s != %s)", got, jl.Sum)
+	}
+	var rec Record
+	if err := json.Unmarshal(jl.Rec, &rec); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// readRecords parses a journal file. It returns the valid records, the
+// byte offset up to which the file is valid, and whether an invalid final
+// record was tolerated as a torn tail. An invalid record that is not the
+// last one fails with ErrCorrupt.
+func readRecords(path string) (recs []Record, valid int64, truncated bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, false, nil
+		}
+		return nil, 0, false, err
+	}
+	offset := int64(0)
+	for len(data) > 0 {
+		line := data
+		rest := []byte(nil)
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, rest = data[:i], data[i+1:]
+		}
+		consumed := int64(len(line))
+		if rest != nil {
+			consumed++ // the newline
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			offset += consumed
+			data = rest
+			continue
+		}
+		rec, derr := decodeLine(line)
+		if derr != nil {
+			// A bad record is only tolerable as the file's torn tail: no
+			// complete (newline-terminated) valid record may follow it.
+			if rest == nil || len(bytes.TrimSpace(rest)) == 0 {
+				return recs, offset, true, nil
+			}
+			return nil, 0, false, fmt.Errorf("%w: record %d: %v", ErrCorrupt, len(recs), derr)
+		}
+		recs = append(recs, rec)
+		offset += consumed
+		data = rest
+	}
+	return recs, offset, false, nil
+}

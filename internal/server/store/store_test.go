@@ -1,0 +1,270 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustAppend(t *testing.T, s *Store, rec Record) {
+	t.Helper()
+	if err := s.Append(rec); err != nil {
+		t.Fatalf("append %+v: %v", rec, err)
+	}
+}
+
+// lifecycle journals a full accepted→running→done sequence for id.
+func lifecycle(t *testing.T, s *Store, id string, result string) {
+	t.Helper()
+	mustAppend(t, s, Record{Type: RecAccepted, JobID: id, Request: json.RawMessage(`{"mode":"static"}`)})
+	mustAppend(t, s, Record{Type: RecRunning, JobID: id, Attempt: 1})
+	mustAppend(t, s, Record{Type: RecDone, JobID: id, Result: json.RawMessage(result)})
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifecycle(t, s, "job-000001", `{"epochs":4}`)
+	mustAppend(t, s, Record{Type: RecAccepted, JobID: "job-000002", Request: json.RawMessage(`{"mode":"adaptive"}`)})
+	mustAppend(t, s, Record{Type: RecRunning, JobID: "job-000002", Attempt: 1})
+	mustAppend(t, s, Record{Type: RecAttemptFailed, JobID: "job-000002", Attempt: 1, Error: "boom"})
+	want := s.Jobs()
+
+	// Reopen without Close — the crash path — and compare the fold.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s2.Jobs()
+	if !reflect.DeepEqual(normalize(got), normalize(want)) {
+		t.Errorf("replayed fold differs:\n got %+v\nwant %+v", got, want)
+	}
+	if len(got) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(got))
+	}
+	if got[0].State != StateDone || string(got[0].Result) != `{"epochs":4}` {
+		t.Errorf("job 1 = %+v, want done with result", got[0])
+	}
+	if got[1].State != StateQueued || got[1].Attempts != 1 || got[1].LastError != "boom" {
+		t.Errorf("job 2 = %+v, want queued attempt 1 after failure", got[1])
+	}
+	if got[1].Terminal() {
+		t.Error("a retrying job must not be terminal")
+	}
+}
+
+// normalize zeroes timestamps, which legitimately differ between the
+// original fold (append times) and a replayed one only in monotonic parts.
+func normalize(jobs []JobState) []JobState {
+	out := make([]JobState, len(jobs))
+	for i, j := range jobs {
+		j.Accepted = time.Time{}
+		j.Finished = time.Time{}
+		out[i] = j
+	}
+	return out
+}
+
+// TestTruncatedTailTolerated cuts the journal mid-way through its final
+// record — what a crash during an append leaves behind — and checks Open
+// recovers every complete record, reports the truncation, and appends
+// cleanly afterwards.
+func TestTruncatedTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifecycle(t, s, "job-000001", `{}`)
+	mustAppend(t, s, Record{Type: RecAccepted, JobID: "job-000002"})
+	path := s.journalPath()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the final record in half (drop its newline and tail bytes).
+	lines := strings.SplitAfter(strings.TrimSuffix(string(data), "\n"), "\n")
+	last := lines[len(lines)-1]
+	torn := strings.Join(lines[:len(lines)-1], "") + last[:len(last)/2]
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	if !s2.Stats().TruncatedTail {
+		t.Error("stats must report the truncated tail")
+	}
+	jobs := s2.Jobs()
+	if len(jobs) != 1 || jobs[0].ID != "job-000001" {
+		t.Fatalf("jobs after torn tail = %+v, want only job-000001", jobs)
+	}
+	// The torn bytes are gone: appending and reopening must succeed.
+	mustAppend(t, s2, Record{Type: RecAccepted, JobID: "job-000003"})
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.Jobs(); len(got) != 2 || got[1].ID != "job-000003" {
+		t.Errorf("jobs after post-truncation append = %+v", got)
+	}
+}
+
+// TestCorruptMidFileRejected flips bytes in a record that is NOT the last
+// one. That damage pattern cannot come from a crash, so Open must refuse
+// rather than silently drop state.
+func TestCorruptMidFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"job-000001", "job-000002", "job-000003"} {
+		lifecycle(t, s, id, `{}`)
+	}
+	path := s.journalPath()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	mid := len(lines) / 2
+	lines[mid] = strings.Replace(lines[mid], `"type"`, `"tXpe"`, 1)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open with mid-file corruption = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestReplayIdempotence opens the same store twice without writes and once
+// more after a compaction: all three folds must be identical. Replaying a
+// snapshot plus the journal that produced it is the same as replaying once.
+func TestReplayIdempotence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifecycle(t, s, "job-000001", `{"epochs":7}`)
+	mustAppend(t, s, Record{Type: RecAccepted, JobID: "job-000002"})
+	mustAppend(t, s, Record{Type: RecQuarantined, JobID: "job-000002", Error: "poisoned"})
+
+	first, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Jobs(), second.Jobs()) {
+		t.Error("two replays of the same files disagree")
+	}
+	// Compact (snapshot + empty journal) and replay again.
+	if err := second.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	third, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(first.Jobs()), normalize(third.Jobs())) {
+		t.Errorf("post-compaction replay differs:\n got %+v\nwant %+v", third.Jobs(), first.Jobs())
+	}
+	if third.Jobs()[1].State != StateQuarantined {
+		t.Errorf("job 2 state = %s, want quarantined", third.Jobs()[1].State)
+	}
+}
+
+// TestAutoCompaction checks the journal is folded into the snapshot once
+// CompactEvery appends accumulate, and that nothing is lost across it.
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CompactEvery = 6
+	for _, id := range []string{"job-000001", "job-000002", "job-000003"} {
+		lifecycle(t, s, id, `{}`)
+	}
+	if got := s.Stats().Compactions; got == 0 {
+		t.Fatal("no compaction after 9 appends with CompactEvery=6")
+	}
+	info, err := os.Stat(filepath.Join(dir, "snapshot.jsonl"))
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("snapshot missing or empty: %v", err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Jobs(); len(got) != 3 || got[2].State != StateDone {
+		t.Errorf("jobs after compaction replay = %+v", got)
+	}
+}
+
+// TestForgetDropsAfterCompaction mirrors the server's retention eviction.
+func TestForgetDropsAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifecycle(t, s, "job-000001", `{}`)
+	lifecycle(t, s, "job-000002", `{}`)
+	s.Forget("job-000001")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Jobs(); len(got) != 1 || got[0].ID != "job-000002" {
+		t.Errorf("jobs after forget+close = %+v, want only job-000002", got)
+	}
+}
+
+// TestFaultHookBlocksAppends proves a failing journal write reports the
+// error to the caller and leaves the fold untouched (no phantom jobs).
+func TestFaultHookBlocksAppends(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("chaos: injected journal write error")
+	s.FaultHook = func(op string) error { return injected }
+	if err := s.Append(Record{Type: RecAccepted, JobID: "job-000001"}); !errors.Is(err, injected) {
+		t.Fatalf("append under fault = %v, want injected error", err)
+	}
+	if len(s.Jobs()) != 0 {
+		t.Error("failed append must not enter the fold")
+	}
+}
+
+// TestAppendAfterClose fails loudly instead of journaling into the void.
+func TestAppendAfterClose(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Record{Type: RecAccepted, JobID: "x"}); err == nil {
+		t.Fatal("append after close must error")
+	}
+}
