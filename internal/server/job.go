@@ -119,13 +119,18 @@ func (j *job) finish(res *JobResult, cacheHit bool, err error, quarantine bool, 
 }
 
 // requestCancel marks the job canceled and cancels a running execution.
-// Returns false when the job is already terminal.
+// Returns false when the job is already terminal. Idempotent: a repeated
+// cancel (client retry, or Drain's cancel-all racing a client DELETE) is
+// acknowledged without re-closing cancelCh.
 func (j *job) requestCancel() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	switch j.state {
 	case StateDone, StateFailed, StateCanceled, StateQuarantined:
 		return false
+	}
+	if j.canceled {
+		return true
 	}
 	j.canceled = true
 	close(j.cancelCh)

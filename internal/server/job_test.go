@@ -1,0 +1,79 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sparseadapt/internal/fault"
+)
+
+// TestRequestCancelIdempotent repeats a cancel against a running job — the
+// shape of a client retrying DELETE, or Drain's deadline cancel-all racing
+// a client cancel. A running job stays StateRunning after the first
+// cancel, so a non-idempotent close of cancelCh would panic here.
+func TestRequestCancelIdempotent(t *testing.T) {
+	j := newJob("job-000001", JobRequest{}, time.Now())
+	if got := j.start(func() {}, time.Now()); got != 1 {
+		t.Fatalf("start = attempt %d, want 1", got)
+	}
+	if !j.requestCancel() {
+		t.Fatal("first cancel of a running job must be acknowledged")
+	}
+	if !j.requestCancel() {
+		t.Fatal("second cancel of a still-running job must be acknowledged")
+	}
+	// Once the worker finalizes the job, further cancels report terminal.
+	j.finish(nil, false, context.Canceled, false, time.Now())
+	if j.requestCancel() {
+		t.Error("cancel of a terminal job must report false")
+	}
+}
+
+// TestJournalFailureKeepsQueueConsistent submits against a live worker
+// pool whose journal rejects every write. The job must never reach the
+// queue: no worker may dequeue it (running a job the client was told was
+// not accepted) and the queue-depth gauge must stay balanced at zero
+// rather than going negative from an unmatched decrement.
+func TestJournalFailureKeepsQueueConsistent(t *testing.T) {
+	s, err := New(Config{
+		Workers:  2,
+		StoreDir: t.TempDir(),
+		Chaos:    fault.NewChaos(fault.ChaosSpec{JournalErr: 1, Seed: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx) //nolint:errcheck // test teardown
+	}()
+
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(`{"matrix":"R04"}`))
+	s.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit with broken journal = %d, want 503", rr.Code)
+	}
+
+	// Give a worker a moment to (incorrectly) pick the job up if it was
+	// ever enqueued, then check nothing moved.
+	time.Sleep(50 * time.Millisecond)
+	if n := len(s.queue); n != 0 {
+		t.Errorf("withdrawn job left %d entries in the queue", n)
+	}
+	if got := s.met.queueDepth.Load(); got != 0 {
+		t.Errorf("server_queue_depth = %v after withdrawn submission, want 0", got)
+	}
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	if jobs != 0 {
+		t.Errorf("withdrawn job still tracked (%d jobs)", jobs)
+	}
+}

@@ -202,6 +202,7 @@ type Server struct {
 	nextID   int64
 	draining bool
 	queue    chan *job
+	reserved int // queue slots held by submissions still journaling
 
 	started   atomic.Bool
 	wg        sync.WaitGroup
@@ -467,29 +468,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	s.nextID++
-	j := newJob(fmt.Sprintf("job-%06d", s.nextID), req, now)
-	select {
-	case s.queue <- j:
-	default:
+	// Admission control counts enqueued jobs plus slots reserved by
+	// submissions still committing their acceptance record, so the
+	// post-journal enqueue below can never block or overflow the channel.
+	if len(s.queue)+s.reserved >= cap(s.queue) {
 		s.mu.Unlock()
 		s.met.rejectedQueue.Inc()
 		retryAfter(w, s.queueRetryHint())
 		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.cfg.QueueDepth)
 		return
 	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("job-%06d", s.nextID), req, now)
+	s.reserved++
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.evictLocked()
 	s.mu.Unlock()
 
 	// Durability point: the job is accepted once (and only once) the
-	// journal record is committed. On journal failure, withdraw the job —
-	// the worker will skip the canceled record — and shed with 503 so the
-	// client knows the submission did not take.
+	// journal record is committed, and only then enqueued — a worker can
+	// never dequeue (let alone run) a job whose acceptance failed. On
+	// journal failure, withdraw the job and shed with 503 so the client
+	// knows the submission did not take.
 	if err := s.journalAccept(j); err != nil {
 		j.requestCancel()
 		s.mu.Lock()
+		s.reserved--
 		delete(s.jobs, j.id)
 		for i, id := range s.order {
 			if id == j.id {
@@ -503,8 +508,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.met.submitted.Inc()
+	s.mu.Lock()
+	s.reserved--
+	if s.draining {
+		// Drain closed the queue while the acceptance record was
+		// committing. Cancel the job — journaling the terminal record so
+		// the next boot does not resurrect it — and shed the submission.
+		s.mu.Unlock()
+		j.requestCancel()
+		s.journalTerminal(j.status())
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.queue <- j // cannot block: the reservation held this slot
 	s.met.queueDepth.Add(1)
+	s.mu.Unlock()
+
+	s.met.submitted.Inc()
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 

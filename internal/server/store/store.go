@@ -14,6 +14,9 @@
 // truncated away, while a corrupt record in the middle of the journal —
 // which a crash cannot produce, only bit rot or foreign writes can — is a
 // hard error, because silently skipping it could resurrect stale state.
+// Snapshots are written whole (temp file + fsync + rename + directory
+// fsync) and never appended to, so there the tolerance is zero: any
+// invalid snapshot record is a hard error.
 //
 // The package depends only on the standard library; the server layers its
 // own wire types on top via json.RawMessage payloads, so the store never
@@ -144,21 +147,32 @@ func (s *Store) snapshotPath() string { return filepath.Join(s.dir, "snapshot.js
 
 // Open loads (or creates) the store in dir, replaying snapshot and journal
 // into the in-memory fold and truncating a torn journal tail. A corrupt
-// mid-file record fails with ErrCorrupt.
+// mid-file journal record — or any invalid snapshot record, since
+// snapshots are written whole and can have no torn tail — fails with
+// ErrCorrupt.
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{dir: dir, CompactEvery: 4096, fold: map[string]*JobState{}}
 
-	for _, path := range []string{s.snapshotPath(), s.journalPath()} {
-		recs, _, truncated, err := readRecords(path)
-		if err != nil {
-			return nil, fmt.Errorf("store: %s: %w", filepath.Base(path), err)
-		}
-		if truncated {
-			s.stats.TruncatedTail = true
-		}
+	// Snapshots are produced atomically (temp file + rename) and never
+	// appended to, so an invalid record anywhere in one is real corruption
+	// (or a failed compaction), never a tolerable crash artifact.
+	snapRecs, _, _, err := readRecords(s.snapshotPath(), false)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", filepath.Base(s.snapshotPath()), err)
+	}
+	// The journal is append-only: a torn final record is the expected
+	// signature of a crash mid-append and is tolerated, then truncated
+	// away below. The same parse yields the valid byte offset, so the file
+	// is read exactly once.
+	jourRecs, valid, truncated, err := readRecords(s.journalPath(), true)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", filepath.Base(s.journalPath()), err)
+	}
+	s.stats.TruncatedTail = truncated
+	for _, recs := range [][]Record{snapRecs, jourRecs} {
 		for _, rec := range recs {
 			s.apply(rec)
 			if rec.Seq >= s.nextSeq {
@@ -170,10 +184,6 @@ func Open(dir string) (*Store, error) {
 
 	// Re-open the journal for appending, dropping any torn tail first so
 	// new records start on a clean line boundary.
-	_, valid, _, err := readRecords(s.journalPath())
-	if err != nil {
-		return nil, fmt.Errorf("store: %s: %w", filepath.Base(s.journalPath()), err)
-	}
 	f, err := os.OpenFile(s.journalPath(), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -325,6 +335,13 @@ func (s *Store) compactLocked() error {
 		os.Remove(tmp)
 		return fmt.Errorf("store: compact: %w", err)
 	}
+	// The rename itself must be durable before the journal shrinks: without
+	// the directory fsync a crash could persist the truncation (made
+	// durable by the next per-append fsync) while the rename is lost,
+	// dropping snapshot and journal at once.
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("store: compact: syncing dir: %w", err)
+	}
 	if err := s.f.Truncate(0); err != nil {
 		return fmt.Errorf("store: compact: truncating journal: %w", err)
 	}
@@ -448,11 +465,26 @@ func decodeLine(data []byte) (Record, error) {
 	return rec, nil
 }
 
-// readRecords parses a journal file. It returns the valid records, the
+// syncDir fsyncs a directory, making a rename inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// readRecords parses a record file. It returns the valid records, the
 // byte offset up to which the file is valid, and whether an invalid final
-// record was tolerated as a torn tail. An invalid record that is not the
-// last one fails with ErrCorrupt.
-func readRecords(path string) (recs []Record, valid int64, truncated bool, err error) {
+// record was tolerated as a torn tail. With tolerateTail (journals, which
+// a crash can leave mid-append) only the final record may be invalid; an
+// earlier invalid record — or, without tolerateTail (snapshots, written
+// whole), any invalid record at all — fails with ErrCorrupt.
+func readRecords(path string, tolerateTail bool) (recs []Record, valid int64, truncated bool, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -478,9 +510,9 @@ func readRecords(path string) (recs []Record, valid int64, truncated bool, err e
 		}
 		rec, derr := decodeLine(line)
 		if derr != nil {
-			// A bad record is only tolerable as the file's torn tail: no
+			// A bad record is only tolerable as a journal's torn tail: no
 			// complete (newline-terminated) valid record may follow it.
-			if rest == nil || len(bytes.TrimSpace(rest)) == 0 {
+			if tolerateTail && (rest == nil || len(bytes.TrimSpace(rest)) == 0) {
 				return recs, offset, true, nil
 			}
 			return nil, 0, false, fmt.Errorf("%w: record %d: %v", ErrCorrupt, len(recs), derr)

@@ -148,6 +148,38 @@ func TestCorruptMidFileRejected(t *testing.T) {
 	}
 }
 
+// TestSnapshotCorruptionRejected tears the snapshot's final record in
+// half. In the journal that pattern is a tolerable crash artifact, but
+// snapshots are written whole via temp-file + rename and never appended
+// to, so a bad tail there is real corruption (or a failed compaction) and
+// Open must refuse instead of silently dropping the last job's state.
+func TestSnapshotCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifecycle(t, s, "job-000001", `{}`)
+	lifecycle(t, s, "job-000002", `{}`)
+	if err := s.Close(); err != nil { // Close compacts into the snapshot
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "snapshot.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(data), "\n"), "\n")
+	last := lines[len(lines)-1]
+	torn := strings.Join(lines[:len(lines)-1], "") + last[:len(last)/2]
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open with torn snapshot tail = %v, want ErrCorrupt", err)
+	}
+}
+
 // TestReplayIdempotence opens the same store twice without writes and once
 // more after a compaction: all three folds must be identical. Replaying a
 // snapshot plus the journal that produced it is the same as replaying once.
