@@ -18,6 +18,7 @@ import (
 	"sparseadapt/internal/config"
 	"sparseadapt/internal/engine"
 	"sparseadapt/internal/experiments"
+	"sparseadapt/internal/flagcheck"
 	"sparseadapt/internal/kernels"
 	"sparseadapt/internal/matrix"
 	"sparseadapt/internal/obs"
@@ -43,6 +44,12 @@ func main() {
 	if *version {
 		fmt.Println(obs.Version("oracle"))
 		return
+	}
+	var check flagcheck.Check
+	check.Positive("samples", *samples)
+	check.NonNegative("workers", *workers)
+	if err := check.Err(); err != nil {
+		fatal(err)
 	}
 
 	var reg *obs.Registry

@@ -16,6 +16,7 @@ import (
 
 	"sparseadapt/internal/config"
 	"sparseadapt/internal/engine"
+	"sparseadapt/internal/flagcheck"
 	"sparseadapt/internal/obs"
 	"sparseadapt/internal/power"
 	"sparseadapt/internal/trainer"
@@ -41,6 +42,12 @@ func main() {
 	if *version {
 		fmt.Println(obs.Version("traingen"))
 		return
+	}
+	var check flagcheck.Check
+	check.PositiveFloat("scale", *scale)
+	check.NonNegative("workers", *workers)
+	if err := check.Err(); err != nil {
+		fatal(err)
 	}
 
 	var reg *obs.Registry

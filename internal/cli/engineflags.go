@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"sparseadapt/internal/engine"
+	"sparseadapt/internal/flagcheck"
 )
 
 // engineMemEntries bounds the in-memory cache tier for CLI-constructed
@@ -38,6 +39,11 @@ func addEngineFlags(fs *flag.FlagSet) *engineFlags {
 // -trace set), the engine's engine_* metric family and per-task spans feed
 // them.
 func (ef *engineFlags) build(w io.Writer, of *obsFlags) (*engine.Engine, error) {
+	var check flagcheck.Check
+	check.NonNegative("workers", *ef.workers)
+	if err := check.Err(); err != nil {
+		return nil, err
+	}
 	cache, err := engine.NewCache(engineMemEntries, *ef.cacheDir)
 	if err != nil {
 		return nil, err

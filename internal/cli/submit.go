@@ -3,12 +3,14 @@ package cli
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"sparseadapt/internal/flagcheck"
 	"sparseadapt/internal/server"
 	"sparseadapt/internal/server/client"
 )
@@ -38,7 +40,18 @@ func cmdSubmit(ctx context.Context, w io.Writer, args []string) error {
 	jsonOut := fs.Bool("json", false, "print the terminal status as JSON")
 	retries := fs.Int("retries", 3, "retry transiently rejected submissions (429/503) this many times (0 = fail fast)")
 	retryWait := fs.Duration("retry-wait", 500*time.Millisecond, "base backoff between submission retries (server Retry-After overrides)")
+	stall := fs.Duration("stream-stall", time.Minute, "abort the event stream when no bytes (not even keepalives) arrive for this long, then poll (0 = no watchdog)")
+	requestID := fs.String("request-id", "", "X-Request-ID to stamp on the submission (default: server-generated)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var check flagcheck.Check
+	check.NonNegative("retries", *retries)
+	check.PositiveDuration("retry-wait", *retryWait)
+	check.NonNegativeDuration("stream-stall", *stall)
+	check.NonNegative("count", *count)
+	check.NonNegativeDuration("timeout", *timeout)
+	if err := check.Err(); err != nil {
 		return err
 	}
 	req := server.JobRequest{
@@ -63,7 +76,8 @@ func cmdSubmit(ctx context.Context, w io.Writer, args []string) error {
 
 	c := client.New(*serverURL)
 	c.Retry = client.RetryPolicy{Max: *retries, BaseWait: *retryWait}
-	st, err := c.Submit(ctx, req)
+	c.StallTimeout = *stall
+	st, err := c.SubmitWithRequestID(ctx, req, *requestID)
 	if err != nil {
 		return err
 	}
@@ -94,9 +108,11 @@ func cmdSubmit(ctx context.Context, w io.Writer, args []string) error {
 		}
 		return nil
 	})
-	if err != nil {
+	if err != nil && !errors.Is(err, client.ErrStreamStalled) {
 		return err
 	}
+	// A stalled stream degrades to a status poll: the job is still running
+	// server-side, only the event pipe died.
 	if final == nil {
 		if st, gerr := c.Get(ctx, st.ID); gerr == nil {
 			final = &st

@@ -1,0 +1,158 @@
+// Package cluster turns sparseadaptd into a horizontally scalable fleet:
+// a coordinator node fronts the HTTP/JSON API, places jobs on worker
+// nodes via a consistent-hash ring keyed by the content-addressed job
+// fingerprint, forwards their SSE epoch streams, and re-queues in-flight
+// jobs when a worker dies. Workers are ordinary standalone servers plus a
+// peer-cache endpoint: because placement and cache addressing share the
+// same fingerprint key, the worker that owns a job's ring position is
+// exactly the worker whose cache holds any earlier result for it, and a
+// rebalanced key can pull the old owner's entry instead of recomputing.
+// See docs/SERVER.md for the topology and failure matrix.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sparseadapt/internal/engine"
+)
+
+// DefaultRingReplicas is the virtual-node count per worker. 64 vnodes
+// keep the expected load imbalance across a handful of workers within a
+// few percent while the ring stays tiny (a few KB).
+const DefaultRingReplicas = 64
+
+// Ring is a consistent-hash ring mapping content-addressed job
+// fingerprints to node IDs. Each node contributes `replicas` virtual
+// points, hashed from the node ID, so adding or removing one node moves
+// only ~1/n of the key space. Safe for concurrent use.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	nodes    map[string]struct{}
+	points   []ringPoint // sorted ascending by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing returns an empty ring; replicas <= 0 uses DefaultRingReplicas.
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultRingReplicas
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]struct{})}
+}
+
+// vnodeHash places virtual point i of a node: the first 8 bytes of
+// sha256("node#i"), so placement is stable across processes and restarts.
+func vnodeHash(node string, i int) uint64 {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", node, i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyPoint maps a content-addressed key onto the ring. The key is
+// already a sha256 output, so its leading bytes are uniform.
+func keyPoint(k engine.Key) uint64 {
+	return binary.BigEndian.Uint64(k[:8])
+}
+
+// Add inserts a node's virtual points; adding a present node is a no-op.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: vnodeHash(node, i), node: node})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// Remove deletes a node's virtual points; removing an absent node is a
+// no-op.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Nodes returns the member node IDs in sorted order.
+func (r *Ring) Nodes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of member nodes.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// VNodes returns the total virtual point count (nodes × replicas).
+func (r *Ring) VNodes() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.points)
+}
+
+// Owner returns the node owning key k: the first virtual point at or
+// clockwise after the key's ring position. ok is false on an empty ring.
+func (r *Ring) Owner(k engine.Key) (node string, ok bool) {
+	succ := r.Successors(k, 1)
+	if len(succ) == 0 {
+		return "", false
+	}
+	return succ[0], true
+}
+
+// Successors returns up to n distinct nodes in ring order starting at
+// key k's owner — the preference list for placement and peer-cache
+// lookup. Fewer than n are returned when the ring has fewer nodes.
+func (r *Ring) Successors(k engine.Key, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	point := keyPoint(k)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= point })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sparseadapt/internal/engine"
+)
+
+// testKeys derives n distinct content-style keys (sha256 outputs, like
+// real job fingerprints).
+func testKeys(n int) []engine.Key {
+	keys := make([]engine.Key, n)
+	for i := range keys {
+		keys[i] = engine.NewHasher("ring-test/v1").Int(i).Sum()
+	}
+	return keys
+}
+
+// TestRingDeterministicPlacement: the same key maps to the same owner on
+// two independently built rings, regardless of insertion order.
+func TestRingDeterministicPlacement(t *testing.T) {
+	a := NewRing(0)
+	b := NewRing(0)
+	nodes := []string{"w1", "w2", "w3"}
+	for _, n := range nodes {
+		a.Add(n)
+	}
+	for i := range nodes {
+		b.Add(nodes[len(nodes)-1-i]) // reverse order
+	}
+	for _, k := range testKeys(200) {
+		oa, ok := a.Owner(k)
+		if !ok {
+			t.Fatal("owner lookup on populated ring failed")
+		}
+		ob, _ := b.Owner(k)
+		if oa != ob {
+			t.Fatalf("placement depends on insertion order: %s vs %s", oa, ob)
+		}
+	}
+	// Double-add and absent-remove are no-ops.
+	a.Add("w1")
+	a.Remove("nope")
+	if a.Len() != 3 || a.VNodes() != 3*DefaultRingReplicas {
+		t.Errorf("ring has %d nodes / %d vnodes, want 3 / %d", a.Len(), a.VNodes(), 3*DefaultRingReplicas)
+	}
+}
+
+// TestRingOwnerEmptyAndSuccessors covers the edge shapes: empty ring,
+// successor walk longer than the membership, distinctness of the walk.
+func TestRingOwnerEmptyAndSuccessors(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Owner(testKeys(1)[0]); ok {
+		t.Error("empty ring reported an owner")
+	}
+	if succ := r.Successors(testKeys(1)[0], 3); succ != nil {
+		t.Errorf("empty ring successors = %v, want nil", succ)
+	}
+	r.Add("w1")
+	r.Add("w2")
+	for _, k := range testKeys(50) {
+		succ := r.Successors(k, 5)
+		if len(succ) != 2 {
+			t.Fatalf("successors = %v, want both nodes", succ)
+		}
+		if succ[0] == succ[1] {
+			t.Fatalf("successor walk repeated a node: %v", succ)
+		}
+		owner, _ := r.Owner(k)
+		if succ[0] != owner {
+			t.Fatalf("first successor %s is not the owner %s", succ[0], owner)
+		}
+	}
+}
+
+// TestRingMinimalMovement: adding one node to an n-node ring must move
+// roughly 1/(n+1) of the key space and NEVER move a key between two
+// pre-existing nodes; removing it must restore the original placement
+// exactly.
+func TestRingMinimalMovement(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	keys := testKeys(2000)
+	before := make(map[engine.Key]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+
+	r.Add("w-new")
+	moved := 0
+	for _, k := range keys {
+		owner, _ := r.Owner(k)
+		if owner != before[k] {
+			if owner != "w-new" {
+				t.Fatalf("key moved between pre-existing nodes: %s -> %s", before[k], owner)
+			}
+			moved++
+		}
+	}
+	// Expectation is 1/5 of the keys; accept a wide band around it to stay
+	// robust to vnode placement variance.
+	if frac := float64(moved) / float64(len(keys)); frac < 0.08 || frac > 0.35 {
+		t.Errorf("join moved %.1f%% of keys, want roughly 20%%", frac*100)
+	}
+
+	r.Remove("w-new")
+	for _, k := range keys {
+		if owner, _ := r.Owner(k); owner != before[k] {
+			t.Fatalf("leave did not restore placement: %s -> %s", before[k], owner)
+		}
+	}
+}
+
+// TestRingBalance: with vnode replication no worker should own a wildly
+// disproportionate share of the key space.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	const workers = 4
+	for i := 0; i < workers; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	counts := map[string]int{}
+	keys := testKeys(4000)
+	for _, k := range keys {
+		owner, _ := r.Owner(k)
+		counts[owner]++
+	}
+	want := len(keys) / workers
+	for node, got := range counts {
+		if got < want/3 || got > want*3 {
+			t.Errorf("node %s owns %d of %d keys (fair share %d)", node, got, len(keys), want)
+		}
+	}
+}
+
+// TestRingConcurrentRebalance drives lookups concurrently with joins and
+// leaves; run under -race this is the data-race check for the ring, and
+// it asserts lookups never fail while at least one stable node remains.
+func TestRingConcurrentRebalance(t *testing.T) {
+	r := NewRing(16)
+	r.Add("stable")
+	keys := testKeys(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				node := fmt.Sprintf("churn-%d", g)
+				if i%2 == 0 {
+					r.Add(node)
+				} else {
+					r.Remove(node)
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 500; i++ {
+		k := keys[i%len(keys)]
+		if _, ok := r.Owner(k); !ok {
+			t.Error("lookup failed with the stable node present")
+			break
+		}
+		r.Successors(k, 3)
+		r.Nodes()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,321 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"sparseadapt/internal/engine"
+	"sparseadapt/internal/obs"
+	"sparseadapt/internal/server"
+)
+
+// peerFanout is how many ring successors (after this node) a worker asks
+// for a cache entry before computing locally. The owner plus one or two
+// ex-owners cover every realistic rebalance; more just adds miss latency.
+const peerFanout = 3
+
+// WorkerConfig sizes a worker node. ID, Advertise and Coordinator are
+// required; the rest defaults.
+type WorkerConfig struct {
+	// Server configures the local job server (executes jobs for real).
+	Server server.Config
+	// ID is this node's stable identity on the placement ring.
+	ID string
+	// Advertise is the API root peers reach this worker at, e.g.
+	// "http://10.0.0.7:8081" — the address it reports in heartbeats.
+	Advertise string
+	// Coordinator is the coordinator's API root.
+	Coordinator string
+	// HeartbeatInterval is the initial heartbeat cadence (default 1s); the
+	// coordinator's join response may adjust it.
+	HeartbeatInterval time.Duration
+	// PeerTimeout bounds one peer cache fetch (default 2s).
+	PeerTimeout time.Duration
+}
+
+func (c *WorkerConfig) defaults() error {
+	if c.ID == "" {
+		return fmt.Errorf("cluster: worker requires an ID")
+	}
+	if c.Advertise == "" {
+		return fmt.Errorf("cluster: worker requires an advertise address")
+	}
+	if c.Coordinator == "" {
+		return fmt.Errorf("cluster: worker requires a coordinator address")
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 2 * time.Second
+	}
+	return nil
+}
+
+// workerMetrics is the worker's slice of the cluster_* family.
+type workerMetrics struct {
+	peerHits     *obs.Counter
+	peerMisses   *obs.Counter
+	peerRequests *obs.Counter
+	heartbeats   *obs.Counter
+	hbFailures   *obs.Counter
+}
+
+func newWorkerMetrics(r *obs.Registry) workerMetrics {
+	return workerMetrics{
+		peerHits:     r.Counter("cluster_peer_cache_hits_total", "result-cache entries fetched from a peer instead of recomputed"),
+		peerMisses:   r.Counter("cluster_peer_cache_misses_total", "peer cache lookups that found no holder"),
+		peerRequests: r.Counter("cluster_peer_cache_requests_total", "cache entries served to peers over GET /v1/cache/{key}"),
+		heartbeats:   r.Counter("cluster_heartbeats_total", "heartbeats delivered to the coordinator"),
+		hbFailures:   r.Counter("cluster_heartbeat_failures_total", "heartbeats the coordinator did not acknowledge"),
+	}
+}
+
+// Worker is a cluster member: an ordinary job server (the coordinator
+// submits to it over the plain API) plus the peer-cache protocol — it
+// serves its content-addressed result cache to peers on
+// GET /v1/cache/{key} and, before computing a job, asks the ring
+// successors of the job's fingerprint for an existing entry. The ring
+// mirror it consults is refreshed from every heartbeat response.
+type Worker struct {
+	srv *server.Server
+	cfg WorkerConfig
+	met workerMetrics
+
+	mu    sync.Mutex
+	peers map[string]string // live node ID → base URL, self included
+	ring  *Ring
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewWorker builds a worker from cfg. It does not contact the
+// coordinator until Start.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	if cfg.Server.Metrics == nil {
+		cfg.Server.Metrics = obs.NewRegistry()
+	}
+	w := &Worker{
+		cfg:   cfg,
+		met:   newWorkerMetrics(cfg.Server.Metrics),
+		peers: map[string]string{cfg.ID: cfg.Advertise},
+		ring:  NewRing(0),
+		stop:  make(chan struct{}),
+	}
+	w.ring.Add(cfg.ID)
+	cfg.Server.PeerFetch = w.peerFetch
+	srv, err := server.New(cfg.Server)
+	if err != nil {
+		return nil, err
+	}
+	w.srv = srv
+	srv.HandleFunc("GET /v1/cache/{key}", w.handleCacheGet)
+	srv.HandleFunc("GET /v1/cluster", w.handleTopology)
+	return w, nil
+}
+
+// Server returns the underlying job server.
+func (w *Worker) Server() *server.Server { return w.srv }
+
+// Start launches the worker pool and the heartbeat loop.
+func (w *Worker) Start() {
+	w.srv.Start()
+	w.wg.Add(1)
+	go w.heartbeatLoop()
+}
+
+// Drain shuts the job side down like server.Drain and stops the
+// heartbeat loop (the coordinator will declare this worker dead).
+func (w *Worker) Drain(ctx context.Context) error {
+	err := w.srv.Drain(ctx)
+	w.stopOnce.Do(func() { close(w.stop) })
+	w.wg.Wait()
+	return err
+}
+
+// Close closes the durable store. Call after Drain.
+func (w *Worker) Close() error { return w.srv.Close() }
+
+// heartbeatLoop reports to the coordinator every interval, mirroring the
+// membership table from each response. The first beat fires immediately
+// so a fresh worker is placeable within one coordinator sweep.
+func (w *Worker) heartbeatLoop() {
+	defer w.wg.Done()
+	interval := w.cfg.HeartbeatInterval
+	for {
+		if next := w.heartbeat(); next > 0 {
+			interval = next
+		}
+		select {
+		case <-w.stop:
+			return
+		case <-time.After(interval):
+		}
+	}
+}
+
+// heartbeat posts one join/refresh and returns the coordinator's
+// requested cadence (0 on failure).
+func (w *Worker) heartbeat() time.Duration {
+	body, _ := json.Marshal(JoinRequest{ID: w.cfg.ID, Base: w.cfg.Advertise}) //nolint:errcheck // static struct
+	ctx, cancel := context.WithTimeout(context.Background(), w.cfg.PeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+"/v1/cluster/join", bytes.NewReader(body))
+	if err != nil {
+		w.met.hbFailures.Inc()
+		return 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		w.met.hbFailures.Inc()
+		return 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		w.met.hbFailures.Inc()
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16)) //nolint:errcheck // drain for reuse
+		return 0
+	}
+	var jr JoinResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&jr); err != nil {
+		w.met.hbFailures.Inc()
+		return 0
+	}
+	w.met.heartbeats.Inc()
+	w.mirror(jr.Members)
+	return time.Duration(jr.IntervalSec * float64(time.Second))
+}
+
+// mirror rebuilds the worker's peer table and ring from the
+// coordinator's membership view. Only live members are placeable peers.
+func (w *Worker) mirror(members []MemberInfo) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fresh := NewRing(0)
+	peers := make(map[string]string, len(members))
+	for _, m := range members {
+		if !m.Alive {
+			continue
+		}
+		peers[m.ID] = m.Base
+		fresh.Add(m.ID)
+	}
+	// Never lose self: placeability must not depend on the coordinator's
+	// view having caught up with our own registration.
+	if _, ok := peers[w.cfg.ID]; !ok {
+		peers[w.cfg.ID] = w.cfg.Advertise
+		fresh.Add(w.cfg.ID)
+	}
+	w.peers = peers
+	w.ring = fresh
+}
+
+// peerFetch is the server's PeerFetch hook: on a local cache miss it
+// walks the ring successors of the key (the nodes a previous placement
+// of this fingerprint would have computed on), fetches the framed entry
+// and verifies its checksum before handing the payload back for
+// installation. Every failure path just computes locally.
+func (w *Worker) peerFetch(ctx context.Context, key engine.Key) ([]byte, bool) {
+	w.mu.Lock()
+	ring := w.ring
+	peers := w.peers
+	w.mu.Unlock()
+	// +1: the walk may include self, which is skipped below.
+	for _, id := range ring.Successors(key, peerFanout+1) {
+		if id == w.cfg.ID {
+			continue
+		}
+		base, ok := peers[id]
+		if !ok {
+			continue
+		}
+		if payload, ok := w.fetchFrom(ctx, base, key); ok {
+			w.met.peerHits.Inc()
+			return payload, true
+		}
+	}
+	w.met.peerMisses.Inc()
+	return nil, false
+}
+
+// fetchFrom pulls one framed cache entry from a peer and verifies it.
+func (w *Worker) fetchFrom(ctx context.Context, base string, key engine.Key) ([]byte, bool) {
+	ctx, cancel := context.WithTimeout(ctx, w.cfg.PeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/cache/"+key.String(), nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16)) //nolint:errcheck // drain for reuse
+		return nil, false
+	}
+	framed, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, false
+	}
+	// The frame carries its own checksum: a truncated or corrupted
+	// transfer is rejected here, never installed.
+	payload, err := engine.DecodeEntry(framed)
+	if err != nil {
+		return nil, false
+	}
+	return payload, true
+}
+
+// handleCacheGet is GET /v1/cache/{key}: the peer-cache serving side.
+// The entry ships in the engine's checksummed frame so the fetcher can
+// verify integrity end to end.
+func (w *Worker) handleCacheGet(rw http.ResponseWriter, r *http.Request) {
+	raw, err := hex.DecodeString(r.PathValue("key"))
+	if err != nil || len(raw) != len(engine.Key{}) {
+		writeJSONError(rw, http.StatusBadRequest, "malformed cache key %q", r.PathValue("key"))
+		return
+	}
+	var key engine.Key
+	copy(key[:], raw)
+	w.met.peerRequests.Inc()
+	payload, ok := w.srv.Cache().Get(key)
+	if !ok {
+		writeJSONError(rw, http.StatusNotFound, "no entry for %s", key)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Write(engine.EncodeEntry(payload)) //nolint:errcheck // client gone; nothing to do
+}
+
+// handleTopology is GET /v1/cluster on a worker: its mirrored fleet view.
+func (w *Worker) handleTopology(rw http.ResponseWriter, r *http.Request) {
+	w.mu.Lock()
+	peers := make(map[string]string, len(w.peers))
+	for k, v := range w.peers {
+		peers[k] = v
+	}
+	ringNodes := w.ring.Len()
+	w.mu.Unlock()
+	writeJSONStatus(rw, http.StatusOK, map[string]any{
+		"role":       "worker",
+		"id":         w.cfg.ID,
+		"advertise":  w.cfg.Advertise,
+		"ring_nodes": ringNodes,
+		"peers":      peers,
+	})
+}

@@ -1,0 +1,41 @@
+package flagcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckAccumulates(t *testing.T) {
+	var c Check
+	c.Positive("queue", 0)
+	c.NonNegative("workers", -1)
+	c.PositiveInt64("max-body", -5)
+	c.PositiveFloat("scale", 0)
+	c.NonNegativeFloat("rate", -0.5)
+	c.PositiveDuration("job-timeout", 0)
+	c.NonNegativeDuration("timeout", -time.Second)
+	err := c.Err()
+	if err == nil {
+		t.Fatal("all-violations check returned nil")
+	}
+	for _, flag := range []string{"-queue", "-workers", "-max-body", "-scale", "-rate", "-job-timeout", "-timeout"} {
+		if !strings.Contains(err.Error(), flag) {
+			t.Errorf("joined error does not name %s: %v", flag, err)
+		}
+	}
+}
+
+func TestCheckPasses(t *testing.T) {
+	var c Check
+	c.Positive("queue", 64)
+	c.NonNegative("workers", 0)
+	c.PositiveInt64("max-body", 8<<20)
+	c.PositiveFloat("scale", 0.3)
+	c.NonNegativeFloat("rate", 0)
+	c.PositiveDuration("job-timeout", time.Minute)
+	c.NonNegativeDuration("timeout", 0)
+	if err := c.Err(); err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+}

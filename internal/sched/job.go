@@ -1,4 +1,4 @@
-package server
+package sched
 
 import (
 	"context"
@@ -8,14 +8,18 @@ import (
 	"sparseadapt/internal/obs"
 )
 
-// job is the server-side record of one submitted simulation: the request,
-// the lifecycle state machine (including the retry attempt counter), the
-// cancellation handle of a running execution and the append-only event log
-// SSE subscribers replay.
-type job struct {
-	id      string
-	req     JobRequest
-	created time.Time
+// Job is the scheduler-side record of one submitted simulation: the
+// request, the lifecycle state machine (including the retry attempt
+// counter), the cancellation handle of a running execution and the
+// append-only event log SSE subscribers replay. Jobs are created by the
+// Scheduler (Reserve, Restore) and driven by its worker pool; the exported
+// surface is what transports (HTTP server, cluster coordinator) need:
+// status snapshots, cancellation, and event emission/subscription.
+type Job struct {
+	id        string
+	req       JobRequest
+	requestID string
+	created   time.Time
 
 	mu        sync.Mutex
 	state     string
@@ -30,29 +34,42 @@ type job struct {
 	canceled  bool               // cancel requested (possibly pre-start)
 	cancelCh  chan struct{}      // closed on cancel; wakes backoff sleeps
 
-	events *eventLog
+	events *EventLog
 }
 
-func newJob(id string, req JobRequest, now time.Time) *job {
-	j := &job{id: id, req: req, created: now, state: StateQueued,
-		cancelCh: make(chan struct{}), events: newEventLog()}
+func newJob(id string, req JobRequest, requestID string, now time.Time) *Job {
+	j := &Job{id: id, req: req, requestID: requestID, created: now,
+		state: StateQueued, cancelCh: make(chan struct{}),
+		events: newEventLog(requestID)}
 	j.events.append(Event{Type: "state", State: StateQueued})
 	return j
 }
 
-// status snapshots the job under its lock.
-func (j *job) status() JobStatus {
+// ID returns the job's identifier ("job-%06d").
+func (j *Job) ID() string { return j.id }
+
+// RequestID returns the submission's trace identifier (X-Request-ID).
+func (j *Job) RequestID() string { return j.requestID }
+
+// Request returns the validated job request.
+func (j *Job) Request() JobRequest { return j.req }
+
+// Events returns the job's append-only event log for SSE subscribers.
+func (j *Job) Events() *EventLog { return j.events }
+
+// Status snapshots the job under its lock.
+func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.statusLocked()
 }
 
-func (j *job) statusLocked() JobStatus {
+func (j *Job) statusLocked() JobStatus {
 	return JobStatus{
 		ID: j.id, State: j.state, Request: j.req,
 		CreatedAt: j.created, StartedAt: j.started, FinishedAt: j.finished,
-		Error: j.errMsg, Result: j.result, CacheHit: j.cacheHit,
-		Attempts: j.attempts, Recovered: j.recovered,
+		RequestID: j.requestID, Error: j.errMsg, Result: j.result,
+		CacheHit: j.cacheHit, Attempts: j.attempts, Recovered: j.recovered,
 	}
 }
 
@@ -62,7 +79,7 @@ func (j *job) statusLocked() JobStatus {
 // worker must skip it). Attempts surviving a daemon restart keep counting
 // from their journaled value — a poison job cannot reset its quarantine
 // budget by crashing the server.
-func (j *job) start(cancel context.CancelFunc, now time.Time) int {
+func (j *Job) start(cancel context.CancelFunc, now time.Time) int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.canceled {
@@ -79,7 +96,7 @@ func (j *job) start(cancel context.CancelFunc, now time.Time) int {
 }
 
 // retry records a failed attempt that will be re-executed.
-func (j *job) retry(attempt int, err error) {
+func (j *Job) retry(attempt int, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.cancel = nil
@@ -89,7 +106,7 @@ func (j *job) retry(attempt int, err error) {
 // finish records the terminal state, emits the final event and closes the
 // event stream. A canceled job that raced to completion stays canceled;
 // quarantine marks a job whose retry budget is exhausted.
-func (j *job) finish(res *JobResult, cacheHit bool, err error, quarantine bool, now time.Time) {
+func (j *Job) finish(res *JobResult, cacheHit bool, err error, quarantine bool, now time.Time) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.finished = now
@@ -118,11 +135,11 @@ func (j *job) finish(res *JobResult, cacheHit bool, err error, quarantine bool, 
 	j.events.close()
 }
 
-// requestCancel marks the job canceled and cancels a running execution.
+// RequestCancel marks the job canceled and cancels a running execution.
 // Returns false when the job is already terminal. Idempotent: a repeated
 // cancel (client retry, or Drain's cancel-all racing a client DELETE) is
 // acknowledged without re-closing cancelCh.
-func (j *job) requestCancel() bool {
+func (j *Job) RequestCancel() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	switch j.state {
@@ -153,8 +170,8 @@ func (j *job) requestCancel() bool {
 	return true
 }
 
-// cancelRequested reports whether cancellation has been requested.
-func (j *job) cancelRequested() bool {
+// CancelRequested reports whether cancellation has been requested.
+func (j *Job) CancelRequested() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.canceled
@@ -162,7 +179,7 @@ func (j *job) cancelRequested() bool {
 
 // sleep blocks for d or until the job is canceled, reporting whether the
 // full backoff elapsed (false = canceled, abandon the retry).
-func (j *job) sleep(d time.Duration) bool {
+func (j *Job) sleep(d time.Duration) bool {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -173,36 +190,53 @@ func (j *job) sleep(d time.Duration) bool {
 	}
 }
 
-// epoch appends one per-epoch progress event.
-func (j *job) epoch(rec obs.EpochRecord) {
+// Emit appends one per-epoch progress event to the job's stream. Executors
+// call it as epochs complete — whether the run is local (the engine's
+// epoch hook) or remote (a coordinator forwarding a worker's SSE stream).
+func (j *Job) Emit(rec obs.EpochRecord) {
 	r := rec
 	j.events.append(Event{Type: "epoch", Epoch: &r})
 }
 
-// eventLog is a job's append-only event history with broadcast: SSE
+// SetRecovered marks the job as restored from a durable journal with its
+// persisted attempt count. Called before the job is requeued or
+// resurfaced; never after execution has started.
+func (j *Job) SetRecovered(attempts int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.attempts = attempts
+	j.recovered = true
+}
+
+// EventLog is a job's append-only event history with broadcast: SSE
 // subscribers replay from any index and then block on the wake channel,
 // which is closed and replaced on every append, so late subscribers see
 // the full stream and live subscribers wake immediately.
-type eventLog struct {
-	mu     sync.Mutex
-	events []Event
-	done   bool
-	wake   chan struct{}
+type EventLog struct {
+	mu        sync.Mutex
+	requestID string
+	events    []Event
+	done      bool
+	wake      chan struct{}
 }
 
-func newEventLog() *eventLog {
-	return &eventLog{wake: make(chan struct{})}
+func newEventLog(requestID string) *EventLog {
+	return &EventLog{requestID: requestID, wake: make(chan struct{})}
 }
 
-// append assigns the event's sequence number and wakes subscribers.
-// Appending after close is dropped (the stream is sealed).
-func (l *eventLog) append(ev Event) {
+// append assigns the event's sequence number, stamps the job's request ID
+// and wakes subscribers. Appending after close is dropped (the stream is
+// sealed).
+func (l *EventLog) append(ev Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.done {
 		return
 	}
 	ev.Seq = len(l.events)
+	if ev.RequestID == "" {
+		ev.RequestID = l.requestID
+	}
 	l.events = append(l.events, ev)
 	close(l.wake)
 	l.wake = make(chan struct{})
@@ -212,7 +246,7 @@ func (l *eventLog) append(ev Event) {
 // channel is left closed (not replaced) so any subscriber that has drained
 // the log wakes immediately, observes done, and exits instead of blocking
 // on a channel that will never fire again.
-func (l *eventLog) close() {
+func (l *EventLog) close() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.done {
@@ -222,9 +256,9 @@ func (l *eventLog) close() {
 	close(l.wake)
 }
 
-// since returns the events from index from onward, whether the stream is
+// Since returns the events from index from onward, whether the stream is
 // sealed, and the channel that will be closed on the next append/close.
-func (l *eventLog) since(from int) ([]Event, bool, <-chan struct{}) {
+func (l *EventLog) Since(from int) ([]Event, bool, <-chan struct{}) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var evs []Event
@@ -234,10 +268,10 @@ func (l *eventLog) since(from int) ([]Event, bool, <-chan struct{}) {
 	return evs, l.done, l.wake
 }
 
-// epochEvents counts the epoch events recorded so far — the executor uses
-// it to decide whether a cache-served result still needs its trace
-// replayed into the stream.
-func (l *eventLog) epochEvents() int {
+// EpochEvents counts the epoch events recorded so far — executors use it
+// to decide whether a cache-served result still needs its trace replayed
+// into the stream.
+func (l *EventLog) EpochEvents() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	n := 0

@@ -82,35 +82,6 @@ func TestRateLimiterRefill(t *testing.T) {
 	}
 }
 
-func TestEventLogReplayAndSeal(t *testing.T) {
-	l := newEventLog()
-	l.append(Event{Type: "state", State: StateQueued})
-	l.append(Event{Type: "epoch"})
-	evs, done, _ := l.since(0)
-	if len(evs) != 2 || done {
-		t.Fatalf("since(0) = %d events done=%v, want 2 false", len(evs), done)
-	}
-	if evs[0].Seq != 0 || evs[1].Seq != 1 {
-		t.Errorf("sequence numbers = %d,%d, want 0,1", evs[0].Seq, evs[1].Seq)
-	}
-	l.close()
-	// The post-close wake channel must be closed so drained subscribers
-	// exit instead of blocking forever.
-	_, done, wake := l.since(2)
-	if !done {
-		t.Fatal("closed log must report done")
-	}
-	select {
-	case <-wake:
-	default:
-		t.Fatal("wake channel after close must be closed")
-	}
-	l.append(Event{Type: "epoch"}) // dropped: stream is sealed
-	if evs, _, _ := l.since(0); len(evs) != 2 {
-		t.Errorf("append after close must be dropped, log has %d events", len(evs))
-	}
-}
-
 // FuzzDecodeJobRequest fuzzes the public decoding surface: arbitrary bytes
 // must never panic, and an accepted request must be stable under
 // re-validation and JSON round-tripping.

@@ -16,6 +16,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sparseadapt/internal/matrix"
@@ -33,7 +35,19 @@ type Client struct {
 	// Retry governs automatic retry of transiently rejected submissions.
 	// The zero value never retries (single-shot, the historical behavior).
 	Retry RetryPolicy
+	// StallTimeout aborts an event stream when no bytes arrive for this
+	// long. The server emits a keepalive comment every 15s by default, so
+	// anything comfortably above that (say 45s+) distinguishes a wedged
+	// proxy or half-open TCP connection from a merely quiet job. Zero
+	// disables the watchdog (the historical behavior).
+	StallTimeout time.Duration
 }
+
+// ErrStreamStalled is returned by Stream when the stall watchdog fired:
+// the connection stopped delivering bytes (not even keepalives) for
+// longer than StallTimeout. Wait treats it like any stream failure and
+// falls back to polling.
+var ErrStreamStalled = errors.New("client: event stream stalled")
 
 // RetryPolicy makes Submit retry transient rejections — 429 (rate limit,
 // queue full) and 503 (circuit breaker open, journal hiccup) — honoring
@@ -110,7 +124,8 @@ func (c *Client) http() *http.Client {
 }
 
 // do performs one JSON round trip, decoding into out when non-nil.
-func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+// hdr entries (may be nil) are set on the request verbatim.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, hdr map[string]string, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -121,6 +136,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
@@ -158,13 +176,25 @@ func decodeError(resp *http.Response) error {
 // the budget runs out. Submission is safe to retry: a shed request was
 // never accepted (the server journals acceptance before responding 202).
 func (c *Client) Submit(ctx context.Context, req server.JobRequest) (server.JobStatus, error) {
+	return c.SubmitWithRequestID(ctx, req, "")
+}
+
+// SubmitWithRequestID is Submit with an explicit X-Request-ID, so a
+// caller (or a coordinator proxying on a client's behalf) can correlate
+// the job across hops. An empty id lets the server mint one; the
+// effective id comes back in the returned status.
+func (c *Client) SubmitWithRequestID(ctx context.Context, req server.JobRequest, requestID string) (server.JobStatus, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return server.JobStatus{}, err
 	}
+	var hdr map[string]string
+	if requestID != "" {
+		hdr = map[string]string{"X-Request-ID": requestID}
+	}
 	var st server.JobStatus
 	for attempt := 0; ; attempt++ {
-		err = c.do(ctx, http.MethodPost, "/v1/jobs", body, &st)
+		err = c.do(ctx, http.MethodPost, "/v1/jobs", body, hdr, &st)
 		if err == nil || attempt >= c.Retry.Max {
 			return st, err
 		}
@@ -183,28 +213,28 @@ func (c *Client) Submit(ctx context.Context, req server.JobRequest) (server.JobS
 // Get fetches a job's current status.
 func (c *Client) Get(ctx context.Context, id string) (server.JobStatus, error) {
 	var st server.JobStatus
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, nil, &st)
 	return st, err
 }
 
 // List fetches all retained jobs in submission order.
 func (c *Client) List(ctx context.Context) ([]server.JobStatus, error) {
 	var out []server.JobStatus
-	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, nil, &out)
 	return out, err
 }
 
 // Cancel requests cancellation of a queued or running job.
 func (c *Client) Cancel(ctx context.Context, id string) (server.JobStatus, error) {
 	var st server.JobStatus
-	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, nil, &st)
 	return st, err
 }
 
 // Datasets fetches the server's dataset inventory.
 func (c *Client) Datasets(ctx context.Context) ([]matrix.DatasetEntry, error) {
 	var out []matrix.DatasetEntry
-	err := c.do(ctx, http.MethodGet, "/v1/datasets", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/datasets", nil, nil, &out)
 	return out, err
 }
 
@@ -213,7 +243,7 @@ func (c *Client) Version(ctx context.Context) (string, error) {
 	var out struct {
 		Version string `json:"version"`
 	}
-	err := c.do(ctx, http.MethodGet, "/version", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/version", nil, nil, &out)
 	return out.Version, err
 }
 
@@ -239,11 +269,23 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 // from the beginning of the job's history, until the stream closes (the
 // job reached a terminal state), fn returns an error, or ctx is canceled.
 func (c *Client) Stream(ctx context.Context, id string, fn func(server.Event) error) error {
+	return c.StreamFrom(ctx, id, 0, fn)
+}
+
+// StreamFrom is Stream resuming at sequence number from: events with
+// Seq < from are skipped server-side via the SSE Last-Event-ID header,
+// so a reconnecting consumer replays only what it missed. from <= 0
+// streams the full history.
+func (c *Client) StreamFrom(ctx context.Context, id string, from int, fn func(server.Event) error) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if from > 0 {
+		// The server resumes after the given id, so ask for from-1.
+		req.Header.Set("Last-Event-ID", strconv.Itoa(from-1))
+	}
 	// Clone the unary client minus its overall timeout: an event stream is
 	// expected to stay open for the lifetime of the job.
 	hc := *c.http()
@@ -256,7 +298,14 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(server.Event) er
 	if resp.StatusCode != http.StatusOK {
 		return decodeError(resp)
 	}
-	sc := bufio.NewScanner(resp.Body)
+	body := io.Reader(resp.Body)
+	var stall *stallWatch
+	if c.StallTimeout > 0 {
+		stall = newStallWatch(resp.Body, c.StallTimeout)
+		defer stall.close()
+		body = stall
+	}
+	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	var data strings.Builder
 	for sc.Scan() {
@@ -275,10 +324,49 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(server.Event) er
 			}
 		}
 	}
+	if stall != nil && stall.stalled() {
+		return fmt.Errorf("%w (no bytes for %v)", ErrStreamStalled, c.StallTimeout)
+	}
 	if err := sc.Err(); err != nil && ctx.Err() == nil {
 		return err
 	}
 	return ctx.Err()
+}
+
+// stallWatch wraps an SSE response body with a dead-connection detector:
+// a timer armed before every read closes the underlying body if the read
+// does not deliver within the timeout, which unblocks the scanner with a
+// read error the caller translates to ErrStreamStalled. Keepalive
+// comments count as liveness — they are bytes like any other.
+type stallWatch struct {
+	rc      io.ReadCloser
+	timeout time.Duration
+	timer   *time.Timer
+	tripped atomic.Bool
+	once    sync.Once
+}
+
+func newStallWatch(rc io.ReadCloser, timeout time.Duration) *stallWatch {
+	w := &stallWatch{rc: rc, timeout: timeout}
+	w.timer = time.AfterFunc(timeout, func() {
+		w.tripped.Store(true)
+		w.rc.Close() //nolint:errcheck // unblocking a wedged read
+	})
+	return w
+}
+
+func (w *stallWatch) Read(p []byte) (int, error) {
+	n, err := w.rc.Read(p)
+	// Re-arm for the next read. If the watchdog already fired, rc is
+	// closed and err reflects it; re-arming is harmless.
+	w.timer.Reset(w.timeout)
+	return n, err
+}
+
+func (w *stallWatch) stalled() bool { return w.tripped.Load() }
+
+func (w *stallWatch) close() {
+	w.once.Do(func() { w.timer.Stop() })
 }
 
 // Wait follows the job's event stream to completion and returns the

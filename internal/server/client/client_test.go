@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -118,5 +119,107 @@ func TestRetryPolicyWait(t *testing.T) {
 	}
 	if got := (RetryPolicy{}).wait(0, 0); got != 500*time.Millisecond {
 		t.Errorf("zero-policy wait = %v, want the 500ms default", got)
+	}
+}
+
+// TestSubmitWithRequestIDHeader: the explicit request id travels as
+// X-Request-ID; plain Submit sends none.
+func TestSubmitWithRequestIDHeader(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get("X-Request-ID"))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"id":"job-000001","state":"queued","request_id":"rid-9"}`)) //nolint:errcheck
+	}))
+	t.Cleanup(ts.Close)
+	c := New(ts.URL)
+	st, err := c.SubmitWithRequestID(context.Background(), server.JobRequest{}, "rid-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "rid-9" || st.RequestID != "rid-9" {
+		t.Errorf("header=%q status.RequestID=%q, want rid-9 in both", got.Load(), st.RequestID)
+	}
+	if _, err := c.Submit(context.Background(), server.JobRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "" {
+		t.Errorf("plain Submit sent X-Request-ID %q, want none", got.Load())
+	}
+}
+
+// TestStreamFromSendsLastEventID: resuming at sequence n asks the server
+// to replay from n by sending Last-Event-ID n-1.
+func TestStreamFromSendsLastEventID(t *testing.T) {
+	var header atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		header.Store(r.Header.Get("Last-Event-ID"))
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Write([]byte("event: state\nid: 5\ndata: {\"seq\":5,\"type\":\"state\",\"state\":\"done\"}\n\n")) //nolint:errcheck
+	}))
+	t.Cleanup(ts.Close)
+	var seqs []int
+	err := New(ts.URL).StreamFrom(context.Background(), "job-000001", 5, func(ev server.Event) error {
+		seqs = append(seqs, ev.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if header.Load() != "4" {
+		t.Errorf("Last-Event-ID = %q, want 4", header.Load())
+	}
+	if len(seqs) != 1 || seqs[0] != 5 {
+		t.Errorf("received seqs %v, want [5]", seqs)
+	}
+}
+
+// TestStreamStallDetector: a wedged stream (no bytes at all) trips the
+// watchdog with ErrStreamStalled, while a stream that is quiet except for
+// keepalive comments stays alive until its real event arrives.
+func TestStreamStallDetector(t *testing.T) {
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.(http.Flusher).Flush()
+		<-r.Context().Done() // no bytes, ever
+	}))
+	t.Cleanup(hang.Close)
+	c := New(hang.URL)
+	c.StallTimeout = 100 * time.Millisecond
+	begin := time.Now()
+	err := c.Stream(context.Background(), "job-000001", func(server.Event) error { return nil })
+	if !errors.Is(err, ErrStreamStalled) {
+		t.Fatalf("wedged stream returned %v, want ErrStreamStalled", err)
+	}
+	if time.Since(begin) > 5*time.Second {
+		t.Errorf("watchdog took %s to fire", time.Since(begin))
+	}
+
+	// Keepalive comments are bytes: they must feed the watchdog.
+	alive := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		fl.Flush()
+		for i := 0; i < 6; i++ {
+			time.Sleep(50 * time.Millisecond)
+			w.Write([]byte(": keepalive\n\n")) //nolint:errcheck
+			fl.Flush()
+		}
+		w.Write([]byte("event: state\nid: 0\ndata: {\"seq\":0,\"type\":\"state\",\"state\":\"done\"}\n\n")) //nolint:errcheck
+		fl.Flush()
+	}))
+	t.Cleanup(alive.Close)
+	c2 := New(alive.URL)
+	c2.StallTimeout = 150 * time.Millisecond // > keepalive cadence, < total run
+	events := 0
+	if err := c2.Stream(context.Background(), "job-000001", func(server.Event) error {
+		events++
+		return nil
+	}); err != nil {
+		t.Fatalf("keepalive-fed stream failed: %v", err)
+	}
+	if events != 1 {
+		t.Errorf("received %d events, want 1", events)
 	}
 }

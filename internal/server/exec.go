@@ -2,12 +2,10 @@ package server
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
 	"sync"
-	"time"
 
 	"sparseadapt/internal/config"
 	"sparseadapt/internal/core"
@@ -20,102 +18,38 @@ import (
 	"sparseadapt/internal/matrix"
 	"sparseadapt/internal/obs"
 	"sparseadapt/internal/power"
-	"sparseadapt/internal/server/store"
+	"sparseadapt/internal/sched"
 	"sparseadapt/internal/sim"
 )
 
-// execute runs one dequeued job to a terminal state through the retry
-// state machine: attempt → on failure, journal + backoff + retry → after
-// MaxAttempts, quarantine. Each attempt goes through the engine as a
-// single content-addressed task, which buys panic-to-error isolation (a
-// panicking run — including an injected chaos panic — fails its own
-// attempt, not the worker), the shared result cache (identical requests,
-// and re-executions after a crash, are served without re-simulating) and
-// engine_* accounting for free.
-func (s *Server) execute(j *job) {
-	s.met.queueWait.Observe(time.Since(j.created).Seconds())
-	timeout := s.cfg.JobTimeout
-	if j.req.TimeoutSec > 0 {
-		if d := time.Duration(j.req.TimeoutSec * float64(time.Second)); d < timeout {
-			timeout = d
-		}
-	}
-	s.met.inflight.Add(1)
-	defer s.met.inflight.Add(-1)
-
-	begin := time.Now()
-	for {
-		ctx, cancel := context.WithTimeout(context.Background(), timeout)
-		attempt := j.start(cancel, time.Now())
-		if attempt == 0 {
-			cancel()
-			return // canceled while queued; requestCancel already finalized it
-		}
-		// Best-effort: a lost running-record only means recovery re-runs an
-		// attempt that never reported back — exactly what it would do anyway.
-		s.journal(store.Record{Type: store.RecRunning, JobID: j.id, Attempt: attempt}) //nolint:errcheck
-
-		res, hit, err := s.attempt(ctx, j, attempt)
-		cancel()
-
-		if err == nil {
-			s.noteAttempt(true)
-			sec := time.Since(begin).Seconds()
-			s.met.jobDuration.Observe(sec)
-			s.noteJobDuration(sec)
-			s.finishJob(j, res, hit, nil, false)
-			return
-		}
-
-		// Client cancellations and deadline expiries are not transient: the
-		// job is done as far as the requester is concerned. Only execution
-		// failures feed the breaker and the retry loop.
-		if j.cancelRequested() || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			s.met.jobDuration.Observe(time.Since(begin).Seconds())
-			s.finishJob(j, nil, false, err, false)
-			return
-		}
-
-		s.noteAttempt(false)
-		if attempt >= s.cfg.MaxAttempts {
-			s.met.jobDuration.Observe(time.Since(begin).Seconds())
-			s.finishJob(j, nil, false,
-				fmt.Errorf("quarantined after %d failed attempts, last: %w", attempt, err), true)
-			return
-		}
-		s.met.retries.Inc()
-		j.retry(attempt, err)
-		s.journal(store.Record{Type: store.RecAttemptFailed, JobID: j.id, Attempt: attempt, Error: err.Error()}) //nolint:errcheck // best-effort
-		if !j.sleep(backoffDelay(s.cfg.RetryBaseDelay, s.cfg.RetryMaxDelay, j.id, attempt)) {
-			// Canceled during the backoff sleep.
-			s.met.jobDuration.Observe(time.Since(begin).Seconds())
-			s.finishJob(j, nil, false, fmt.Errorf("canceled during retry backoff (last error: %v)", err), false)
-			return
-		}
-	}
-}
-
-// attempt performs one execution attempt: chaos exec-panic gate, engine
-// map, cache-trace replay for subscribers, and post-success cache
-// corruption when chaos demands it.
-func (s *Server) attempt(ctx context.Context, j *job, attempt int) (*JobResult, bool, error) {
-	if s.cfg.Chaos.ExecPanic(j.id, attempt) {
+// localExec is the standalone execution function the scheduler drives: one
+// attempt of one job, run through the engine as a single content-addressed
+// task, which buys panic-to-error isolation (a panicking run — including
+// an injected chaos panic — fails its own attempt, not the worker), the
+// shared result cache (identical requests, and re-executions after a
+// crash, are served without re-simulating) and engine_* accounting for
+// free. On a cluster worker a PeerFetch hook is consulted first, so a
+// fingerprint already computed elsewhere in the fleet is replayed from its
+// transferred cache entry instead of re-simulated.
+func (s *Server) localExec(ctx context.Context, j *sched.Job, attempt int) (*JobResult, bool, error) {
+	if s.cfg.Chaos.ExecPanic(j.ID(), attempt) {
 		// Route the injected panic through the engine's panic-to-error
 		// isolation under a per-(job, attempt) key, so the chaos failure
 		// exercises the real recovery path but can never be masked by — or
 		// leak into — the shared result cache.
 		_, err := engine.Map(ctx, s.eng, []engine.Task[struct{}]{{
-			Key: engine.NewHasher("chaos-panic/v1").Str(j.id).Int(attempt).Sum(),
+			Key: engine.NewHasher("chaos-panic/v1").Str(j.ID()).Int(attempt).Sum(),
 			Compute: func(ctx context.Context) (struct{}, error) {
-				panic(fmt.Sprintf("chaos: injected exec panic (job %s attempt %d)", j.id, attempt))
+				panic(fmt.Sprintf("chaos: injected exec panic (job %s attempt %d)", j.ID(), attempt))
 			},
 		}})
 		if err == nil {
-			err = fmt.Errorf("chaos: injected exec panic (job %s attempt %d)", j.id, attempt)
+			err = fmt.Errorf("chaos: injected exec panic (job %s attempt %d)", j.ID(), attempt)
 		}
 		return nil, false, err
 	}
-	key := jobKey(j.req)
+	key := j.Request().Fingerprint()
+	s.peerFill(ctx, key)
 	computed := false
 	res, err := engine.Map(ctx, s.eng, []engine.Task[JobResult]{{
 		Key: key,
@@ -129,49 +63,37 @@ func (s *Server) attempt(ctx context.Context, j *job, attempt int) (*JobResult, 
 	}
 	r := res[0]
 	hit := !computed
-	if hit && j.events.epochEvents() == 0 {
+	if hit && j.Events().EpochEvents() == 0 {
 		// Cache-served result: the live run streamed its epochs as they
 		// happened; replay the retained trace so subscribers of this job see
 		// the same stream.
 		for _, rec := range r.Trace {
-			j.epoch(rec)
+			j.Emit(rec)
 		}
 	}
-	if computed && s.cfg.Chaos.CorruptCache(j.id) {
+	if computed && s.cfg.Chaos.CorruptCache(j.ID()) {
 		s.corruptCacheEntry(key)
 	}
 	return &r, hit, nil
 }
 
-// finishJob finalizes the job, bumps the terminal-state metric, and
-// journals the terminal record.
-func (s *Server) finishJob(j *job, res *JobResult, hit bool, err error, quarantine bool) {
-	j.finish(res, hit, err, quarantine, time.Now())
-	st := j.status()
-	switch st.State {
-	case StateDone:
-		s.met.completed.Inc()
-	case StateCanceled:
-		s.met.canceled.Inc()
-	case StateQuarantined:
-		s.met.quarantined.Inc()
-	default:
-		s.met.failed.Inc()
+// peerFill consults the PeerFetch hook on a local cache miss and installs
+// a fetched entry, so the engine.Map probe that follows hits without
+// re-simulating. Best-effort: a failed or absent peer fetch just computes
+// locally.
+func (s *Server) peerFill(ctx context.Context, key engine.Key) {
+	if s.cfg.PeerFetch == nil {
+		return
 	}
-	s.journalTerminal(st)
-}
-
-// noteAttempt feeds one execution-attempt outcome to the circuit breaker
-// and maintains the breaker gauge/trip counter.
-func (s *Server) noteAttempt(success bool) {
-	now := time.Now()
-	if s.brk.record(success, now) {
-		s.met.breakerTrips.Inc()
+	cache := s.eng.Cache()
+	if cache == nil {
+		return
 	}
-	if open, _ := s.brk.open(now); open {
-		s.met.brkOpen.Set(1)
-	} else {
-		s.met.brkOpen.Set(0)
+	if _, ok := cache.Get(key); ok {
+		return
+	}
+	if payload, ok := s.cfg.PeerFetch(ctx, key); ok {
+		cache.Put(key, payload)
 	}
 }
 
@@ -194,46 +116,31 @@ func (s *Server) corruptCacheEntry(key engine.Key) {
 	cache.DropMemory(key)
 }
 
-// jobKey content-addresses a request: every field that determines the
-// result participates; TimeoutSec deliberately does not (a timed-out job
-// errors and is never cached).
-func jobKey(r JobRequest) engine.Key {
-	counters := 0
-	if r.Counters {
-		counters = 1
-	}
-	return engine.NewHasher("server-job/v1").
-		Str(r.Mode).Str(r.Kernel).Str(r.Matrix).Str(r.MatrixMarket).
-		Str(r.Scale).I64(r.Seed).Str(r.OptMode).Str(r.Policy).
-		F64(r.Tolerance).Str(r.Config).Str(r.Faults).
-		Int(r.Count, counters).Sum()
-}
-
 // chaosEpochEmitter wraps the job's epoch emitter with the mid-epoch kill
 // fault: when chaos schedules a kill for this attempt, the Nth epoch event
 // panics from inside the compute function — the closest a simulation gets
 // to dying mid-run — which the engine's isolation converts into an attempt
 // failure for the retry loop to absorb.
-func (s *Server) chaosEpochEmitter(j *job, attempt int) func(obs.EpochRecord) {
-	kill, ok := s.cfg.Chaos.KillAtEpoch(j.id, attempt)
+func (s *Server) chaosEpochEmitter(j *sched.Job, attempt int) func(obs.EpochRecord) {
+	kill, ok := s.cfg.Chaos.KillAtEpoch(j.ID(), attempt)
 	if !ok {
-		return j.epoch
+		return j.Emit
 	}
 	n := 0
 	return func(rec obs.EpochRecord) {
 		n++
 		if n == kill {
-			panic(fmt.Sprintf("chaos: injected mid-epoch kill at epoch %d (job %s attempt %d)", kill, j.id, attempt))
+			panic(fmt.Sprintf("chaos: injected mid-epoch kill at epoch %d (job %s attempt %d)", kill, j.ID(), attempt))
 		}
-		j.epoch(rec)
+		j.Emit(rec)
 	}
 }
 
 // runJob performs the simulation a validated request describes. It is pure
-// with respect to jobKey: identical requests produce identical JobResults
-// (the engine cache depends on this).
-func (s *Server) runJob(ctx context.Context, j *job, attempt int) (JobResult, error) {
-	req := j.req
+// with respect to the request fingerprint: identical requests produce
+// identical JobResults (the engine cache depends on this).
+func (s *Server) runJob(ctx context.Context, j *sched.Job, attempt int) (JobResult, error) {
+	req := j.Request()
 	emit := s.chaosEpochEmitter(j, attempt)
 	sc, err := scaleFor(req.Scale)
 	if err != nil {

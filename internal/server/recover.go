@@ -3,10 +3,8 @@ package server
 import (
 	"encoding/json"
 	"fmt"
-	"strconv"
-	"strings"
-	"time"
 
+	"sparseadapt/internal/sched"
 	"sparseadapt/internal/server/store"
 )
 
@@ -27,15 +25,15 @@ func (s *Server) journal(rec store.Record) error {
 // journalAccept commits a job's acceptance record — the submission's
 // durability point. Unlike every later record it is NOT best-effort: the
 // caller must not 202 a job whose acceptance did not reach disk.
-func (s *Server) journalAccept(j *job) error {
+func (s *Server) journalAccept(j *sched.Job) error {
 	if s.store == nil {
 		return nil
 	}
-	reqJSON, err := json.Marshal(j.req)
+	reqJSON, err := json.Marshal(j.Request())
 	if err != nil {
 		return fmt.Errorf("encoding request: %w", err)
 	}
-	return s.journal(store.Record{Type: store.RecAccepted, JobID: j.id, Request: reqJSON})
+	return s.journal(store.Record{Type: store.RecAccepted, JobID: j.ID(), Request: reqJSON, RequestID: j.RequestID()})
 }
 
 // journalTerminal records a job's terminal state. Best-effort by design: a
@@ -68,104 +66,36 @@ func (s *Server) journalTerminal(st JobStatus) {
 	s.journal(rec) //nolint:errcheck // best-effort, error already counted
 }
 
-// recoverFromStore rebuilds the job map from the journal fold at boot.
-// Terminal jobs are resurfaced as finished records (persisted result,
-// sealed event stream); queued and in-flight jobs are returned for
-// re-queueing — re-executing an interrupted job is safe because execution
-// is deterministic per request and the content-addressed cache serves
+// recoverFromStore rebuilds the scheduler's job map from the journal fold
+// at boot. Terminal jobs are resurfaced as finished records (persisted
+// result, sealed event stream); queued and in-flight jobs are re-queued —
+// re-executing an interrupted job is safe because execution is
+// deterministic per request and the content-addressed cache serves
 // completed work without re-simulating. Attempt counts survive the
 // restart, so a poison job cannot reset its quarantine budget by crashing
 // the daemon.
-func (s *Server) recoverFromStore() ([]*job, error) {
-	var pending []*job
+func (s *Server) recoverFromStore() error {
 	for _, js := range s.store.Jobs() {
-		if n, ok := parseJobID(js.ID); ok && n > s.nextID {
-			s.nextID = n
-		}
 		var req JobRequest
 		if len(js.Request) > 0 {
 			if err := json.Unmarshal(js.Request, &req); err != nil {
-				return nil, fmt.Errorf("server: recovering %s: bad request payload: %w", js.ID, err)
+				return fmt.Errorf("server: recovering %s: bad request payload: %w", js.ID, err)
 			}
 		}
-		j := newJob(js.ID, req, js.Accepted)
-		j.attempts = js.Attempts
-		j.recovered = true
+		j := s.sch.Restore(js.ID, req, js.RequestID, js.Accepted)
+		j.SetRecovered(js.Attempts)
 		if js.Terminal() {
-			s.resurface(j, js)
+			var result *JobResult
+			if len(js.Result) > 0 {
+				var res JobResult
+				if err := json.Unmarshal(js.Result, &res); err == nil {
+					result = &res
+				}
+			}
+			s.sch.RestoreTerminal(j, js.State, js.Finished, js.LastError, js.CacheHit, result)
 		} else {
-			pending = append(pending, j)
-		}
-		s.jobs[j.id] = j
-		s.order = append(s.order, j.id)
-	}
-	return pending, nil
-}
-
-// resurface restores a terminal job's outcome and seals its event stream,
-// so status polls and SSE replays after a restart behave exactly like they
-// would have before it (minus the per-epoch trace, which is not journaled;
-// see docs/SERVER.md).
-func (s *Server) resurface(j *job, js store.JobState) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.state = js.State
-	j.finished = js.Finished
-	j.errMsg = js.LastError
-	j.cacheHit = js.CacheHit
-	if len(js.Result) > 0 {
-		var res JobResult
-		if err := json.Unmarshal(js.Result, &res); err == nil {
-			j.result = &res
+			s.sch.Requeue(j)
 		}
 	}
-	st := j.statusLocked()
-	typ := "result"
-	if st.State != StateDone {
-		typ = "error"
-	}
-	j.events.append(Event{Type: typ, Status: &st})
-	j.events.close()
-}
-
-// parseJobID extracts the numeric suffix of a "job-%06d" ID so recovery
-// can resume the ID sequence past every journaled job.
-func parseJobID(id string) (int64, bool) {
-	rest, ok := strings.CutPrefix(id, "job-")
-	if !ok {
-		return 0, false
-	}
-	n, err := strconv.ParseInt(rest, 10, 64)
-	if err != nil || n < 0 {
-		return 0, false
-	}
-	return n, true
-}
-
-// backoffDelay computes the pre-retry sleep for a failed attempt:
-// exponential from base, capped at max, with deterministic jitter in
-// [0.5, 1.5) hashed from (jobID, attempt) — spread-out retries without a
-// shared RNG, and reproducible under chaos.
-func backoffDelay(base, max time.Duration, jobID string, attempt int) time.Duration {
-	d := base << (attempt - 1)
-	if d <= 0 || d > max { // <= 0 catches shift overflow
-		d = max
-	}
-	h := splitmixJitter(jobID, attempt)
-	jitter := 0.5 + float64(h>>11)/float64(1<<53) // [0.5, 1.5)
-	return time.Duration(float64(d) * jitter)
-}
-
-// splitmixJitter is a splitmix64 finalizer over fnv1a(jobID) ^ attempt.
-func splitmixJitter(jobID string, attempt int) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(jobID); i++ {
-		h ^= uint64(jobID[i])
-		h *= 1099511628211
-	}
-	z := h ^ uint64(attempt)
-	z += 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
+	return nil
 }

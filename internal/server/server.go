@@ -6,20 +6,24 @@
 // GET /v1/jobs/{id}/events streams per-epoch progress as Server-Sent
 // Events while the run executes.
 //
-// Behind the API sits a bounded job queue with admission control (a full
-// queue rejects with 429 + Retry-After instead of buffering unboundedly),
-// per-client token-bucket rate limiting, a fixed worker pool whose
-// executions run through the engine subsystem (content-addressed result
-// cache, panic-to-error isolation, engine_* metrics), per-job deadlines
-// and cancellation propagated via context, and graceful drain: Drain stops
-// intake and completes queued and in-flight jobs before returning.
-// Observability is native: the server_* metric family, the engine_* and
-// controller_* families of the runs it hosts, Prometheus /metrics and
-// net/http/pprof share one mux. See docs/SERVER.md.
+// The queue/retry/quarantine core lives in the transport-agnostic
+// internal/sched package; this package wraps it with the HTTP surface,
+// per-client token-bucket rate limiting, request-size limits, the durable
+// job journal (internal/server/store), X-Request-ID tracing and the local
+// execution function, which runs jobs through the engine subsystem
+// (content-addressed result cache, panic-to-error isolation, engine_*
+// metrics). The same Server also underlies both roles of the cluster
+// subsystem (internal/cluster): a coordinator swaps the execution function
+// for remote placement, a worker adds peer cache fetching. Observability
+// is native: the server_* metric family, the engine_* and controller_*
+// families of the runs it hosts, Prometheus /metrics and net/http/pprof
+// share one mux. See docs/SERVER.md.
 package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,16 +31,15 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
-	"runtime"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"sparseadapt/internal/engine"
 	"sparseadapt/internal/fault"
 	"sparseadapt/internal/matrix"
 	"sparseadapt/internal/obs"
+	"sparseadapt/internal/sched"
 	"sparseadapt/internal/server/store"
 )
 
@@ -89,6 +92,22 @@ type Config struct {
 	BreakerWindow    int
 	BreakerThreshold float64
 	BreakerCooldown  time.Duration
+	// SSEKeepalive is the idle interval after which event streams emit a
+	// ": keepalive" SSE comment so forwarded streams survive proxy and
+	// load-balancer idle timeouts (default 15s; negative disables).
+	SSEKeepalive time.Duration
+	// Exec overrides the execution function. Nil (the standalone daemon and
+	// cluster workers) runs jobs locally through the engine; the cluster
+	// coordinator substitutes remote placement.
+	Exec sched.ExecFunc
+	// PeerFetch, when non-nil, is consulted on a local result-cache miss
+	// before computing: it may return a framed cache entry (engine
+	// EncodeEntry payload bytes) fetched from a peer node holding the same
+	// fingerprint. Cluster workers wire this to the peer cache protocol.
+	PeerFetch func(ctx context.Context, key engine.Key) ([]byte, bool)
+	// JobLog, when non-nil, receives one line per job lifecycle edge
+	// (accepted, retry, terminal), each carrying the job and request IDs.
+	JobLog io.Writer
 	// Chaos, when non-nil, injects deterministic service-layer faults
 	// (exec panics, journal write errors, cache corruption, mid-epoch
 	// kills) for resilience testing. Never set in production.
@@ -100,86 +119,43 @@ type Config struct {
 }
 
 func (c *Config) defaults() {
-	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
-	}
-	if c.QueueDepth <= 0 {
-		c.QueueDepth = 64
-	}
 	if c.Burst <= 0 {
 		c.Burst = 8
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
-	if c.JobTimeout <= 0 {
-		c.JobTimeout = 5 * time.Minute
-	}
-	if c.MaxJobs <= 0 {
-		c.MaxJobs = 1024
-	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 512
 	}
-	if c.MaxAttempts <= 0 {
-		c.MaxAttempts = 3
-	}
-	if c.RetryBaseDelay <= 0 {
-		c.RetryBaseDelay = 50 * time.Millisecond
-	}
-	if c.RetryMaxDelay <= 0 {
-		c.RetryMaxDelay = 2 * time.Second
-	}
-	if c.BreakerWindow <= 0 {
-		c.BreakerWindow = 20
-	}
-	if c.BreakerThreshold <= 0 {
-		c.BreakerThreshold = 0.5
-	}
-	if c.BreakerCooldown <= 0 {
-		c.BreakerCooldown = 10 * time.Second
+	if c.SSEKeepalive == 0 {
+		c.SSEKeepalive = 15 * time.Second
 	}
 }
 
-// serverMetrics is the server_* instrument family (catalog in
+// serverMetrics is the HTTP-side slice of the server_* instrument family;
+// the job lifecycle metrics live with the scheduler (catalog in
 // docs/OBSERVABILITY.md).
 type serverMetrics struct {
-	submitted, completed, failed, canceled    *obs.Counter
-	quarantined, retries, recovered           *obs.Counter
-	rejectedQueue, rejectedRate, badRequest   *obs.Counter
-	rejectedBreaker, breakerTrips             *obs.Counter
-	journalAppends, journalErrors             *obs.Counter
-	httpRequests                              *obs.Counter
-	queueDepth, inflight, sseClients, brkOpen *obs.Gauge
-	jobDuration, queueWait, httpDuration      *obs.Histogram
+	rejectedQueue, rejectedRate, badRequest *obs.Counter
+	rejectedBreaker                         *obs.Counter
+	journalAppends, journalErrors           *obs.Counter
+	httpRequests                            *obs.Counter
+	sseClients                              *obs.Gauge
+	httpDuration                            *obs.Histogram
 }
-
-var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
 
 func newServerMetrics(r *obs.Registry) serverMetrics {
 	return serverMetrics{
-		submitted:       r.Counter("server_jobs_submitted_total", "jobs accepted into the queue"),
-		completed:       r.Counter("server_jobs_completed_total", "jobs finished successfully"),
-		failed:          r.Counter("server_jobs_failed_total", "jobs finished with an error"),
-		canceled:        r.Counter("server_jobs_canceled_total", "jobs canceled by the client or deadline"),
-		quarantined:     r.Counter("server_jobs_quarantined_total", "jobs quarantined after exhausting their retry budget"),
-		retries:         r.Counter("server_job_retries_total", "execution attempts retried after a transient failure"),
-		recovered:       r.Counter("server_jobs_recovered_total", "non-terminal jobs re-queued from the journal at boot"),
 		rejectedQueue:   r.Counter("server_admission_rejected_total", "submissions rejected because the queue was full"),
 		rejectedRate:    r.Counter("server_ratelimit_rejected_total", "submissions rejected by the per-client rate limit"),
 		rejectedBreaker: r.Counter("server_breaker_rejected_total", "submissions shed while the circuit breaker was open"),
-		breakerTrips:    r.Counter("server_breaker_trips_total", "times the failure-rate circuit breaker opened"),
 		journalAppends:  r.Counter("server_journal_appends_total", "records committed to the durable job journal"),
 		journalErrors:   r.Counter("server_journal_errors_total", "journal writes that failed"),
 		badRequest:      r.Counter("server_bad_requests_total", "submissions rejected as malformed (400/413)"),
 		httpRequests:    r.Counter("server_http_requests_total", "HTTP requests served"),
-		queueDepth:      r.Gauge("server_queue_depth", "jobs waiting in the admission queue"),
-		inflight:        r.Gauge("server_jobs_inflight", "jobs currently executing"),
 		sseClients:      r.Gauge("server_sse_clients", "connected event-stream subscribers"),
-		brkOpen:         r.Gauge("server_breaker_open", "1 while the circuit breaker is shedding submissions"),
-		jobDuration:     r.Histogram("server_job_duration_seconds", "job execution wall time", latencyBuckets),
-		queueWait:       r.Histogram("server_job_queue_wait_seconds", "time jobs spend queued before execution", latencyBuckets),
-		httpDuration:    r.Histogram("server_http_request_duration_seconds", "HTTP request latency", latencyBuckets),
+		httpDuration:    r.Histogram("server_http_request_duration_seconds", "HTTP request latency", sched.LatencyBuckets),
 	}
 }
 
@@ -190,26 +166,15 @@ type Server struct {
 	cfg   Config
 	reg   *obs.Registry
 	eng   *engine.Engine
+	sch   *sched.Scheduler
 	met   serverMetrics
 	rl    *rateLimiter
-	brk   *breaker
 	store *store.Store // nil when durability is disabled
 	mux   *http.ServeMux
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string // insertion order, for bounded retention
-	nextID   int64
-	draining bool
-	queue    chan *job
-	reserved int // queue slots held by submissions still journaling
-
-	started   atomic.Bool
-	wg        sync.WaitGroup
-	models    modelCache
-	birth     time.Time
-	recovered int           // non-terminal jobs re-queued at boot
-	avgJobSec atomic.Uint64 // EWMA of job wall time (float64 bits), for Retry-After
+	logMu  sync.Mutex
+	models modelCache
+	birth  time.Time
 }
 
 // New builds a Server from cfg (zero value = defaults). With StoreDir set
@@ -229,14 +194,50 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:   cfg,
 		reg:   reg,
-		eng:   engine.New(engine.Options{Workers: cfg.Workers, Cache: cache, Metrics: reg}),
 		met:   newServerMetrics(reg),
 		rl:    newRateLimiter(cfg.RatePerSec, cfg.Burst),
-		brk:   newBreaker(cfg.BreakerWindow, cfg.BreakerThreshold, cfg.BreakerCooldown),
-		jobs:  map[string]*job{},
 		birth: time.Now(),
 	}
-	var pending []*job
+	exec := cfg.Exec
+	if exec == nil {
+		exec = s.localExec
+	}
+	s.sch = sched.New(sched.Config{
+		Workers:          cfg.Workers,
+		QueueDepth:       cfg.QueueDepth,
+		JobTimeout:       cfg.JobTimeout,
+		MaxJobs:          cfg.MaxJobs,
+		MaxAttempts:      cfg.MaxAttempts,
+		RetryBaseDelay:   cfg.RetryBaseDelay,
+		RetryMaxDelay:    cfg.RetryMaxDelay,
+		BreakerWindow:    cfg.BreakerWindow,
+		BreakerThreshold: cfg.BreakerThreshold,
+		BreakerCooldown:  cfg.BreakerCooldown,
+		Metrics:          reg,
+	}, exec, sched.Hooks{
+		AttemptStart: func(j *sched.Job, attempt int) {
+			// Best-effort: a lost running-record only means recovery re-runs
+			// an attempt that never reported back — exactly what it would do
+			// anyway.
+			s.journal(store.Record{Type: store.RecRunning, JobID: j.ID(), Attempt: attempt}) //nolint:errcheck
+		},
+		AttemptFailed: func(j *sched.Job, attempt int, err error) {
+			s.logf("job=%s request_id=%s attempt=%d retrying: %v", j.ID(), j.RequestID(), attempt, err)
+			s.journal(store.Record{Type: store.RecAttemptFailed, JobID: j.ID(), Attempt: attempt, Error: err.Error()}) //nolint:errcheck // best-effort
+		},
+		Finished: func(st JobStatus) {
+			s.logf("job=%s request_id=%s state=%s attempts=%d", st.ID, st.RequestID, st.State, st.Attempts)
+			s.journalTerminal(st)
+		},
+		Evicted: func(id string) {
+			if s.store != nil {
+				s.store.Forget(id)
+			}
+		},
+	})
+	// The engine uses the scheduler's effective worker count so a defaulted
+	// Config reports the same concurrency everywhere.
+	s.eng = engine.New(engine.Options{Workers: s.sch.Config().Workers, Cache: cache, Metrics: reg})
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir)
 		if err != nil {
@@ -244,26 +245,18 @@ func New(cfg Config) (*Server, error) {
 		}
 		st.FaultHook = cfg.Chaos.JournalFault
 		s.store = st
-		if pending, err = s.recoverFromStore(); err != nil {
+		if err := s.recoverFromStore(); err != nil {
 			st.Close() //nolint:errcheck // already failing
 			return nil, err
 		}
 	}
-	// Size the queue so every recovered job fits ahead of new admissions.
-	s.queue = make(chan *job, cfg.QueueDepth+len(pending))
-	for _, j := range pending {
-		s.queue <- j
-		s.met.queueDepth.Add(1)
-		s.met.recovered.Inc()
-	}
-	s.recovered = len(pending)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s, nil
 }
 
 // Recovered returns how many non-terminal jobs the boot recovery re-queued.
-func (s *Server) Recovered() int { return s.recovered }
+func (s *Server) Recovered() int { return s.sch.Recovered() }
 
 // Close compacts and closes the durable store. Call after Drain; the
 // server must not execute jobs afterwards.
@@ -277,64 +270,42 @@ func (s *Server) Close() error {
 // Metrics returns the server's registry (for embedding callers).
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
-// Start launches the worker pool. Safe to call once.
-func (s *Server) Start() {
-	if !s.started.CompareAndSwap(false, true) {
-		return
-	}
-	for i := 0; i < s.cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
-	}
+// Cache returns the engine's content-addressed result cache (for the
+// cluster peer-cache protocol).
+func (s *Server) Cache() *engine.Cache { return s.eng.Cache() }
+
+// Scheduler returns the underlying job scheduler (for embedding callers —
+// the cluster coordinator re-queues jobs through it).
+func (s *Server) Scheduler() *sched.Scheduler { return s.sch }
+
+// HandleFunc registers an additional route on the server's mux, letting
+// embedding subsystems (the cluster coordinator and worker) extend the API
+// surface without a second listener.
+func (s *Server) HandleFunc(pattern string, handler func(http.ResponseWriter, *http.Request)) {
+	s.mux.HandleFunc(pattern, handler)
 }
+
+// Start launches the worker pool. Safe to call once.
+func (s *Server) Start() { s.sch.Start() }
 
 // Drain gracefully shuts the job side down: it stops accepting new
 // submissions (503), lets the workers finish every queued and in-flight
 // job, and returns when the pool has exited. If ctx expires first, the
 // remaining running jobs are canceled, the drain keeps waiting for the
 // workers to observe the cancellation, and ctx.Err() is returned.
-func (s *Server) Drain(ctx context.Context) error {
-	s.mu.Lock()
-	if !s.draining {
-		s.draining = true
-		close(s.queue)
-	}
-	s.mu.Unlock()
-	if !s.started.Load() {
-		return nil
-	}
-	done := make(chan struct{})
-	go func() { s.wg.Wait(); close(done) }()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		// Deadline: cancel whatever is still running so the workers can
-		// exit, then wait for them (cancellation is cooperative and prompt).
-		s.mu.Lock()
-		for _, j := range s.jobs {
-			j.requestCancel()
-		}
-		s.mu.Unlock()
-		<-done
-		return ctx.Err()
-	}
-}
+func (s *Server) Drain(ctx context.Context) error { return s.sch.Drain(ctx) }
 
 // Draining reports whether the server has begun shutting down.
-func (s *Server) Draining() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.draining
-}
+func (s *Server) Draining() bool { return s.sch.Draining() }
 
-// worker executes jobs from the queue until it closes (drain).
-func (s *Server) worker() {
-	defer s.wg.Done()
-	for j := range s.queue {
-		s.met.queueDepth.Add(-1)
-		s.execute(j)
+// logf writes one job-lifecycle log line when Config.JobLog is set.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.JobLog == nil {
+		return
 	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	fmt.Fprintf(s.cfg.JobLog, format+"\n", args...) //nolint:errcheck // logging is best-effort
 }
 
 // Handler returns the server's HTTP handler: the versioned API, health
@@ -390,39 +361,29 @@ func retryAfter(w http.ResponseWriter, d time.Duration) {
 	w.Header().Set("Retry-After", strconv.Itoa(sec))
 }
 
-// queueRetryHint estimates how long until a queue slot frees: the current
-// depth draining through the worker pool at the observed average job
-// duration, clamped to [1s, 60s]. Before any job has finished it falls
-// back to 1s.
-func (s *Server) queueRetryHint() time.Duration {
-	avg := math.Float64frombits(s.avgJobSec.Load())
-	depth := float64(s.met.queueDepth.Load())
-	workers := float64(s.cfg.Workers)
-	est := time.Duration(avg * depth / workers * float64(time.Second))
-	if est < time.Second {
-		return time.Second
-	}
-	if est > time.Minute {
-		return time.Minute
-	}
-	return est
-}
-
-// noteJobDuration folds one job wall time into the EWMA behind
-// queueRetryHint.
-func (s *Server) noteJobDuration(sec float64) {
-	for {
-		old := s.avgJobSec.Load()
-		avg := math.Float64frombits(old)
-		if avg == 0 {
-			avg = sec
-		} else {
-			avg = 0.8*avg + 0.2*sec
+// requestID returns the submission's trace identifier: a client-supplied
+// X-Request-ID (validated: 1–64 printable non-space-controlled ASCII
+// characters) or a freshly generated 16-hex-digit one. Invalid supplied
+// IDs are rejected rather than silently replaced, so the client's tracing
+// never diverges from the server's.
+func requestID(r *http.Request) (string, error) {
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		var buf [8]byte
+		if _, err := rand.Read(buf[:]); err != nil {
+			return "", fmt.Errorf("generating request id: %w", err)
 		}
-		if s.avgJobSec.CompareAndSwap(old, math.Float64bits(avg)) {
-			return
+		return hex.EncodeToString(buf[:]), nil
+	}
+	if len(id) > 64 {
+		return "", fmt.Errorf("X-Request-ID longer than 64 characters")
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= 0x20 || id[i] >= 0x7f {
+			return "", fmt.Errorf("X-Request-ID contains non-printable or non-ASCII characters")
 		}
 	}
+	return id, nil
 }
 
 // handleSubmit is POST /v1/jobs: rate limit → circuit breaker →
@@ -438,10 +399,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, "rate limit exceeded, retry in %s", wait.Round(time.Millisecond))
 		return
 	}
-	if open, wait := s.brk.open(now); open {
+	if open, wait := s.sch.BreakerOpen(now); open {
 		s.met.rejectedBreaker.Inc()
 		retryAfter(w, wait)
 		writeError(w, http.StatusServiceUnavailable, "circuit breaker open (execution failure rate too high), retry in %s", wait.Round(time.Millisecond))
+		return
+	}
+	rid, err := requestID(r)
+	if err != nil {
+		s.met.badRequest.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	body, err := readBody(w, r, s.cfg.MaxBodyBytes)
@@ -462,29 +429,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
+	// Phase one: reserve an admission slot (the scheduler holds it while
+	// the acceptance record commits, so the post-journal enqueue can never
+	// overflow the queue).
+	j, err := s.sch.Reserve(req, rid, now)
+	switch {
+	case errors.Is(err, sched.ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
-	}
-	// Admission control counts enqueued jobs plus slots reserved by
-	// submissions still committing their acceptance record, so the
-	// post-journal enqueue below can never block or overflow the channel.
-	if len(s.queue)+s.reserved >= cap(s.queue) {
-		s.mu.Unlock()
+	case errors.Is(err, sched.ErrQueueFull):
 		s.met.rejectedQueue.Inc()
-		retryAfter(w, s.queueRetryHint())
-		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.cfg.QueueDepth)
+		retryAfter(w, s.sch.QueueRetryHint())
+		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.sch.Config().QueueDepth)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	s.nextID++
-	j := newJob(fmt.Sprintf("job-%06d", s.nextID), req, now)
-	s.reserved++
-	s.jobs[j.id] = j
-	s.order = append(s.order, j.id)
-	s.evictLocked()
-	s.mu.Unlock()
 
 	// Durability point: the job is accepted once (and only once) the
 	// journal record is committed, and only then enqueued — a worker can
@@ -492,40 +453,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// journal failure, withdraw the job and shed with 503 so the client
 	// knows the submission did not take.
 	if err := s.journalAccept(j); err != nil {
-		j.requestCancel()
-		s.mu.Lock()
-		s.reserved--
-		delete(s.jobs, j.id)
-		for i, id := range s.order {
-			if id == j.id {
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				break
-			}
-		}
-		s.mu.Unlock()
+		s.sch.Withdraw(j)
 		retryAfter(w, time.Second)
 		writeError(w, http.StatusServiceUnavailable, "journal write failed, job not accepted: %v", err)
 		return
 	}
 
-	s.mu.Lock()
-	s.reserved--
-	if s.draining {
+	if err := s.sch.Commit(j); err != nil {
 		// Drain closed the queue while the acceptance record was
-		// committing. Cancel the job — journaling the terminal record so
+		// committing. The job was canceled — journal the terminal record so
 		// the next boot does not resurrect it — and shed the submission.
-		s.mu.Unlock()
-		j.requestCancel()
-		s.journalTerminal(j.status())
+		s.journalTerminal(j.Status())
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	s.queue <- j // cannot block: the reservation held this slot
-	s.met.queueDepth.Add(1)
-	s.mu.Unlock()
-
-	s.met.submitted.Inc()
-	writeJSON(w, http.StatusAccepted, j.status())
+	s.logf("job=%s request_id=%s accepted mode=%s kernel=%s", j.ID(), rid, req.Mode, req.Kernel)
+	w.Header().Set("X-Request-ID", rid)
+	writeJSON(w, http.StatusAccepted, j.Status())
 }
 
 // readBody consumes the request body under the size cap.
@@ -535,76 +479,39 @@ func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, erro
 	return io.ReadAll(r.Body)
 }
 
-// evictLocked drops the oldest terminal jobs beyond the retention bound.
-// Live (queued/running) jobs are never evicted, so the map can exceed
-// MaxJobs only by the number of live jobs, which the queue bounds. Evicted
-// jobs are also forgotten by the durable store, keeping the snapshot
-// bounded by the same retention policy.
-func (s *Server) evictLocked() {
-	for len(s.order) > s.cfg.MaxJobs {
-		evicted := false
-		for i, id := range s.order {
-			if j, ok := s.jobs[id]; ok && j.status().Terminal() {
-				delete(s.jobs, id)
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				if s.store != nil {
-					s.store.Forget(id)
-				}
-				evicted = true
-				break
-			}
-		}
-		if !evicted {
-			return
-		}
-	}
-}
-
-func (s *Server) lookup(id string) *job {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.jobs[id]
-}
-
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
+	j := s.sch.Lookup(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, j.status())
+	writeJSON(w, http.StatusOK, j.Status())
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	out := make([]JobStatus, 0, len(s.order))
-	for _, id := range s.order {
-		if j, ok := s.jobs[id]; ok {
-			out = append(out, j.status())
-		}
-	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, s.sch.List())
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
+	j := s.sch.Lookup(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	if !j.requestCancel() {
-		writeError(w, http.StatusConflict, "job %s already finished", j.id)
+	if !j.RequestCancel() {
+		writeError(w, http.StatusConflict, "job %s already finished", j.ID())
 		return
 	}
-	writeJSON(w, http.StatusOK, j.status())
+	writeJSON(w, http.StatusOK, j.Status())
 }
 
 // handleEvents is GET /v1/jobs/{id}/events: a Server-Sent Events stream
 // replaying the job's full event history and following it live until the
-// job reaches a terminal state or the client disconnects.
+// job reaches a terminal state or the client disconnects. Idle streams
+// carry periodic ": keepalive" comments so intermediaries (cluster
+// coordinators, proxies, load balancers) do not sever them.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
+	j := s.sch.Lookup(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
@@ -623,6 +530,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	s.met.sseClients.Add(1)
 	defer s.met.sseClients.Add(-1)
 
+	var keepalive <-chan time.Time
+	if s.cfg.SSEKeepalive > 0 {
+		t := time.NewTicker(s.cfg.SSEKeepalive)
+		defer t.Stop()
+		keepalive = t.C
+	}
+
 	idx := 0
 	// Honor Last-Event-ID resumption.
 	if last := r.Header.Get("Last-Event-ID"); last != "" {
@@ -631,7 +545,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	for {
-		evs, done, wake := j.events.since(idx)
+		evs, done, wake := j.Events().Since(idx)
 		for _, ev := range evs {
 			data, err := json.Marshal(ev)
 			if err != nil {
@@ -650,6 +564,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-wake:
+		case <-keepalive:
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
 		case <-r.Context().Done():
 			return
 		}
@@ -662,22 +581,22 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	breakerState := "closed"
-	if open, _ := s.brk.open(time.Now()); open {
+	if open, _ := s.sch.BreakerOpen(time.Now()); open {
 		breakerState = "open"
 	}
 	info := map[string]any{
 		"status":         "ok",
 		"uptime_sec":     time.Since(s.birth).Seconds(),
-		"queue_depth":    int(s.met.queueDepth.Load()),
-		"jobs_inflight":  int(s.met.inflight.Load()),
+		"queue_depth":    s.sch.QueueLen(),
+		"jobs_inflight":  s.sch.Inflight(),
 		"engine_workers": s.eng.Workers(),
 		"breaker":        breakerState,
-		"breaker_trips":  s.brk.tripCount(),
+		"breaker_trips":  s.sch.BreakerTrips(),
 		"durable":        s.store != nil,
 	}
 	if s.store != nil {
 		st := s.store.Stats()
-		info["jobs_recovered"] = s.recovered
+		info["jobs_recovered"] = s.sch.Recovered()
 		info["journal_appends"] = st.Appends
 		info["journal_replayed"] = st.Replayed
 		info["journal_compactions"] = st.Compactions
@@ -687,7 +606,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if !s.started.Load() {
+	if !s.sch.Started() {
 		writeError(w, http.StatusServiceUnavailable, "worker pool not started")
 		return
 	}
@@ -695,7 +614,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	if open, wait := s.brk.open(time.Now()); open {
+	if open, wait := s.sch.BreakerOpen(time.Now()); open {
 		// An open breaker fails readiness so load balancers steer new work
 		// away while in-flight jobs drain; liveness (healthz) stays ok.
 		retryAfter(w, wait)

@@ -76,6 +76,11 @@ type Record struct {
 	Result   json.RawMessage `json:"result,omitempty"`
 	CacheHit bool            `json:"cache_hit,omitempty"`
 
+	// RequestID is the submission's trace identifier (X-Request-ID),
+	// carried on acceptance records so a recovered job keeps its identity
+	// across restarts.
+	RequestID string `json:"request_id,omitempty"`
+
 	// State is the folded job state a Snapshot record carries.
 	State *JobState `json:"state,omitempty"`
 }
@@ -91,6 +96,7 @@ type JobState struct {
 	Request   json.RawMessage `json:"request,omitempty"`
 	Result    json.RawMessage `json:"result,omitempty"`
 	CacheHit  bool            `json:"cache_hit,omitempty"`
+	RequestID string          `json:"request_id,omitempty"`
 	Accepted  time.Time       `json:"accepted"`
 	Finished  time.Time       `json:"finished,omitempty"`
 }
@@ -398,6 +404,7 @@ func (s *Store) apply(rec Record) {
 	case RecAccepted:
 		js.State = StateQueued
 		js.Request = rec.Request
+		js.RequestID = rec.RequestID
 		js.Accepted = rec.Time
 	case RecRunning:
 		js.State = StateRunning
