@@ -24,6 +24,7 @@ import (
 	"sparseadapt/internal/obs"
 	"sparseadapt/internal/oracle"
 	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
 )
 
 func main() {
@@ -121,7 +122,7 @@ func main() {
 	cfgs := oracle.SampleConfigs(rng, *samples, config.CacheMode)
 	fmt.Printf("recording %s on %s: %d configs x %d epochs, %d workers\n",
 		*kernel, *matID, len(cfgs), len(w.Epochs(sc.Epoch)), eng.Workers())
-	rec, err := oracle.RecordEngine(context.Background(), eng, sc.Chip, sc.BW, w, sc.Epoch, cfgs)
+	rec, err := oracle.RecordEngineMemo(context.Background(), eng, sim.SharedRunMemo(), sc.Chip, sc.BW, w, sc.Epoch, cfgs)
 	if err != nil {
 		fatal(err)
 	}

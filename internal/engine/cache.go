@@ -7,25 +7,46 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
 
 // diskMagic heads every on-disk cache entry; the version digit guards the
 // file layout itself (payload semantics are guarded by the Hasher domain).
 const diskMagic = "SAENG1\n"
 
+// cacheShards is the memory-tier shard count for large caches. Keys are
+// sha256 content addresses, so the leading byte distributes uniformly.
+const cacheShards = 16
+
 // Cache is a two-tier content-addressed result store: a bounded in-memory
 // LRU tier for hot entries and an optional on-disk tier (one checksummed
 // file per key) that survives process restarts. Both tiers are keyed by the
 // same content address, so a warm disk cache re-populates the memory tier
 // on first touch. All methods are safe for concurrent use.
+//
+// The memory tier is sharded by the key's leading byte: under a parallel
+// sweep every task Get/Put serializes on the cache, and one lock was a
+// measurable contention point at 8 workers. Small caches (where per-shard
+// capacity would drop below lruShardMin) use a single shard so eviction
+// order stays exactly global LRU.
 type Cache struct {
+	shards []*cacheShard
+	mask   uint32
+	dir    string // "" = memory-only
+
+	hits, misses, corrupt atomic.Int64
+}
+
+// lruShardMin is the smallest per-shard capacity worth sharding for: below
+// this the cache is small enough that lock contention is irrelevant and
+// exact global LRU order is worth keeping (tests rely on it).
+const lruShardMin = 64
+
+type cacheShard struct {
 	mu     sync.Mutex
 	maxMem int
 	ll     *list.List // front = most recent
 	idx    map[Key]*list.Element
-	dir    string // "" = memory-only
-
-	hits, misses, corrupt int64
 }
 
 type cacheEntry struct {
@@ -44,43 +65,62 @@ func NewCache(maxMem int, dir string) (*Cache, error) {
 			return nil, fmt.Errorf("engine: cache dir: %w", err)
 		}
 	}
-	return &Cache{maxMem: maxMem, ll: list.New(), idx: map[Key]*list.Element{}, dir: dir}, nil
+	n := 1
+	if maxMem >= cacheShards*lruShardMin {
+		n = cacheShards
+	}
+	c := &Cache{shards: make([]*cacheShard, n), mask: uint32(n - 1), dir: dir}
+	for i := range c.shards {
+		per := maxMem / n
+		// Distribute the remainder so total capacity is exactly maxMem.
+		if i < maxMem%n {
+			per++
+		}
+		c.shards[i] = &cacheShard{maxMem: per, ll: list.New(), idx: map[Key]*list.Element{}}
+	}
+	return c, nil
+}
+
+// shard maps a key to its memory-tier shard. Key is a sha256 sum, so any
+// byte is uniform; the mask is 0 for single-shard caches.
+func (c *Cache) shard(k Key) *cacheShard {
+	return c.shards[uint32(k[0])&c.mask]
 }
 
 // Get returns the value stored under k. A disk hit promotes the entry into
 // the memory tier; a corrupt disk entry (checksum mismatch, truncation) is
 // deleted and reported as a miss, so the caller recomputes it.
 func (c *Cache) Get(k Key) ([]byte, bool) {
-	c.mu.Lock()
-	if el, ok := c.idx[k]; ok {
-		c.ll.MoveToFront(el)
+	s := c.shard(k)
+	s.mu.Lock()
+	if el, ok := s.idx[k]; ok {
+		s.ll.MoveToFront(el)
 		v := el.Value.(*cacheEntry).val
-		c.hits++
-		c.mu.Unlock()
+		s.mu.Unlock()
+		c.hits.Add(1)
 		return v, true
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 	if c.dir != "" {
 		if v, ok := c.readDisk(k); ok {
-			c.mu.Lock()
-			c.insertMem(k, v)
-			c.hits++
-			c.mu.Unlock()
+			s.mu.Lock()
+			s.insertMem(k, v)
+			s.mu.Unlock()
+			c.hits.Add(1)
 			return v, true
 		}
 	}
-	c.mu.Lock()
-	c.misses++
-	c.mu.Unlock()
+	c.misses.Add(1)
 	return nil, false
 }
 
 // Put stores v under k in both tiers. The stored slice must not be mutated
 // by the caller afterwards.
 func (c *Cache) Put(k Key, v []byte) {
-	c.mu.Lock()
-	c.insertMem(k, v)
-	c.mu.Unlock()
+	s := c.shard(k)
+	s.mu.Lock()
+	s.insertMem(k, v)
+	s.mu.Unlock()
 	if c.dir != "" {
 		c.writeDisk(k, v)
 	}
@@ -89,30 +129,31 @@ func (c *Cache) Put(k Key, v []byte) {
 // Delete removes k from both tiers (used when an entry turns out to be
 // undecodable despite an intact checksum, e.g. after a schema change).
 func (c *Cache) Delete(k Key) {
-	c.mu.Lock()
-	if el, ok := c.idx[k]; ok {
-		c.ll.Remove(el)
-		delete(c.idx, k)
+	s := c.shard(k)
+	s.mu.Lock()
+	if el, ok := s.idx[k]; ok {
+		s.ll.Remove(el)
+		delete(s.idx, k)
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 	if c.dir != "" {
 		os.Remove(c.path(k))
 	}
 }
 
 // insertMem adds or refreshes a memory-tier entry, evicting from the LRU
-// tail. Caller holds c.mu.
-func (c *Cache) insertMem(k Key, v []byte) {
-	if el, ok := c.idx[k]; ok {
+// tail. Caller holds s.mu.
+func (s *cacheShard) insertMem(k Key, v []byte) {
+	if el, ok := s.idx[k]; ok {
 		el.Value.(*cacheEntry).val = v
-		c.ll.MoveToFront(el)
+		s.ll.MoveToFront(el)
 		return
 	}
-	c.idx[k] = c.ll.PushFront(&cacheEntry{key: k, val: v})
-	for c.ll.Len() > c.maxMem {
-		tail := c.ll.Back()
-		c.ll.Remove(tail)
-		delete(c.idx, tail.Value.(*cacheEntry).key)
+	s.idx[k] = s.ll.PushFront(&cacheEntry{key: k, val: v})
+	for s.ll.Len() > s.maxMem {
+		tail := s.ll.Back()
+		s.ll.Remove(tail)
+		delete(s.idx, tail.Value.(*cacheEntry).key)
 	}
 }
 
@@ -130,26 +171,29 @@ func (c *Cache) DiskPath(k Key) string {
 // place, so the next Get must go through the checksummed disk read.
 // Chaos-harness hook.
 func (c *Cache) DropMemory(k Key) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.idx[k]; ok {
-		c.ll.Remove(el)
-		delete(c.idx, k)
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.idx[k]; ok {
+		s.ll.Remove(el)
+		delete(s.idx, k)
 	}
 }
 
 // MemLen returns the number of memory-tier entries.
 func (c *Cache) MemLen() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Counts returns (hits, misses, corrupt-entries-detected).
 func (c *Cache) Counts() (hits, misses, corrupt int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.corrupt
+	return c.hits.Load(), c.misses.Load(), c.corrupt.Load()
 }
 
 func (c *Cache) path(k Key) string { return filepath.Join(c.dir, k.String()+".bin") }
@@ -206,9 +250,7 @@ func (c *Cache) readDisk(k Key) ([]byte, bool) {
 		return payload, true
 	}
 	// Torn write, bit rot or foreign file: drop it and recompute.
-	c.mu.Lock()
-	c.corrupt++
-	c.mu.Unlock()
+	c.corrupt.Add(1)
 	os.Remove(c.path(k))
 	return nil, false
 }

@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sparseadapt/internal/obs"
@@ -146,29 +147,45 @@ func Map[T any](ctx context.Context, e *Engine, tasks []Task[T]) ([]T, error) {
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(worker int) {
-			defer wg.Done()
-			for i := range idx {
-				if ctx.Err() != nil {
-					errs[i] = ctx.Err()
-					continue
-				}
-				results[i], errs[i] = runOne(e, ctx, worker, i, tasks[i])
-				if errs[i] != nil {
-					cancel()
-				}
-			}
-		}(w)
+	// Tasks are claimed with an atomic counter rather than fed through a
+	// channel: an unbuffered channel serializes dispatch through the feeding
+	// goroutine (one rendezvous per task), which profiles as a real
+	// bottleneck once the per-task compute is fast (memo/cache hits). The
+	// counter makes claiming a single uncontended atomic add, and the
+	// single-task case (the daemon exec path maps one task per job) runs
+	// inline on the calling goroutine with no spawn at all.
+	run := func(worker, i int) {
+		if ctx.Err() != nil {
+			errs[i] = ctx.Err()
+			return
+		}
+		results[i], errs[i] = runOne(e, ctx, worker, i, tasks[i])
+		if errs[i] != nil {
+			cancel()
+		}
 	}
-	for i := range tasks {
-		idx <- i
+	if workers == 1 {
+		for i := range tasks {
+			run(0, i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(worker int) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(tasks) {
+						return
+					}
+					run(worker, i)
+				}
+			}(w)
+		}
+		wg.Wait()
 	}
-	close(idx)
-	wg.Wait()
 	stopProgress()
 
 	// Report the lowest-index root-cause failure. Plain cancellations are

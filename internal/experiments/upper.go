@@ -21,7 +21,7 @@ func init() {
 func recordFor(sc Scale, w kernels.Workload, l1Type int, epochScale float64) (*oracle.Recording, error) {
 	rng := rand.New(rand.NewSource(sc.Seed + 7))
 	cfgs := oracle.SampleConfigs(rng, sc.OracleSamples, l1Type)
-	return oracle.RecordEngine(context.Background(), sc.Eng, sc.Chip, sc.BW, w, epochScale, cfgs)
+	return oracle.RecordEngineMemo(context.Background(), sc.Eng, sc.Memo, sc.Chip, sc.BW, w, epochScale, cfgs)
 }
 
 // baselineOf extracts the static-Baseline totals from a recording.

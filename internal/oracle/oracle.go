@@ -58,6 +58,17 @@ func Record(chip power.Chip, bw float64, w kernels.Workload, epochScale float64,
 // bandwidth, configuration), so a warm cache skips re-simulating
 // configurations seen in earlier runs. A nil eng runs serially uncached.
 func RecordEngine(ctx context.Context, eng *engine.Engine, chip power.Chip, bw float64, w kernels.Workload, epochScale float64, cfgs []config.Config) (*Recording, error) {
+	return RecordEngineMemo(ctx, eng, nil, chip, bw, w, epochScale, cfgs)
+}
+
+// RecordEngineMemo is RecordEngine with an optional in-process replay memo
+// (sim.RunMemo): rows whose (trace, chip, bandwidth, config, epoching) key
+// was already replayed this process — by an earlier recording, a trainer
+// sweep or another experiment mode — are served from memory without
+// re-simulating, and are byte-identical to a cold replay. A nil memo is
+// exactly RecordEngine. The engine result cache still operates underneath
+// for cross-process reuse.
+func RecordEngineMemo(ctx context.Context, eng *engine.Engine, memo *sim.RunMemo, chip power.Chip, bw float64, w kernels.Workload, epochScale float64, cfgs []config.Config) (*Recording, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("oracle: no configurations to record")
 	}
@@ -74,14 +85,12 @@ func RecordEngine(ctx context.Context, eng *engine.Engine, chip power.Chip, bw f
 			Int(chip.Tiles, chip.GPEsPerTile).F64(bw).
 			Int(cfg.Index()).Sum()
 		tasks[s] = engine.Task[[]EpochRecord]{Key: key, Compute: func(ctx context.Context) ([]EpochRecord, error) {
-			m := sim.New(chip, bw, cfg)
-			m.BindTrace(w.Trace)
-			row := make([]EpochRecord, len(rec.Epochs))
-			for e, ep := range rec.Epochs {
-				if e%64 == 0 && ctx.Err() != nil {
-					return nil, ctx.Err()
-				}
-				r := m.RunEpoch(ep)
+			rs, err := sim.RunEpochs(ctx, memo, chip, bw, cfg, w.Trace, rec.Epochs)
+			if err != nil {
+				return nil, err
+			}
+			row := make([]EpochRecord, len(rs))
+			for e, r := range rs {
 				row[e] = EpochRecord{Metrics: r.Metrics, DirtyL1: r.DirtyL1, DirtyL2: r.DirtyL2}
 			}
 			return row, nil

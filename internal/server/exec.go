@@ -151,8 +151,11 @@ func (s *Server) runJob(ctx context.Context, j *sched.Job, attempt int) (JobResu
 	}
 	// Nested engine use is safe: each Map call gets its own worker set, so
 	// a job's internal fan-out (model training sweeps, batch offloads) is
-	// bounded per batch and cached in the same store.
+	// bounded per batch and cached in the same store. The shared replay memo
+	// lets jobs over the same workload reuse each other's epoch replays even
+	// when their request fingerprints (and thus engine cache keys) differ.
 	sc.Eng = s.eng
+	sc.Memo = sim.SharedRunMemo()
 
 	off, modelKernel, err := buildWorkload(req, sc)
 	if err != nil {

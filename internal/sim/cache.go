@@ -24,6 +24,20 @@ type Bank struct {
 	lines []line // sets × Ways
 	tick  uint32
 
+	// setMask/tagShift implement the set split with mask/shift when sets is
+	// a power of two (every standard capacity), falling back to div/mod
+	// otherwise. Integer division is the single most expensive instruction
+	// on the per-access path, so this is load-bearing for replay speed.
+	setMask  uint32
+	tagShift uint8
+	pow2     bool
+
+	// nValid/nDirty track resident and dirty line counts incrementally so
+	// Occupancy and DirtyLines are O(1) per epoch instead of a full scan of
+	// the line array.
+	nValid int
+	nDirty int
+
 	// Per-epoch counters, reset by the machine after telemetry (Table 2).
 	Accesses   int
 	Misses     int
@@ -46,6 +60,16 @@ func (b *Bank) init(capacityBytes int) {
 	b.sets = sets
 	b.lines = make([]line, sets*Ways)
 	b.tick = 0
+	b.nValid, b.nDirty = 0, 0
+	b.pow2 = sets&(sets-1) == 0
+	if b.pow2 {
+		b.setMask = uint32(sets - 1)
+		shift := uint8(0)
+		for 1<<shift < sets {
+			shift++
+		}
+		b.tagShift = shift
+	}
 }
 
 // CapacityBytes returns the current bank capacity.
@@ -53,6 +77,10 @@ func (b *Bank) CapacityBytes() int { return b.sets * Ways * LineSize }
 
 // set returns the slice of ways for the set holding lineAddr.
 func (b *Bank) set(lineAddr uint32) ([]line, uint32) {
+	if b.pow2 {
+		s := lineAddr & b.setMask
+		return b.lines[s*Ways : s*Ways+Ways], lineAddr >> b.tagShift
+	}
 	s := int(lineAddr) % b.sets
 	tag := lineAddr / uint32(b.sets)
 	return b.lines[s*Ways : s*Ways+Ways], tag
@@ -87,14 +115,59 @@ func (b *Bank) Access(lineAddr uint32, store bool) (hit, prefHit bool) {
 				prefHit = true
 			}
 			ws[i].lru = b.tick
-			if store {
+			if store && !ws[i].dirty {
 				ws[i].dirty = true
+				b.nDirty++
 			}
 			return true, prefHit
 		}
 	}
 	b.Misses++
 	return false, false
+}
+
+// AccessFill is the fused demand-access path of the hot loop: a miss fills
+// the line in the same call (the demand fill the caller would otherwise
+// perform with a separate Insert), saving a second set scan. Counter and
+// LRU-tick semantics are bit-identical to Access followed by
+// Insert(lineAddr, store, false) on the miss path: the access bumps the
+// tick once, the fill bumps it again, and the victim is chosen under the
+// post-fill tick, exactly as the split sequence did.
+func (b *Bank) AccessFill(lineAddr uint32, store bool) (hit, prefHit bool, ev Evicted) {
+	b.Accesses++
+	b.tick++
+	ws, tag := b.set(lineAddr)
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			if ws[i].prefetched {
+				b.PrefUseful++
+				ws[i].prefetched = false
+				prefHit = true
+			}
+			ws[i].lru = b.tick
+			if store && !ws[i].dirty {
+				ws[i].dirty = true
+				b.nDirty++
+			}
+			return true, prefHit, Evicted{}
+		}
+	}
+	b.Misses++
+	// Demand fill. The set was just scanned and the line is absent, so the
+	// resident-rescan of Insert is skipped; tick bumps again exactly as the
+	// standalone Insert would.
+	b.tick++
+	victim := 0
+	for i := 1; i < len(ws); i++ {
+		if !ws[victim].valid {
+			break
+		}
+		if !ws[i].valid || ws[i].lru < ws[victim].lru {
+			victim = i
+		}
+	}
+	ev = b.replace(victim, ws, lineAddr, tag, store, false)
+	return false, false, ev
 }
 
 // Evicted describes a line displaced from a bank.
@@ -113,8 +186,9 @@ func (b *Bank) Insert(lineAddr uint32, dirty, prefetched bool) Evicted {
 	// Already resident (e.g. racing prefetch): just update.
 	for i := range ws {
 		if ws[i].valid && ws[i].tag == tag {
-			if dirty {
+			if dirty && !ws[i].dirty {
 				ws[i].dirty = true
+				b.nDirty++
 			}
 			ws[i].lru = b.tick
 			return Evicted{}
@@ -129,15 +203,31 @@ func (b *Bank) Insert(lineAddr uint32, dirty, prefetched bool) Evicted {
 			victim = i
 		}
 	}
+	return b.replace(victim, ws, lineAddr, tag, dirty, prefetched)
+}
+
+// replace overwrites the victim way with a fresh line and maintains the
+// incremental valid/dirty counts. ws is the set slice lineAddr maps to and
+// tag its bank-local tag; the caller has already bumped the tick.
+func (b *Bank) replace(victim int, ws []line, lineAddr, tag uint32, dirty, prefetched bool) Evicted {
 	ev := Evicted{}
-	if ws[victim].valid {
+	v := &ws[victim]
+	if v.valid {
 		ev = Evicted{
-			LineAddr: ws[victim].tag*uint32(b.sets) + uint32(int(lineAddr)%b.sets),
-			Dirty:    ws[victim].dirty,
+			LineAddr: v.tag*uint32(b.sets) + uint32(int(lineAddr)%b.sets),
+			Dirty:    v.dirty,
 			Valid:    true,
 		}
+		if v.dirty {
+			b.nDirty--
+		}
+	} else {
+		b.nValid++
 	}
-	ws[victim] = line{tag: tag, lru: b.tick, valid: true, dirty: dirty, prefetched: prefetched}
+	if dirty {
+		b.nDirty++
+	}
+	*v = line{tag: tag, lru: b.tick, valid: true, dirty: dirty, prefetched: prefetched}
 	if prefetched {
 		b.Prefetches++
 	}
@@ -145,27 +235,14 @@ func (b *Bank) Insert(lineAddr uint32, dirty, prefetched bool) Evicted {
 }
 
 // Occupancy returns the fraction of valid lines, the "cache occupancy"
-// counter of Table 2.
+// counter of Table 2. O(1): the count is maintained incrementally.
 func (b *Bank) Occupancy() float64 {
-	n := 0
-	for i := range b.lines {
-		if b.lines[i].valid {
-			n++
-		}
-	}
-	return float64(n) / float64(len(b.lines))
+	return float64(b.nValid) / float64(len(b.lines))
 }
 
-// DirtyLines returns the number of dirty resident lines.
-func (b *Bank) DirtyLines() int {
-	n := 0
-	for i := range b.lines {
-		if b.lines[i].valid && b.lines[i].dirty {
-			n++
-		}
-	}
-	return n
-}
+// DirtyLines returns the number of dirty resident lines. O(1): the count
+// is maintained incrementally.
+func (b *Bank) DirtyLines() int { return b.nDirty }
 
 // Flush invalidates the whole bank and returns the addresses of the dirty
 // lines that must be written back to the next level.
@@ -180,6 +257,7 @@ func (b *Bank) Flush() []uint32 {
 			l.valid = false
 		}
 	}
+	b.nValid, b.nDirty = 0, 0
 	return dirty
 }
 
@@ -231,12 +309,22 @@ const prefTableSize = 64
 // layer (Section 3.2.5). Degree 0 disables it.
 type Prefetcher struct {
 	table [prefTableSize]prefEntry
+	// buf is the reusable output buffer of Observe. Prefetch issue used to
+	// be the simulator's dominant allocation site (one slice per confident
+	// miss, hundreds of thousands per recording), which throttled parallel
+	// sweeps through GC assist; reusing one buffer per prefetcher removes
+	// the per-access allocation entirely.
+	buf []uint32
 }
 
 // Observe records a demand access by static instruction pc to lineAddr and
 // returns the line addresses to prefetch (up to degree lines ahead) once a
 // stable stride has been established. Repeated accesses to the same line
 // (sub-line strides) do not perturb the learned stride.
+//
+// The returned slice aliases an internal buffer that is overwritten by the
+// next Observe call on the same Prefetcher: consume it before re-observing
+// (the replay loops issue the fills immediately, so this is free).
 func (p *Prefetcher) Observe(pc uint16, lineAddr uint32, degree int) []uint32 {
 	e := &p.table[pc%prefTableSize]
 	if e.pc != pc {
@@ -259,7 +347,7 @@ func (p *Prefetcher) Observe(pc uint16, lineAddr uint32, degree int) []uint32 {
 	if degree <= 0 || e.conf < 2 {
 		return nil
 	}
-	out := make([]uint32, 0, degree)
+	out := p.buf[:0]
 	a := int64(lineAddr)
 	for i := 1; i <= degree; i++ {
 		a += int64(e.stride)
@@ -268,6 +356,7 @@ func (p *Prefetcher) Observe(pc uint16, lineAddr uint32, degree int) []uint32 {
 		}
 		out = append(out, uint32(a))
 	}
+	p.buf = out
 	return out
 }
 

@@ -68,6 +68,18 @@ type Machine struct {
 	pendCycles float64
 	pendCounts power.Counts
 
+	// Derived per-configuration values cached off the hot path (decoding
+	// the packed config on every access costs more than the tag scan);
+	// refreshed by refreshDerived on construction and reconfiguration.
+	dvNGPE     int  // chip.NGPE()
+	dvGPT      int  // chip.GPEsPerTile
+	dvL2Banks  int  // chip.L2Banks()
+	dvL1Shared bool // cfg.L1Shared()
+	dvL2Shared bool // cfg.L2Shared()
+	dvL1SPM    bool // cfg.L1IsSPM()
+	dvPrefDeg  int  // cfg.PrefetchDegree()
+	dvDRAMCyc  int  // dramCycles() at the current clock
+
 	// Per-epoch scratch state.
 	cyc        []int64 // per-core cycles
 	bankAcc    []int   // per-L1-bank accesses (contention model)
@@ -109,7 +121,21 @@ func New(chip power.Chip, bwBytesPerSec float64, cfg config.Config) *Machine {
 	m.spmFilled = make(map[uint32]bool)
 	m.streamLine = make([]uint32, chip.NGPE())
 	m.streamValid = make([]bool, chip.NGPE())
+	m.refreshDerived()
 	return m
+}
+
+// refreshDerived recomputes the cached per-configuration hot-path values.
+// Must be called whenever m.cfg changes.
+func (m *Machine) refreshDerived() {
+	m.dvNGPE = m.chip.NGPE()
+	m.dvGPT = m.chip.GPEsPerTile
+	m.dvL2Banks = m.chip.L2Banks()
+	m.dvL1Shared = m.cfg.L1Shared()
+	m.dvL2Shared = m.cfg.L2Shared()
+	m.dvL1SPM = m.cfg.L1IsSPM()
+	m.dvPrefDeg = m.cfg.PrefetchDegree()
+	m.dvDRAMCyc = int(dramLatNs * m.cfg.ClockMHz() / 1e3)
 }
 
 // Chip returns the machine's physical topology.
@@ -192,10 +218,10 @@ func (m *Machine) spmResident(addr uint32) bool {
 
 // tileOf returns the tile index of a core (GPE or LCP).
 func (m *Machine) tileOf(core int) int {
-	if core < m.chip.NGPE() {
-		return core / m.chip.GPEsPerTile
+	if core < m.dvNGPE {
+		return core / m.dvGPT
 	}
-	return core - m.chip.NGPE()
+	return core - m.dvNGPE
 }
 
 // l2Access routes one access to the L2 layer from a tile, returning the
@@ -209,38 +235,37 @@ func (m *Machine) l2Access(tile int, lineAddr uint32, store bool, pc uint16) int
 	var bank int
 	local := lineAddr
 	lat := latL2Private
-	nb := uint32(m.chip.L2Banks())
-	if m.cfg.L2Shared() {
+	nb := uint32(m.dvL2Banks)
+	if m.dvL2Shared {
 		bank = int(lineAddr % nb)
 		local = lineAddr / nb
 		lat = latL2Shared
 	} else {
-		bank = tile % m.chip.L2Banks()
+		bank = tile % m.dvL2Banks
 	}
 	m.l2BankAcc[bank]++
 	m.epCnt.L2Accesses++
 	m.epCnt.XbarTransfers++
 	b := m.l2[bank]
-	if hit, _ := b.Access(local, store); hit {
+	hit, _, ev := b.AccessFill(local, store)
+	if hit {
 		return lat
 	}
-	// L2 miss.
+	// L2 miss; AccessFill has already performed the demand fill (for a
+	// store, a full-line writeback from L1 allocating without a DRAM fill).
 	if store {
-		// Full-line writeback from L1: allocate without a DRAM fill.
-		ev := b.Insert(local, true, false)
 		if ev.Valid && ev.Dirty {
 			m.writeBytes += LineSize
 		}
 		return lat
 	}
 	m.readBytes += LineSize
-	ev := b.Insert(local, false, false)
 	if ev.Valid && ev.Dirty {
 		m.writeBytes += LineSize
 	}
 	// L2 stride prefetcher fills from DRAM. PC 0 (writeback traffic) does
 	// not train it.
-	if deg := m.cfg.PrefetchDegree(); deg > 0 && pc != 0 {
+	if deg := m.dvPrefDeg; deg > 0 && pc != 0 {
 		for _, pa := range m.l2pf[bank].Observe(pc, local, deg) {
 			if !b.Lookup(pa) {
 				m.readBytes += LineSize
@@ -252,7 +277,7 @@ func (m *Machine) l2Access(tile int, lineAddr uint32, store bool, pc uint16) int
 			}
 		}
 	}
-	return lat + m.dramCycles()
+	return lat + m.dvDRAMCyc
 }
 
 // corePC folds the requesting core into the static instruction ID so that
@@ -267,15 +292,13 @@ func corePC(pc uint16, core uint8) uint16 {
 }
 
 // dramCycles returns DRAM access latency in cycles at the current clock.
-func (m *Machine) dramCycles() int {
-	return int(dramLatNs * m.cfg.ClockMHz() / 1e3)
-}
+func (m *Machine) dramCycles() int { return m.dvDRAMCyc }
 
 // l1BankFor returns the L1 bank servicing an access by a GPE.
 func (m *Machine) l1BankFor(core int, lineAddr uint32) int {
-	g := m.chip.GPEsPerTile
+	g := m.dvGPT
 	tile := core / g
-	if m.cfg.L1Shared() {
+	if m.dvL1Shared {
 		return tile*g + int(lineAddr)%g
 	}
 	return core
@@ -290,12 +313,12 @@ func (m *Machine) memAccess(e Event) int {
 	store := e.Kind.IsStore()
 
 	// LCP accesses (bookkeeping) bypass the GPE-layer L1 and go to L2.
-	if core >= m.chip.NGPE() {
+	if core >= m.dvNGPE {
 		return 1 + m.l2Access(tile, lineAddr, store, corePC(e.PC, e.Core))
 	}
 
 	// Scratchpad mode.
-	if m.cfg.L1IsSPM() {
+	if m.dvL1SPM {
 		if m.spmResident(e.Addr) {
 			m.epCnt.SPMAccesses++
 			if m.spmFilled[lineAddr] {
@@ -322,14 +345,15 @@ func (m *Machine) memAccess(e Event) int {
 	// and the bank indexes on the remaining (bank-local) bits.
 	bank := m.l1BankFor(core, lineAddr)
 	local := lineAddr
-	g := uint32(m.chip.GPEsPerTile)
-	if m.cfg.L1Shared() {
+	g := uint32(m.dvGPT)
+	shared := m.dvL1Shared
+	if shared {
 		local = lineAddr / g
 	}
 	// toGlobal recovers the global line address of a bank-local one for
 	// writeback routing.
 	toGlobal := func(l uint32) uint32 {
-		if m.cfg.L1Shared() {
+		if shared {
 			return l*g + uint32(bank)%g
 		}
 		return l
@@ -337,15 +361,14 @@ func (m *Machine) memAccess(e Event) int {
 	m.bankAcc[bank]++
 	m.epCnt.L1Accesses++
 	lat := latL1Private
-	if m.cfg.L1Shared() {
+	if shared {
 		lat = latL1Shared
 		m.epCnt.XbarTransfers++
 	}
 	b := m.l1[bank]
-	hit, prefHit := b.Access(local, store)
+	hit, prefHit, ev := b.AccessFill(local, store)
 	cost := 1 + lat
 	if !hit {
-		ev := b.Insert(local, store, false)
 		if ev.Valid && ev.Dirty {
 			// Dirty victim written back to L2, off the critical path.
 			m.epCnt.L1Accesses++
@@ -358,7 +381,7 @@ func (m *Machine) memAccess(e Event) int {
 	// classic policy that avoids re-issuing over resident data. The table
 	// index folds in the requester so interleaved per-core streams don't
 	// alias.
-	if deg := m.cfg.PrefetchDegree(); deg > 0 && (!hit || prefHit) {
+	if deg := m.dvPrefDeg; deg > 0 && (!hit || prefHit) {
 		for _, pa := range m.l1pf[bank].Observe(corePC(e.PC, e.Core), local, deg) {
 			if !b.Lookup(pa) {
 				m.epCnt.L1Accesses++
@@ -407,32 +430,27 @@ func (m *Machine) RunEpoch(ep EpochRange) EpochResult {
 		m.l2BankAcc[i] = 0
 	}
 	m.epCnt = power.Counts{}
-	m.gpeInstr, m.lcpInstr, m.gpeFP = 0, 0, 0
 	m.readBytes, m.writeBytes = 0, 0
 	m.snapshotBankCounters()
 
-	nGPE := m.chip.NGPE()
-	for i := ep.Start; i < ep.End; i++ {
-		e := m.trace.Events[i]
-		core := int(e.Core)
-		var cost int
-		if e.Kind.IsMem() {
-			cost = m.memAccess(e)
-		} else {
-			cost = 1
-		}
-		m.cyc[core] += int64(cost)
-		if core < nGPE {
-			m.gpeInstr++
-			if e.Kind.IsFP() {
-				m.gpeFP++
-			}
-			m.epCnt.GPEInstrs++
-		} else {
-			m.lcpInstr++
-			m.epCnt.LCPInstrs++
-		}
+	// Batched replay: the per-epoch aggregate (built once per trace and
+	// shared across configurations) supplies the cycle and instruction
+	// contributions of every non-memory event, so the loop below touches
+	// only the memory events — the configuration-dependent part of the
+	// epoch. Arithmetic is commutative per core, so the result is identical
+	// to the original event-by-event walk.
+	agg := m.trace.epochAggFor(ep)
+	for i, n := range agg.baseCyc {
+		m.cyc[i] += int64(n)
 	}
+	events := m.trace.Events
+	for _, idx := range agg.mem {
+		e := events[idx]
+		m.cyc[e.Core] += int64(m.memAccess(e))
+	}
+	m.gpeInstr, m.lcpInstr, m.gpeFP = agg.gpeInstr, agg.lcpInstr, agg.gpeFP
+	m.epCnt.GPEInstrs = agg.gpeInstr
+	m.epCnt.LCPInstrs = agg.lcpInstr
 
 	// Crossbar contention: per-bank access imbalance within each arbitration
 	// domain approximates collision counts (hot banks serialize requesters).
@@ -452,7 +470,7 @@ func (m *Machine) RunEpoch(ep EpochRange) EpochResult {
 			maxCyc = c
 		}
 	}
-	active := int64(nGPE)
+	active := int64(m.chip.NGPE())
 	cycles := float64(maxCyc) + float64(l1Cont+l2Cont)/float64(active) + telemetryCycles + m.pendCycles
 
 	f := m.cfg.ClockHz()

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+
+	"sparseadapt/internal/config"
+)
+
+// TestRunEpochsMemoByteIdentical is the memoization correctness contract: a
+// memo hit must return results identical to a cold replay of the same
+// (trace, chip, bandwidth, config, epochs) key. Run under -race in CI,
+// which also exercises the memo's locking.
+func TestRunEpochsMemoByteIdentical(t *testing.T) {
+	tr := streamTrace(3000)
+	eps := tr.Epochs(500)
+	if len(eps) < 2 {
+		t.Fatalf("trace too small: %d epochs", len(eps))
+	}
+	cold, err := RunEpochs(context.Background(), nil, testChip, DefaultBandwidth, config.Baseline, tr, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	memo := NewRunMemo(0)
+	first, err := RunEpochs(context.Background(), memo, testChip, DefaultBandwidth, config.Baseline, tr, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunEpochs(context.Background(), memo, testChip, DefaultBandwidth, config.Baseline, tr, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, first) {
+		t.Fatal("memo-miss replay differs from memoless replay")
+	}
+	if !reflect.DeepEqual(cold, second) {
+		t.Fatal("memo-hit replay differs from memoless replay")
+	}
+	if hits, misses := memo.Counts(); hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+
+	// A different config must not alias the entry.
+	other, err := RunEpochs(context.Background(), memo, testChip, DefaultBandwidth, config.MaxCfg, tr, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(cold, other) {
+		t.Fatal("different configs produced identical rows — key aliasing?")
+	}
+	if memo.Len() != 2 {
+		t.Fatalf("memo entries = %d, want 2", memo.Len())
+	}
+}
+
+// TestRunMemoConcurrent hammers one memo key from many goroutines; under
+// -race this proves the table's synchronization, and every caller must see
+// the same bytes.
+func TestRunMemoConcurrent(t *testing.T) {
+	tr := reuseTrace(4096, 600)
+	eps := tr.Epochs(200)
+	memo := NewRunMemo(0)
+	ref, err := RunEpochs(context.Background(), nil, testChip, DefaultBandwidth, config.Baseline, tr, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	results := make([][]EpochResult, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = RunEpochs(context.Background(), memo, testChip, DefaultBandwidth, config.Baseline, tr, eps)
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if !reflect.DeepEqual(results[g], ref) {
+			t.Fatalf("goroutine %d saw a different row", g)
+		}
+	}
+}
+
+// TestRunMemoCopyOnGet: callers own the returned slice; mutating it must
+// not poison the table.
+func TestRunMemoCopyOnGet(t *testing.T) {
+	tr := streamTrace(1500)
+	eps := tr.Epochs(500)
+	memo := NewRunMemo(0)
+	first, err := RunEpochs(context.Background(), memo, testChip, DefaultBandwidth, config.Baseline, tr, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := make([]EpochResult, len(first))
+	copy(clean, first)
+	first[0].Metrics.TimeSec = -1 // caller scribbles on its copy
+
+	again, err := RunEpochs(context.Background(), memo, testChip, DefaultBandwidth, config.Baseline, tr, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, clean) {
+		t.Fatal("mutating a returned row corrupted the memo entry")
+	}
+}
+
+// TestRunMemoBudgetEviction: the table stays within its epoch-result budget
+// by evicting whole entries.
+func TestRunMemoBudgetEviction(t *testing.T) {
+	tr := streamTrace(3000)
+	eps := tr.Epochs(500)
+	n := len(eps)
+	if n < 2 {
+		t.Fatalf("need >= 2 epochs, got %d", n)
+	}
+	// Budget for exactly two rows.
+	memo := NewRunMemo(2 * n)
+	for _, cfg := range []config.Config{config.Baseline, config.BestAvgCache, config.MaxCfg} {
+		if _, err := RunEpochs(context.Background(), memo, testChip, DefaultBandwidth, cfg, tr, eps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := memo.Len(); got > 2 {
+		t.Fatalf("memo holds %d entries, budget allows 2", got)
+	}
+	// An entry larger than the whole budget is skipped, not stored.
+	tiny := NewRunMemo(1)
+	if _, err := RunEpochs(context.Background(), tiny, testChip, DefaultBandwidth, config.Baseline, tr, eps); err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Len() != 0 {
+		t.Fatalf("oversized row was stored (entries=%d)", tiny.Len())
+	}
+}
+
+// TestRunEpochsCancel: cancellation aborts a replay.
+func TestRunEpochsCancel(t *testing.T) {
+	tr := streamTrace(3000)
+	eps := tr.Epochs(500)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunEpochs(ctx, nil, testChip, DefaultBandwidth, config.Baseline, tr, eps); err == nil {
+		t.Fatal("cancelled replay returned nil error")
+	}
+}

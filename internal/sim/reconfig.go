@@ -114,6 +114,7 @@ func (m *Machine) Reconfigure(to config.Config) (ReconfigCost, error) {
 		m.mx.recordReconfig(rc)
 	}
 	m.cfg = to
+	m.refreshDerived()
 	m.rebuildSPMResidency()
 	m.pendCycles += rc.Cycles
 	m.pendCounts.Add(cnt)

@@ -15,6 +15,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // EventKind classifies one traced instruction.
@@ -86,7 +87,9 @@ type PhaseMark struct {
 }
 
 // Trace is one kernel execution: the event stream, the data-layout regions
-// and the explicit phase marks.
+// and the explicit phase marks. A Trace is shared read-only between
+// concurrently replaying machines and must not be copied by value once in
+// use (it carries a lazily built replay-index cache guarded by a mutex).
 type Trace struct {
 	Events  []Event
 	Regions []Region
@@ -95,6 +98,88 @@ type Trace struct {
 	NLCP    int
 	// FPOps is the total FP-op count (ALU + FP loads/stores).
 	FPOps int
+
+	// aggs caches one epochAgg per distinct epoch range replayed from this
+	// trace; see epochAggFor. Lazily built, safe for concurrent machines.
+	aggMu sync.RWMutex
+	aggs  map[[2]int]*epochAgg
+}
+
+// epochAgg is the precomputed replay index of one epoch range: the indices
+// of its memory events plus the configuration-independent aggregates of
+// everything else. Non-memory events cost exactly one cycle and touch no
+// machine state, so their effect on an epoch is a per-core cycle count and
+// the instruction totals — computable once per (trace, epoch) instead of
+// once per (configuration, epoch). RunEpoch then replays only the memory
+// events, which is where all configuration-dependent behaviour lives.
+type epochAgg struct {
+	mem      []int32 // indices into Events of the range's memory events
+	baseCyc  []int32 // per-core non-memory event count (one cycle each)
+	gpeInstr int     // events issued by GPE cores (memory included)
+	lcpInstr int     // events issued by LCP cores (memory included)
+	gpeFP    int     // GPE events counting as FP ops
+}
+
+// epochAggFor returns the replay index for ep, building and caching it on
+// first use. Concurrent builders may race to compute the same aggregate;
+// the computation is pure, so either result is identical and one wins.
+func (t *Trace) epochAggFor(ep EpochRange) *epochAgg {
+	k := [2]int{ep.Start, ep.End}
+	t.aggMu.RLock()
+	a := t.aggs[k]
+	t.aggMu.RUnlock()
+	if a != nil {
+		return a
+	}
+	a = t.buildAgg(ep)
+	t.aggMu.Lock()
+	if prev, ok := t.aggs[k]; ok {
+		a = prev
+	} else {
+		if t.aggs == nil {
+			t.aggs = map[[2]int]*epochAgg{}
+		}
+		t.aggs[k] = a
+	}
+	t.aggMu.Unlock()
+	return a
+}
+
+// buildAgg scans ep's events once, splitting them into the memory-event
+// index and the non-memory aggregates.
+func (t *Trace) buildAgg(ep EpochRange) *epochAgg {
+	a := &epochAgg{}
+	nGPE := t.NCores
+	maxCore := -1
+	nMem := 0
+	for i := ep.Start; i < ep.End; i++ {
+		e := &t.Events[i]
+		if e.Kind.IsMem() {
+			nMem++
+		} else if int(e.Core) > maxCore {
+			maxCore = int(e.Core)
+		}
+	}
+	a.mem = make([]int32, 0, nMem)
+	a.baseCyc = make([]int32, maxCore+1)
+	for i := ep.Start; i < ep.End; i++ {
+		e := &t.Events[i]
+		core := int(e.Core)
+		if e.Kind.IsMem() {
+			a.mem = append(a.mem, int32(i))
+		} else {
+			a.baseCyc[core]++
+		}
+		if core < nGPE {
+			a.gpeInstr++
+			if e.Kind.IsFP() {
+				a.gpeFP++
+			}
+		} else {
+			a.lcpInstr++
+		}
+	}
+	return a
 }
 
 // PhaseAt returns the name of the explicit phase containing event i.

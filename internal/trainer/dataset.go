@@ -12,6 +12,7 @@ import (
 	"sparseadapt/internal/matrix"
 	"sparseadapt/internal/ml"
 	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
 )
 
 // Example is one training row: model inputs (current configuration +
@@ -217,6 +218,11 @@ func GenerateEngine(ctx context.Context, eng *engine.Engine, sw SweepSpec, mode 
 		tasks[i] = engine.Task[[]Example]{Key: key, Compute: func(ctx context.Context) ([]Example, error) {
 			rng := rand.New(rand.NewSource(engine.DeriveSeed(sw.Seed, 0x22, int64(pt.di), int64(pt.fi), int64(pt.bi))))
 			ev := NewEvaluator(sw.Chip, sw.BandwidthsGBps[pt.bi]*1e9, w, sw.EpochScale, sw.Warmup, sw.Measure)
+			// The search RNG seed does not depend on the mode, so the PP and
+			// EE passes over one sweep point evaluate the same configurations;
+			// the shared replay memo lets the second pass reuse the first
+			// pass's simulations (results are byte-identical either way).
+			ev.Memo = sim.SharedRunMemo()
 			var out []Example
 			for _, phase := range ev.Phases() {
 				if ctx.Err() != nil {

@@ -8,6 +8,7 @@
 package trainer
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -39,6 +40,14 @@ type Evaluator struct {
 	EpochScale float64
 	Warmup     int
 	Measure    int
+
+	// Memo, when non-nil, memoizes the underlying epoch replays across
+	// evaluators and callers (see sim.RunMemo). The per-instance cache
+	// below already dedups identical (config, phase) queries within one
+	// evaluator; the memo additionally dedups across evaluator instances —
+	// e.g. the PP and EE dataset passes over one sweep point — with
+	// byte-identical results.
+	Memo *sim.RunMemo
 
 	phases     []string
 	epsByPhase map[string][]sim.EpochRange
@@ -86,26 +95,23 @@ func (ev *Evaluator) Eval(cfg config.Config, phase string) (Eval, error) {
 	if !ok {
 		return Eval{}, fmt.Errorf("trainer: unknown phase %q", phase)
 	}
-	m := sim.New(ev.Chip, ev.BW, cfg)
-	m.BindTrace(ev.Workload.Trace)
 	warm := ev.Warmup
 	if warm >= len(eps) {
 		warm = len(eps) - 1
 	}
-	for _, ep := range eps[:warm] {
-		m.RunEpoch(ep)
+	limit := warm + ev.Measure
+	if limit > len(eps) {
+		limit = len(eps)
+	}
+	rs, err := sim.RunEpochs(context.Background(), ev.Memo, ev.Chip, ev.BW, cfg, ev.Workload.Trace, eps[:limit])
+	if err != nil {
+		return Eval{}, err
 	}
 	var met power.Metrics
-	var cs []sim.Counters
-	n := 0
-	for _, ep := range eps[warm:] {
-		if n >= ev.Measure {
-			break
-		}
-		r := m.RunEpoch(ep)
+	cs := make([]sim.Counters, 0, limit-warm)
+	for _, r := range rs[warm:] {
 		met.Add(r.Metrics)
 		cs = append(cs, r.Counters)
-		n++
 	}
 	e := Eval{Config: cfg, Metrics: met, Counters: sim.AverageCounters(cs), Window: cs}
 	ev.cache[key] = e
