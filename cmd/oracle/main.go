@@ -31,6 +31,8 @@ func main() {
 	kernel := flag.String("kernel", "spmspm", "kernel: spmspm|spmspv")
 	matID := flag.String("matrix", "R04", "dataset matrix ID")
 	samples := flag.Int("samples", 32, "number of sampled configurations (paper: 256)")
+	dataflow := flag.String("dataflow", "", "pin the SpMSpM dataflow axis of every sampled config: outer|inner|row (empty = roam)")
+	format := flag.String("format", "", "pin the A-operand storage format of every sampled config: csr|csc|coo (empty = roam)")
 	scaleName := flag.String("scale", "small", "scale: test|small|paper")
 	seed := flag.Int64("seed", 42, "deterministic seed")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = all CPUs, 1 = serial)")
@@ -49,8 +51,14 @@ func main() {
 	var check flagcheck.Check
 	check.Positive("samples", *samples)
 	check.NonNegative("workers", *workers)
+	if *dataflow != "" {
+		check.OneOf("dataflow", *dataflow, config.DataflowNames()...)
+	}
+	if *format != "" {
+		check.OneOf("format", *format, config.FormatNames()...)
+	}
 	if err := check.Err(); err != nil {
-		fatal(err)
+		fatalUsage(err)
 	}
 
 	var reg *obs.Registry
@@ -93,19 +101,19 @@ func main() {
 	}
 	am := entry.Generate(sc.Matrix, sc.Seed)
 	a := am.ToCSC()
-	var w kernels.Workload
-	var werr error
+	var src *kernels.Source
 	switch *kernel {
 	case "spmspm":
-		_, w, werr = kernels.SpMSpM(a, am.ToCSR().Transpose(), sc.Chip.NGPE(), sc.Chip.Tiles)
+		src = kernels.NewSpMSpMSource(*matID, a, am.ToCSR().Transpose(), sc.Chip.NGPE(), sc.Chip.Tiles)
 	case "spmspv":
 		x := matrix.RandomVec(rand.New(rand.NewSource(sc.Seed+1)), a.Cols, 0.5)
-		_, w, werr = kernels.SpMSpV(a, x, sc.Chip.NGPE(), sc.Chip.Tiles)
+		src = kernels.NewSpMSpVSource(*matID, a, x, sc.Chip.NGPE(), sc.Chip.Tiles)
 	default:
 		fatal(fmt.Errorf("unknown kernel %q", *kernel))
 	}
-	if werr != nil {
-		fatal(werr)
+	nEpochs, _, err := src.GridEpochs(sc.Epoch)
+	if err != nil {
+		fatal(err)
 	}
 
 	cache, err := engine.NewCache(4096, *cacheDir)
@@ -120,9 +128,10 @@ func main() {
 
 	rng := rand.New(rand.NewSource(sc.Seed + 7))
 	cfgs := oracle.SampleConfigs(rng, *samples, config.CacheMode)
+	cfgs = pinConfigs(cfgs, *dataflow, *format)
 	fmt.Printf("recording %s on %s: %d configs x %d epochs, %d workers\n",
-		*kernel, *matID, len(cfgs), len(w.Epochs(sc.Epoch)), eng.Workers())
-	rec, err := oracle.RecordEngineMemo(context.Background(), eng, sim.SharedRunMemo(), sc.Chip, sc.BW, w, sc.Epoch, cfgs)
+		*kernel, *matID, len(cfgs), nEpochs, eng.Workers())
+	rec, err := oracle.RecordSourceEngine(context.Background(), eng, sim.SharedRunMemo(), sc.Chip, sc.BW, src, sc.Epoch, cfgs)
 	if err != nil {
 		fatal(err)
 	}
@@ -172,7 +181,45 @@ func main() {
 	}
 }
 
+// pinConfigs projects every sampled configuration onto the requested
+// dataflow/format axes (empty = leave the axis free) and drops the
+// duplicates the projection creates, preserving sample order.
+func pinConfigs(cfgs []config.Config, dataflow, format string) []config.Config {
+	if dataflow == "" && format == "" {
+		return cfgs
+	}
+	df, fm := -1, -1
+	if dataflow != "" {
+		df, _ = config.DataflowByName(dataflow) // validated by flagcheck
+	}
+	if format != "" {
+		fm, _ = config.FormatByName(format)
+	}
+	seen := map[int]bool{}
+	out := cfgs[:0]
+	for _, c := range cfgs {
+		if df >= 0 {
+			c[config.Dataflow] = df
+		}
+		if fm >= 0 {
+			c[config.Format] = fm
+		}
+		if !seen[c.Index()] {
+			out = append(out, c)
+			seen[c.Index()] = true
+		}
+	}
+	return out
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "error:", err)
 	os.Exit(1)
+}
+
+// fatalUsage reports flag violations — all of them, joined — and exits
+// with the usage code, matching sparseadaptd's flag contract.
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(2)
 }

@@ -26,6 +26,8 @@ func main() {
 	kernel := flag.String("kernel", "spmspv", "kernel: spmspm|spmspv")
 	l1 := flag.String("l1", "cache", "L1 type: cache|spm")
 	modeName := flag.String("mode", "ee", "optimization mode: ee|pp")
+	dataflow := flag.String("dataflow", "", "pin the SpMSpM dataflow axis: outer|inner|row (empty = search the full space)")
+	format := flag.String("format", "", "pin the A-operand storage format: csr|csc|coo (empty = search the full space)")
 	scale := flag.Float64("scale", 0.3, "sweep scale (1 = Table 3)")
 	jsonOut := flag.String("json", "", "JSON output path")
 	csvOut := flag.String("csv", "dataset.csv", "CSV output path")
@@ -46,8 +48,14 @@ func main() {
 	var check flagcheck.Check
 	check.PositiveFloat("scale", *scale)
 	check.NonNegative("workers", *workers)
+	if *dataflow != "" {
+		check.OneOf("dataflow", *dataflow, config.DataflowNames()...)
+	}
+	if *format != "" {
+		check.OneOf("format", *format, config.FormatNames()...)
+	}
 	if err := check.Err(); err != nil {
-		fatal(err)
+		fatalUsage(err)
 	}
 
 	var reg *obs.Registry
@@ -96,6 +104,8 @@ func main() {
 
 	sw := trainer.DefaultSweep(*kernel, l1Type, *scale)
 	sw.Seed = *seed
+	sw.PinDataflow = *dataflow
+	sw.PinFormat = *format
 	fmt.Printf("sweep: dims=%v densities=%v bandwidths=%v GB/s K=%d workers=%d\n",
 		sw.Dims, sw.Densities, sw.BandwidthsGBps, sw.K, eng.Workers())
 	ds, err := trainer.GenerateEngine(context.Background(), eng, sw, mode, 1)
@@ -143,4 +153,11 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "error:", err)
 	os.Exit(1)
+}
+
+// fatalUsage reports flag violations — all of them, joined — and exits
+// with the usage code, matching sparseadaptd's flag contract.
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(2)
 }

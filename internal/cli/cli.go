@@ -7,6 +7,7 @@ package cli
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 	"sparseadapt/internal/core"
 	"sparseadapt/internal/experiments"
 	"sparseadapt/internal/fault"
+	"sparseadapt/internal/flagcheck"
 	"sparseadapt/internal/graph"
 	"sparseadapt/internal/kernels"
 	"sparseadapt/internal/matrix"
@@ -72,10 +74,19 @@ func MainContext(ctx context.Context, args []string, stdout io.Writer) int {
 	}
 	if err != nil {
 		fmt.Fprintln(stdout, "error:", err)
+		var fe flagError
+		if errors.As(err, &fe) {
+			return 2
+		}
 		return 1
 	}
 	return 0
 }
+
+// flagError marks a flag-range violation so MainContext exits with the
+// usage code (2, all violations joined), matching the flag contract of
+// the standalone binaries (see internal/flagcheck).
+type flagError struct{ error }
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `sparseadapt — runtime control for sparse linear algebra (MICRO'21 reproduction)
@@ -305,6 +316,8 @@ func cmdRun(ctx context.Context, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	kernel := fs.String("kernel", "spmspv", "workload: spmspm|spmspv|bfs|sssp")
 	matID := fs.String("matrix", "R12", "dataset matrix ID (see `sparseadapt datasets`)")
+	dataflowName := fs.String("dataflow", "", "run on this dataflow variant: outer|inner|row (spmspm/spmspv; default: natural)")
+	formatName := fs.String("format", "", "run on this A-operand storage format: csr|csc|coo (spmspm/spmspv; default: natural)")
 	modeName := fs.String("mode", "ee", "optimization mode: ee|pp")
 	scaleName := fs.String("scale", "small", "experiment scale: test|small|paper")
 	modelPath := fs.String("model", "", "model JSON (trained on the fly when empty)")
@@ -320,6 +333,29 @@ func cmdRun(ctx context.Context, w io.Writer, args []string) error {
 	}
 	if *resumeCk && *ckPath == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	var check flagcheck.Check
+	if *dataflowName != "" {
+		check.OneOf("dataflow", *dataflowName, config.DataflowNames()...)
+	}
+	if *formatName != "" {
+		check.OneOf("format", *formatName, config.FormatNames()...)
+	}
+	if err := check.Err(); err != nil {
+		return flagError{err}
+	}
+	// pinAxes projects a configuration onto the requested algorithm axes so
+	// every scheme in the comparison runs the same kernel variant.
+	pinAxes := func(c config.Config) config.Config {
+		if *dataflowName != "" {
+			v, _ := config.DataflowByName(*dataflowName) // validated above
+			c[config.Dataflow] = v
+		}
+		if *formatName != "" {
+			v, _ := config.FormatByName(*formatName)
+			c[config.Format] = v
+		}
+		return c
 	}
 	sc, err := scaleByName(*scaleName)
 	if err != nil {
@@ -347,13 +383,25 @@ func cmdRun(ctx context.Context, w io.Writer, args []string) error {
 	a := am.ToCSC()
 	var wl kernels.Workload
 	modelKernel := *kernel
+	pinned := *dataflowName != "" || *formatName != ""
 	switch *kernel {
 	case "spmspm":
-		_, wl, err = kernels.SpMSpM(a, am.ToCSR().Transpose(), sc.Chip.NGPE(), sc.Chip.Tiles)
+		if pinned {
+			wl, err = kernels.NewSpMSpMSource(*matID, a, am.ToCSR().Transpose(), sc.Chip.NGPE(), sc.Chip.Tiles).Variant(pinAxes(config.Baseline))
+		} else {
+			_, wl, err = kernels.SpMSpM(a, am.ToCSR().Transpose(), sc.Chip.NGPE(), sc.Chip.Tiles)
+		}
 	case "spmspv":
 		x := matrix.RandomVec(randSrc(sc.Seed), a.Cols, 0.5)
-		_, wl, err = kernels.SpMSpV(a, x, sc.Chip.NGPE(), sc.Chip.Tiles)
+		if pinned {
+			wl, err = kernels.NewSpMSpVSource(*matID, a, x, sc.Chip.NGPE(), sc.Chip.Tiles).Variant(pinAxes(config.Baseline))
+		} else {
+			_, wl, err = kernels.SpMSpV(a, x, sc.Chip.NGPE(), sc.Chip.Tiles)
+		}
 	case "bfs", "sssp":
+		if pinned {
+			return fmt.Errorf("-dataflow/-format apply to spmspm/spmspv only, not %q", *kernel)
+		}
 		src := 0
 		if *kernel == "bfs" {
 			_, wl, err = graph.BFS(a, src, sc.Chip.NGPE(), sc.Chip.Tiles)
@@ -394,10 +442,10 @@ func cmdRun(ctx context.Context, w io.Writer, args []string) error {
 		return fmt.Errorf("unknown policy %q", *policy)
 	}
 
-	base := core.RunStatic(sc.Chip, sc.BW, config.Baseline, wl, sc.Epoch)
-	best := core.RunStatic(sc.Chip, sc.BW, config.BestAvgCache, wl, sc.Epoch)
-	max := core.RunStatic(sc.Chip, sc.BW, config.MaxCfg, wl, sc.Epoch)
-	m := sim.New(sc.Chip, sc.BW, config.Baseline)
+	base := core.RunStatic(sc.Chip, sc.BW, pinAxes(config.Baseline), wl, sc.Epoch)
+	best := core.RunStatic(sc.Chip, sc.BW, pinAxes(config.BestAvgCache), wl, sc.Epoch)
+	max := core.RunStatic(sc.Chip, sc.BW, pinAxes(config.MaxCfg), wl, sc.Epoch)
+	m := sim.New(sc.Chip, sc.BW, pinAxes(config.Baseline))
 	m.Instrument(of.reg)
 	observer := of.observer()
 

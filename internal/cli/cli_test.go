@@ -124,6 +124,35 @@ func TestTrainBadFlags(t *testing.T) {
 	}
 }
 
+func TestRunAlgoFlags(t *testing.T) {
+	// Invalid enum values exit with the usage code and list every
+	// violation at once (the flagcheck contract).
+	out, code := runCLI(t, "run", "-kernel", "spmspv", "-matrix", "P1", "-scale", "test",
+		"-dataflow", "diagonal", "-format", "ELL")
+	if code != 2 {
+		t.Fatalf("bad -dataflow/-format exited %d, want 2: %s", code, out)
+	}
+	for _, frag := range []string{"-dataflow", "-format", "outer|inner|row", "csr|csc|coo"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("violation output missing %q: %s", frag, out)
+		}
+	}
+	// Graph kernels have no dataflow/format axes.
+	if out, code := runCLI(t, "run", "-kernel", "bfs", "-matrix", "R07", "-scale", "test",
+		"-format", "coo"); code == 0 {
+		t.Fatalf("-format accepted for bfs: %s", out)
+	}
+	// A valid pin runs the whole comparison on the requested variant.
+	out, code = runCLI(t, "run", "-kernel", "spmspv", "-matrix", "P1", "-scale", "test",
+		"-format", "coo", "-dataflow", "row")
+	if code != 0 {
+		t.Fatalf("pinned run failed: %s", out)
+	}
+	if !strings.Contains(out, "gains over baseline") {
+		t.Fatalf("pinned run output malformed: %s", out)
+	}
+}
+
 func TestRunGraphKernels(t *testing.T) {
 	out, code := runCLI(t, "run", "-kernel", "bfs", "-matrix", "R07", "-scale", "test")
 	if code != 0 {

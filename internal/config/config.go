@@ -1,8 +1,14 @@
-// Package config models the Transmuter hardware configuration space of
-// Table 1 in the paper: seven parameters (three categorical, four ordinal)
-// spanning 3600 discrete configurations, together with the sampling,
-// neighbourhood and per-dimension sweep operations the training pipeline
-// uses (Section 4.1) and the reconfiguration-cost taxonomy of Section 3.4.
+// Package config models the action space of the runtime controller: the
+// Transmuter hardware configuration space of Table 1 in the paper (seven
+// parameters spanning 3600 discrete configurations) widened with three
+// algorithm-level parameters — the SpMSpM dataflow, the storage format of
+// the A operand, and the LCP work-scheduling policy — following the
+// Misam-style extension of ROADMAP item 3. The package also provides the
+// sampling, neighbourhood and per-dimension sweep operations the training
+// pipeline uses (Section 4.1) and the reconfiguration-cost taxonomy of
+// Section 3.4, extended with an "algorithmic" class for dataflow and
+// format switches whose conversion cost scales with the operand's nonzero
+// count.
 package config
 
 import (
@@ -30,18 +36,32 @@ const (
 	Clock
 	// Prefetch is the stride-prefetcher aggressiveness (0, 4, 8 lines).
 	Prefetch
+	// Dataflow selects the SpMSpM formulation (outer/inner/row-wise). For
+	// kernels with a single formulation (SpMSpV, graph kernels) the value is
+	// accepted but has no effect.
+	Dataflow
+	// Format selects the storage format of the A operand (CSR/CSC/COO).
+	// Accessing A through a format other than the dataflow's natural
+	// orientation costs extra index traffic; switching formats mid-run costs
+	// a per-nonzero conversion plus a full cache flush.
+	Format
+	// SchedPolicy selects the LCPs' work-distribution policy (round-robin or
+	// least-loaded).
+	SchedPolicy
 
 	// NumParams is the number of configuration parameters.
 	NumParams
 )
 
-// RuntimeParams lists the six parameters SparseAdapt predicts at runtime;
+// RuntimeParams lists the parameters SparseAdapt predicts at runtime: the
+// six hardware knobs of the paper plus the three algorithm-level axes;
 // L1Type is chosen by the compiler (Section 3.4).
-var RuntimeParams = []Param{L1Share, L2Share, L1Cap, L2Cap, Clock, Prefetch}
+var RuntimeParams = []Param{L1Share, L2Share, L1Cap, L2Cap, Clock, Prefetch, Dataflow, Format, SchedPolicy}
 
 // paramNames indexes Param for display.
 var paramNames = [NumParams]string{
 	"l1-type", "l1-share", "l2-share", "l1-cap", "l2-cap", "clock", "prefetch",
+	"dataflow", "format", "sched",
 }
 
 // String returns the parameter's short name.
@@ -60,6 +80,64 @@ const (
 	Private   = 1
 )
 
+// Dataflow value indices (SpMSpM formulations, Misam's action set).
+const (
+	DFOuter = 0 // outer product: A(CSC) × B(CSR), merge partial products
+	DFInner = 1 // inner product: A(CSR) × B(CSC), index intersection
+	DFRow   = 2 // row-wise (Gustavson): A(CSR) × B(CSR), sparse accumulator
+)
+
+// Format value indices for the A operand's storage format.
+const (
+	FmtCSR = 0
+	FmtCSC = 1
+	FmtCOO = 2
+)
+
+// SchedPolicy value indices for LCP work distribution.
+const (
+	SchedRR = 0 // round-robin assignment of work units to GPEs
+	SchedLL = 1 // least-loaded: assign to the GPE with the lowest cost so far
+)
+
+// dataflowNames, formatNames and schedNames index the algorithm axes for
+// display and CLI parsing.
+var (
+	dataflowNames = []string{"outer", "inner", "row"}
+	formatNames   = []string{"csr", "csc", "coo"}
+	schedNames    = []string{"rr", "ll"}
+)
+
+// DataflowNames returns the dataflow value names in index order.
+func DataflowNames() []string { return append([]string(nil), dataflowNames...) }
+
+// FormatNames returns the format value names in index order.
+func FormatNames() []string { return append([]string(nil), formatNames...) }
+
+// SchedNames returns the scheduling-policy value names in index order.
+func SchedNames() []string { return append([]string(nil), schedNames...) }
+
+func valueByName(axis string, names []string, v string) (int, error) {
+	for i, n := range names {
+		if n == v {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("config: unknown %s %q (%s)", axis, v, strings.Join(names, "|"))
+}
+
+// DataflowByName maps a dataflow name ("outer", "inner", "row") to its
+// value index, for CLI flag parsing.
+func DataflowByName(v string) (int, error) { return valueByName("dataflow", dataflowNames, v) }
+
+// FormatByName maps a storage-format name ("csr", "csc", "coo") to its
+// value index.
+func FormatByName(v string) (int, error) { return valueByName("format", formatNames, v) }
+
+// SchedByName maps a scheduling-policy name ("rr", "ll") to its value
+// index.
+func SchedByName(v string) (int, error) { return valueByName("sched", schedNames, v) }
+
 // capKB and clockMHz are the ordinal value tables of Table 1.
 var (
 	capKB    = []int{4, 8, 16, 32, 64}
@@ -68,7 +146,10 @@ var (
 )
 
 // cardinality gives the number of values of each parameter.
-var cardinality = [NumParams]int{2, 2, 2, len(capKB), len(capKB), len(clockMHz), len(prefetch)}
+var cardinality = [NumParams]int{
+	2, 2, 2, len(capKB), len(capKB), len(clockMHz), len(prefetch),
+	len(dataflowNames), len(formatNames), len(schedNames),
+}
 
 // Cardinality returns the number of discrete values parameter p can take.
 func Cardinality(p Param) int { return cardinality[p] }
@@ -113,8 +194,17 @@ func (c Config) ClockHz() float64 { return clockMHz[c[Clock]] * 1e6 }
 // PrefetchDegree returns the number of cache lines prefetched ahead.
 func (c Config) PrefetchDegree() int { return prefetch[c[Prefetch]] }
 
+// DataflowName returns the configured SpMSpM dataflow's short name.
+func (c Config) DataflowName() string { return dataflowNames[c[Dataflow]] }
+
+// FormatName returns the configured A-operand storage format's short name.
+func (c Config) FormatName() string { return formatNames[c[Format]] }
+
+// SchedName returns the configured scheduling policy's short name.
+func (c Config) SchedName() string { return schedNames[c[SchedPolicy]] }
+
 // String renders the configuration compactly, e.g.
-// "cache L1:4kB/shr L2:64kB/prv 500MHz pf8".
+// "cache L1:4kB/shr L2:64kB/prv 500MHz pf8 outer/csc/rr".
 func (c Config) String() string {
 	var b strings.Builder
 	if c.L1IsSPM() {
@@ -128,13 +218,16 @@ func (c Config) String() string {
 		}
 		return "prv"
 	}
-	fmt.Fprintf(&b, "L1:%dkB/%s L2:%dkB/%s %gMHz pf%d",
+	fmt.Fprintf(&b, "L1:%dkB/%s L2:%dkB/%s %gMHz pf%d %s/%s/%s",
 		c.L1CapKB(), mode(c.L1Shared()), c.L2CapKB(), mode(c.L2Shared()),
-		c.ClockMHz(), c.PrefetchDegree())
+		c.ClockMHz(), c.PrefetchDegree(),
+		c.DataflowName(), c.FormatName(), c.SchedName())
 	return b.String()
 }
 
-// SpaceSize returns the total number of configurations (3600 per Table 1).
+// SpaceSize returns the total number of configurations: 3600 hardware
+// points (Table 1) × 18 algorithm points (3 dataflows × 3 formats × 2
+// scheduling policies) = 64800.
 func SpaceSize() int {
 	n := 1
 	for p := Param(0); p < NumParams; p++ {
@@ -229,18 +322,21 @@ func Sweep(c Config, p Param) []Config {
 	return out
 }
 
-// Standard configurations of Table 4.
+// Standard configurations of Table 4. All use the natural algorithm point
+// — outer-product dataflow over a CSC-stored A operand with round-robin
+// scheduling — which reproduces the paper's hardware-only action space when
+// the algorithm axes are held fixed.
 var (
 	// Baseline is the best-average static configuration across the broad
 	// application set of the Transmuter paper.
-	Baseline = Config{CacheMode, Shared, Shared, 0 /*4kB*/, 0 /*4kB*/, 5 /*1GHz*/, 1 /*pf4*/}
+	Baseline = Config{CacheMode, Shared, Shared, 0 /*4kB*/, 0 /*4kB*/, 5 /*1GHz*/, 1 /*pf4*/, DFOuter, FmtCSC, SchedRR}
 	// BestAvgCache is the best-average static configuration for the sparse
 	// kernels of this paper with L1 as cache.
-	BestAvgCache = Config{CacheMode, Private, Shared, 0, 0, 5, 0}
+	BestAvgCache = Config{CacheMode, Private, Shared, 0, 0, 5, 0, DFOuter, FmtCSC, SchedRR}
 	// BestAvgSPM is the best-average static configuration with L1 as SPM.
-	BestAvgSPM = Config{SPMMode, Private, Private, 0, 3 /*32kB*/, 4 /*500MHz*/, 2 /*pf8*/}
+	BestAvgSPM = Config{SPMMode, Private, Private, 0, 3 /*32kB*/, 4 /*500MHz*/, 2 /*pf8*/, DFOuter, FmtCSC, SchedRR}
 	// MaxCfg sets every ordinal parameter to its maximum with shared L1/L2.
-	MaxCfg = Config{CacheMode, Shared, Shared, 4 /*64kB*/, 4, 5, 2}
+	MaxCfg = Config{CacheMode, Shared, Shared, 4 /*64kB*/, 4, 5, 2, DFOuter, FmtCSC, SchedRR}
 	// MaxCfgSPM is MaxCfg with the L1 banks as scratchpad.
-	MaxCfgSPM = Config{SPMMode, Shared, Shared, 4, 4, 5, 2}
+	MaxCfgSPM = Config{SPMMode, Shared, Shared, 4, 4, 5, 2, DFOuter, FmtCSC, SchedRR}
 )

@@ -7,9 +7,10 @@ import (
 )
 
 func TestSpaceSizeMatchesPaper(t *testing.T) {
-	// Table 1: total count 3600.
-	if got := SpaceSize(); got != 3600 {
-		t.Fatalf("SpaceSize = %d, want 3600", got)
+	// Table 1's 3600 hardware points × 18 algorithm points (3 dataflows ×
+	// 3 formats × 2 scheduling policies).
+	if got := SpaceSize(); got != 64800 {
+		t.Fatalf("SpaceSize = %d, want 64800", got)
 	}
 }
 
@@ -24,6 +25,20 @@ func TestIndexRoundTrip(t *testing.T) {
 	}
 }
 
+// TestIndexRoundTripExhaustive walks the entire widened space: Index and
+// FromIndex must stay exact inverses at the new SpaceSize.
+func TestIndexRoundTripExhaustive(t *testing.T) {
+	for i, n := 0, SpaceSize(); i < n; i++ {
+		c := FromIndex(i)
+		if !c.Valid() {
+			t.Fatalf("FromIndex(%d) invalid: %v", i, c)
+		}
+		if got := c.Index(); got != i {
+			t.Fatalf("Index(FromIndex(%d)) = %d", i, got)
+		}
+	}
+}
+
 func TestAllUniqueAndValid(t *testing.T) {
 	seen := map[int]bool{}
 	for _, c := range All() {
@@ -35,7 +50,7 @@ func TestAllUniqueAndValid(t *testing.T) {
 		}
 		seen[c.Index()] = true
 	}
-	if len(seen) != 3600 {
+	if len(seen) != 64800 {
 		t.Fatalf("enumerated %d configs", len(seen))
 	}
 }
@@ -64,7 +79,7 @@ func TestPhysicalValues(t *testing.T) {
 func TestWithL1Type(t *testing.T) {
 	cache := WithL1Type(CacheMode)
 	spm := WithL1Type(SPMMode)
-	if len(cache)+len(spm) != 3600 || len(cache) != len(spm) {
+	if len(cache)+len(spm) != 64800 || len(cache) != len(spm) {
 		t.Fatalf("split %d/%d", len(cache), len(spm))
 	}
 	for _, c := range cache {
@@ -91,7 +106,7 @@ func TestSampleDistinct(t *testing.T) {
 		seen[c.Index()] = true
 	}
 	// Requesting more than the space yields the whole space.
-	if got := Sample(rng, 10000, SPMMode); len(got) != 1800 {
+	if got := Sample(rng, 100000, SPMMode); len(got) != 32400 {
 		t.Fatalf("oversized sample %d", len(got))
 	}
 }
@@ -121,10 +136,12 @@ func TestNeighborsAdjacency(t *testing.T) {
 		}
 	}
 	// Interior point: binary sharing params contribute one move each, the
-	// four interior ordinals two each: 1+1+2+2+2+2 = 10.
-	interior := Config{CacheMode, Shared, Shared, 2, 2, 2, 1}
-	if got := len(Neighbors(interior)); got != 10 {
-		t.Fatalf("interior neighbor count %d, want 10", got)
+	// four interior hardware ordinals two each, dataflow/format (interior at
+	// value 1) two each, and the binary scheduler one:
+	// 1+1+2+2+2+2 + 2+2+1 = 15.
+	interior := Config{CacheMode, Shared, Shared, 2, 2, 2, 1, DFInner, FmtCSC, SchedRR}
+	if got := len(Neighbors(interior)); got != 15 {
+		t.Fatalf("interior neighbor count %d, want 15", got)
 	}
 }
 
@@ -162,6 +179,11 @@ func TestTransitionClass(t *testing.T) {
 		{L2Share, Private, Shared, Fine},
 		{L1Type, CacheMode, SPMMode, Coarse},
 		{Clock, 2, 2, NoChange},
+		{Dataflow, DFOuter, DFInner, Algorithmic},
+		{Dataflow, DFRow, DFOuter, Algorithmic},
+		{Format, FmtCSR, FmtCSC, Algorithmic},
+		{Format, FmtCOO, FmtCOO, NoChange},
+		{SchedPolicy, SchedRR, SchedLL, SuperFine},
 	}
 	for _, c := range cases {
 		if got := TransitionClass(c.p, c.from, c.to); got != c.want {
@@ -202,8 +224,70 @@ func TestClassify(t *testing.T) {
 	}
 }
 
+func TestClassifyAlgorithmic(t *testing.T) {
+	from := Baseline
+
+	// Dataflow change alone: algorithmic, flushes both levels, no format
+	// conversion component.
+	to := from
+	to[Dataflow] = DFInner
+	tr := Classify(from, to)
+	if !tr.Algorithmic || !tr.DataflowChanged || tr.FormatChanged {
+		t.Fatalf("dataflow switch misclassified: %+v", tr)
+	}
+	if !tr.FlushL1 || !tr.FlushL2 {
+		t.Fatalf("algorithmic switch must flush both levels: %+v", tr)
+	}
+	if got := tr.ConversionCycles(1000); got != AlgoSwapCycles {
+		t.Fatalf("dataflow-only conversion cycles = %v, want %v", got, float64(AlgoSwapCycles))
+	}
+
+	// Format change: swap charge plus per-nonzero conversion.
+	to = from
+	to[Format] = FmtCSR // Baseline carries FmtCSC
+	tr = Classify(from, to)
+	if !tr.FormatChanged || tr.FormatFrom != FmtCSC || tr.FormatTo != FmtCSR {
+		t.Fatalf("format switch misclassified: %+v", tr)
+	}
+	want := float64(AlgoSwapCycles) + 6*1000
+	if got := tr.ConversionCycles(1000); got != want {
+		t.Fatalf("CSC→CSR conversion cycles = %v, want %v", got, want)
+	}
+
+	// Scheduling policy is super-fine: no flush, no conversion.
+	to = from
+	to[SchedPolicy] = SchedLL
+	tr = Classify(from, to)
+	if tr.Algorithmic || tr.FlushL1 || tr.FlushL2 || tr.SuperFineChanges != 1 {
+		t.Fatalf("sched switch must be super-fine: %+v", tr)
+	}
+	if got := tr.ConversionCycles(1000); got != 0 {
+		t.Fatalf("sched switch conversion cycles = %v, want 0", got)
+	}
+}
+
+func TestConversionCyclesPerNNZ(t *testing.T) {
+	cases := []struct {
+		from, to int
+		want     float64
+	}{
+		{FmtCSR, FmtCSR, 0},
+		{FmtCSR, FmtCSC, 6},
+		{FmtCSC, FmtCSR, 6},
+		{FmtCSR, FmtCOO, 2},
+		{FmtCSC, FmtCOO, 2},
+		{FmtCOO, FmtCSR, 4},
+		{FmtCOO, FmtCSC, 4},
+	}
+	for _, c := range cases {
+		if got := ConversionCyclesPerNNZ(c.from, c.to); got != c.want {
+			t.Errorf("ConversionCyclesPerNNZ(%d,%d) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
 func TestCostClassString(t *testing.T) {
-	for _, c := range []CostClass{NoChange, SuperFine, Fine, Coarse} {
+	for _, c := range []CostClass{NoChange, SuperFine, Fine, Algorithmic, Coarse} {
 		if c.String() == "unknown" {
 			t.Fatalf("missing name for %d", c)
 		}

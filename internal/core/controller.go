@@ -120,9 +120,14 @@ func (c *Controller) Observe(o *Observer) *Controller {
 	return c
 }
 
-// filter applies the cost-aware policy to the model's prediction, given the
-// machine state: it returns the configuration actually applied.
-func (c *Controller) filter(m *sim.Machine, pred config.Config, lastEpochTime float64, dirtyL1, dirtyL2 int) config.Config {
+// filter applies the cost-aware policy to the model's prediction, given
+// the machine state: it returns the configuration actually applied. nnz is
+// the operand nonzero count driving the format-conversion charge of
+// algorithmic (dataflow/format) switches; those fall under the same
+// cost-gating as flushing changes — conservative never takes them,
+// aggressive always does, hybrid when the estimated transition time fits
+// within the tolerance of the last epoch's time.
+func (c *Controller) filter(m *sim.Machine, pred config.Config, lastEpochTime float64, dirtyL1, dirtyL2, nnz int) config.Config {
 	cur := m.Config()
 	out := cur
 	for _, p := range config.RuntimeParams {
@@ -145,7 +150,7 @@ func (c *Controller) filter(m *sim.Machine, pred config.Config, lastEpochTime fl
 			// Estimate the isolated cost of moving this one parameter.
 			probe := cur
 			probe[p] = pred[p]
-			tCost, _ := sim.TransitionPenalty(m.Chip(), cur, probe, dirtyL1, dirtyL2, m.Bandwidth())
+			tCost, _ := sim.TransitionPenalty(m.Chip(), cur, probe, dirtyL1, dirtyL2, nnz, m.Bandwidth())
 			if tCost <= c.Opts.Tolerance*lastEpochTime {
 				out[p] = pred[p]
 			}
@@ -185,7 +190,13 @@ func (c *Controller) RunContext(ctx context.Context, m *sim.Machine, w kernels.W
 		res.Epochs = append(res.Epochs, log)
 		c.Obs.epoch(i, log)
 		pred := c.Model.Predict(m.Config(), r.Counters)
-		next := c.filter(m, pred, r.Metrics.TimeSec, r.DirtyL1, r.DirtyL2)
+		// A single bound trace cannot change execution strategy: pin the
+		// algorithm axes so the prediction only moves hardware knobs. Use
+		// RunSource for full widened-space control.
+		for _, p := range []config.Param{config.Dataflow, config.Format, config.SchedPolicy} {
+			pred[p] = m.Config()[p]
+		}
+		next := c.filter(m, pred, r.Metrics.TimeSec, r.DirtyL1, r.DirtyL2, w.Trace.NNZ)
 		c.Obs.decision(pred, next)
 		reconfigured = false
 		if next != m.Config() {
@@ -194,6 +205,77 @@ func (c *Controller) RunContext(ctx context.Context, m *sim.Machine, w kernels.W
 				res.Reconfig++
 				reconfigured = true
 				c.Obs.reconfig(from, next, rc)
+			}
+		}
+	}
+	c.Obs.flush()
+	return res, nil
+}
+
+// RunSource executes a kernel under SparseAdapt control over the full
+// widened action space: when the model (filtered by the policy) switches
+// the dataflow, storage format or scheduling policy, the machine is
+// rebound to the corresponding kernel variant's trace and execution
+// resumes at the same work-fraction epoch on that variant's aligned grid
+// (sim.Trace.EpochsN). An algorithmic switch flushes both cache levels and
+// charges the conversion cost, so rebinding mid-run is sound: no stale
+// working set survives the transition.
+func (c *Controller) RunSource(m *sim.Machine, src *kernels.Source) (RunResult, error) {
+	return c.RunSourceContext(context.Background(), m, src)
+}
+
+// RunSourceContext is RunSource with cooperative cancellation checked at
+// every epoch boundary.
+func (c *Controller) RunSourceContext(ctx context.Context, m *sim.Machine, src *kernels.Source) (RunResult, error) {
+	// The epoch-grid size is anchored to the natural variant so every
+	// variant splits into the same number of work-aligned epochs.
+	nEpochs, _, err := src.GridEpochs(c.Opts.EpochScale)
+	if err != nil {
+		return RunResult{}, err
+	}
+	w, err := src.Variant(m.Config())
+	if err != nil {
+		return RunResult{}, err
+	}
+	m.BindTrace(w.Trace)
+	eps := w.Trace.EpochsN(nEpochs)
+	var res RunResult
+	reconfigured := false
+	// len(eps) == nEpochs unless a variant trace has fewer FP ops than grid
+	// epochs (degenerate tiny traces); the condition guards the rebind case.
+	for i := 0; i < nEpochs && i < len(eps); i++ {
+		if err := ctx.Err(); err != nil {
+			c.Obs.flush()
+			return res, err
+		}
+		r := m.RunEpoch(eps[i])
+		res.Total.Add(r.Metrics)
+		log := EpochLog{
+			Config: m.Config(), Metrics: r.Metrics, Counters: r.Counters,
+			Phase: r.Phase, Reconfigured: reconfigured,
+		}
+		res.Epochs = append(res.Epochs, log)
+		c.Obs.epoch(i, log)
+		pred := c.Model.Predict(m.Config(), r.Counters)
+		next := c.filter(m, pred, r.Metrics.TimeSec, r.DirtyL1, r.DirtyL2, w.Trace.NNZ)
+		c.Obs.decision(pred, next)
+		reconfigured = false
+		if next != m.Config() {
+			from := m.Config()
+			oldKey, newKey := src.Key(kernels.AlgoOf(from)), src.Key(kernels.AlgoOf(next))
+			if rc, err := m.Reconfigure(next); err == nil {
+				res.Reconfig++
+				reconfigured = true
+				c.Obs.reconfig(from, next, rc)
+				if oldKey != newKey {
+					w, err = src.Variant(next)
+					if err != nil {
+						c.Obs.flush()
+						return res, err
+					}
+					m.BindTrace(w.Trace)
+					eps = w.Trace.EpochsN(nEpochs)
+				}
 			}
 		}
 	}

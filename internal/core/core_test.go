@@ -50,7 +50,7 @@ func TestFeatureLayout(t *testing.T) {
 	if len(names) != NumFeatures {
 		t.Fatalf("name count %d", len(names))
 	}
-	// First six entries are the runtime parameter value indices.
+	// The leading entries are the runtime parameter value indices.
 	for i, p := range config.RuntimeParams {
 		if f[i] != float64(config.Baseline[p]) {
 			t.Fatalf("feature %d should mirror %v", i, p)
@@ -59,7 +59,7 @@ func TestFeatureLayout(t *testing.T) {
 			t.Fatalf("name %d = %q", i, names[i])
 		}
 	}
-	if FeatureGroup(0) != "Config" || FeatureGroup(6) == "Config" {
+	if FeatureGroup(0) != "Config" || FeatureGroup(ConfigFeatureCount) == "Config" {
 		t.Fatal("group boundaries wrong")
 	}
 }

@@ -13,13 +13,19 @@ import (
 	"sparseadapt/internal/sim"
 )
 
-// Feature layout: the current values of the six runtime configuration
+// Feature layout: the current values of the runtime configuration
 // parameters (the key insight of Section 4.2 — feeding the configuration
 // back as model input removes the need for ProfileAdapt's profiling
-// configuration), followed by the Table 2 telemetry.
-const NumFeatures = len6 + sim.NumFeatures
+// configuration), followed by the Table 2 telemetry. The configuration
+// block grew from the paper's six hardware knobs when the action space was
+// widened with the dataflow/format/scheduling axes; trees persisted with
+// the old width are skipped gracefully by Predict.
+const NumFeatures = ConfigFeatureCount + sim.NumFeatures
 
-const len6 = 6 // runtime-adjustable parameters
+// ConfigFeatureCount is the number of runtime-adjustable parameters fed
+// back as model inputs (len(config.RuntimeParams), kept const so feature
+// widths are compile-time checkable).
+const ConfigFeatureCount = 9
 
 // BuildFeatures assembles the model input vector from the configuration
 // active during the epoch and the telemetry it produced.
@@ -45,10 +51,10 @@ func FeatureNames() []string {
 // Figure 10 importance analysis; configuration feedback inputs form their
 // own group.
 func FeatureGroup(i int) string {
-	if i < len6 {
+	if i < ConfigFeatureCount {
 		return "Config"
 	}
-	return sim.FeatureGroup(i - len6)
+	return sim.FeatureGroup(i - ConfigFeatureCount)
 }
 
 // Ensemble is the predictive model: one decision-tree classifier per
@@ -87,11 +93,11 @@ func (e *Ensemble) Predict(cur config.Config, c sim.Counters) config.Config {
 		}
 		xi := x
 		if nf := t.NumFeatures(); nf != len(x) {
-			if nf < NumFeatures || (nf-len6)%sim.NumFeatures != 0 {
+			if nf < NumFeatures || (nf-ConfigFeatureCount)%sim.NumFeatures != 0 {
 				continue
 			}
 			if len(wide) != nf {
-				wide = BuildHistoryFeatures(cur, []sim.Counters{c}, (nf-len6)/sim.NumFeatures)
+				wide = BuildHistoryFeatures(cur, []sim.Counters{c}, (nf-ConfigFeatureCount)/sim.NumFeatures)
 			}
 			xi = wide
 		}

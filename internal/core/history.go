@@ -18,7 +18,7 @@ func HistoryFeatureCount(h int) int {
 	if h < 1 {
 		h = 1
 	}
-	return len6 + h*sim.NumFeatures
+	return ConfigFeatureCount + h*sim.NumFeatures
 }
 
 // BuildHistoryFeatures assembles the input vector from the current
@@ -111,7 +111,11 @@ func (c *HistoryController) Run(m *sim.Machine, w kernels.Workload) RunResult {
 		}
 		x := BuildHistoryFeatures(m.Config(), window, c.H)
 		pred := c.Model.PredictX(m.Config(), x)
-		next := inner.filter(m, pred, r.Metrics.TimeSec, r.DirtyL1, r.DirtyL2)
+		// Single bound trace: the algorithm axes cannot move (see RunContext).
+		for _, p := range []config.Param{config.Dataflow, config.Format, config.SchedPolicy} {
+			pred[p] = m.Config()[p]
+		}
+		next := inner.filter(m, pred, r.Metrics.TimeSec, r.DirtyL1, r.DirtyL2, m.TraceNNZ())
 		reconfigured = false
 		if next != m.Config() {
 			if _, err := m.Reconfigure(next); err == nil {

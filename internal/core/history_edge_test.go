@@ -46,7 +46,7 @@ func TestHistoryPaddingBoundaries(t *testing.T) {
 				t.Fatalf("width %d, want %d", len(x), HistoryFeatureCount(h))
 			}
 			for fi, want := range tc.wantFrames {
-				off := len6 + fi*sim.NumFeatures
+				off := ConfigFeatureCount + fi*sim.NumFeatures
 				for j := 0; j < sim.NumFeatures; j++ {
 					if x[off+j] != want {
 						t.Fatalf("frame %d feature %d = %v, want %v (x=%v)", fi, j, x[off+j], want, x)
@@ -67,7 +67,7 @@ func TestHistoryEmptyWindowSanitized(t *testing.T) {
 	neutral, _ := SanitizeCounters(sim.Counters{})
 	nf := neutral.Features()
 	for fi := 0; fi < 2; fi++ {
-		off := len6 + fi*sim.NumFeatures
+		off := ConfigFeatureCount + fi*sim.NumFeatures
 		for j := 0; j < sim.NumFeatures; j++ {
 			if x[off+j] != nf[j] {
 				t.Fatalf("frame %d feature %d = %v, want sanitized %v", fi, j, x[off+j], nf[j])

@@ -31,7 +31,7 @@ func (e *Ensemble) MarshalJSON() ([]byte, error) {
 // feature builders can produce: the base layout (BuildFeatures) or a
 // history-augmented layout (BuildHistoryFeatures) for some window length.
 func validFeatureWidth(nf int) bool {
-	return nf >= NumFeatures && (nf-len6)%sim.NumFeatures == 0
+	return nf >= NumFeatures && (nf-ConfigFeatureCount)%sim.NumFeatures == 0
 }
 
 // UnmarshalJSON restores a serialized ensemble, validating every tree: the

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -93,7 +94,9 @@ func TestLoadEnsembleRejectsBadFeatureWidth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bad := strings.ReplaceAll(string(data), `"n_features":24`, `"n_features":25`)
+	bad := strings.ReplaceAll(string(data),
+		fmt.Sprintf(`"n_features":%d`, NumFeatures),
+		fmt.Sprintf(`"n_features":%d`, NumFeatures+1))
 	if bad == string(data) {
 		t.Fatal("test setup: width field not found in serialized model")
 	}
@@ -102,8 +105,8 @@ func TestLoadEnsembleRejectsBadFeatureWidth(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "feature") {
 		t.Fatalf("impossible feature width accepted: %v", err)
 	}
-	// A history-augmented width (6 + 2×18 = 42) is legitimate.
-	if !validFeatureWidth(len6 + 2*sim.NumFeatures) {
+	// A history-augmented width (9 + 2×18 = 45) is legitimate.
+	if !validFeatureWidth(ConfigFeatureCount + 2*sim.NumFeatures) {
 		t.Fatal("history feature width rejected")
 	}
 	if validFeatureWidth(NumFeatures-1) || validFeatureWidth(0) {

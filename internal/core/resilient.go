@@ -498,7 +498,11 @@ func (c *ResilientController) decide(m *sim.Machine, inner *Controller, st *runS
 		c.Obs.event("rejected-prediction", map[string]string{"pred": fmt.Sprintf("%v", [config.NumParams]int(pred))})
 		return
 	}
-	next := inner.filter(m, pred, r.Metrics.TimeSec, r.DirtyL1, r.DirtyL2)
+	// Single bound trace: the algorithm axes cannot move (see RunContext).
+	for _, p := range []config.Param{config.Dataflow, config.Format, config.SchedPolicy} {
+		pred[p] = m.Config()[p]
+	}
+	next := inner.filter(m, pred, r.Metrics.TimeSec, r.DirtyL1, r.DirtyL2, m.TraceNNZ())
 	c.Obs.decision(pred, next)
 	if next != m.Config() {
 		c.applyTarget(m, st, i, next)

@@ -9,7 +9,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11L", "fig11R", "fig12", "tab6", "sec64", "disc7", "hist", "algo", "models", "phasedet", "pareto", "sched"}
+	want := []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11L", "fig11R", "fig12", "tab6", "sec64", "disc7", "hist", "algo", "models", "phasedet", "pareto", "sched", "fmt"}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {
 			t.Fatalf("experiment %s missing: %v", id, err)

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/matrix"
+	"sparseadapt/internal/power"
+	"sparseadapt/internal/sim"
+
+	"sparseadapt/internal/kernels"
+)
+
+func init() {
+	register("fmt", "Format selection: mid-run CSR→CSC conversion cost vs locality win across density", FormatSwitch)
+}
+
+// FormatSwitch opens the format-conversion-cost-vs-locality-win family the
+// widened action space enables: a kernel launched on the wrong storage
+// format can either keep paying the per-epoch overlay penalty (extra index
+// loads on every A-operand access) or stop, convert the matrix and flush
+// the hierarchy — a one-time algorithmic reconfiguration charge — then run
+// the rest on the natural format. Across a density sweep the experiment
+// prices both strategies end-to-end and reports where conversion pays for
+// itself, the decision the runtime controller's Format axis automates.
+func FormatSwitch(sc Scale) (*Report, error) {
+	rep := &Report{ID: "fmt", Title: "Mid-run CSR→CSC conversion vs staying on the wrong format (OP-SpMSpM, Baseline config)",
+		Columns: []string{"stay-csr-ms", "switch-ms", "natural-ms", "conv-kcyc", "switch/stay"}}
+	rng := rand.New(rand.NewSource(sc.Seed))
+	dim := int(256 * maxF(sc.Matrix*4, 0.125))
+	if dim < 24 {
+		dim = 24
+	}
+	for _, density := range []float64{0.005, 0.02, 0.08} {
+		am := matrix.UniformDensity(rng, dim, dim, density)
+		src := kernels.NewSpMSpMSource(fmt.Sprintf("fmt-d%.3f", density), am.ToCSC(), am.ToCSR(), sc.Chip.NGPE(), sc.Chip.Tiles)
+		nEpochs, _, err := src.GridEpochs(sc.Epoch)
+		if err != nil {
+			return nil, err
+		}
+		cfgCSR := config.Baseline
+		cfgCSR[config.Format] = config.FmtCSR
+
+		stay, _, err := runFormatSchedule(sc, src, nEpochs, cfgCSR, -1, config.Baseline)
+		if err != nil {
+			return nil, err
+		}
+		// Convert a third of the way in: enough wrong-format epochs to make
+		// the overlay cost visible, enough remaining run to amortize.
+		conv, convCycles, err := runFormatSchedule(sc, src, nEpochs, cfgCSR, nEpochs/3, config.Baseline)
+		if err != nil {
+			return nil, err
+		}
+		natural, _, err := runFormatSchedule(sc, src, nEpochs, config.Baseline, -1, config.Baseline)
+		if err != nil {
+			return nil, err
+		}
+		rep.Add(fmt.Sprintf("d=%.3f", density),
+			stay.TimeSec*1e3, conv.TimeSec*1e3, natural.TimeSec*1e3,
+			convCycles/1e3, ratio(conv.TimeSec, stay.TimeSec))
+	}
+	rep.Note("switch/stay < 1: paying the conversion + flush beats running on in the wrong format")
+	rep.Note("the controller's Format axis makes this trade at runtime (see internal/core.RunSource)")
+	return rep, nil
+}
+
+// runFormatSchedule executes the source for nEpochs on its work-aligned
+// grid, starting in cfg and — when switchAt >= 0 — reconfiguring to
+// target at that epoch boundary (rebinding onto the target variant's
+// trace). It returns the total metrics and the conversion cycles charged.
+func runFormatSchedule(sc Scale, src *kernels.Source, nEpochs int, cfg config.Config, switchAt int, target config.Config) (power.Metrics, float64, error) {
+	w, err := src.Variant(cfg)
+	if err != nil {
+		return power.Metrics{}, 0, err
+	}
+	m := sim.New(sc.Chip, sc.BW, cfg)
+	m.BindTrace(w.Trace)
+	eps := w.Trace.EpochsN(nEpochs)
+	var tot power.Metrics
+	conv := 0.0
+	for i := 0; i < nEpochs && i < len(eps); i++ {
+		r := m.RunEpoch(eps[i])
+		tot.Add(r.Metrics)
+		if switchAt >= 0 && i == switchAt && m.Config() != target {
+			rc, err := m.Reconfigure(target)
+			if err != nil {
+				return power.Metrics{}, 0, err
+			}
+			conv += rc.ConvCycles
+			w, err = src.Variant(target)
+			if err != nil {
+				return power.Metrics{}, 0, err
+			}
+			m.BindTrace(w.Trace)
+			eps = w.Trace.EpochsN(nEpochs)
+		}
+	}
+	return tot, conv, nil
+}

@@ -8,6 +8,7 @@ package flagcheck
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 )
 
@@ -69,6 +70,18 @@ func (c *Check) NonNegativeDuration(name string, v time.Duration) {
 	if v < 0 {
 		c.fail("-%s must not be a negative duration, got %v", name, v)
 	}
+}
+
+// OneOf requires v to be one of the allowed names (exact match). Used by
+// the enum-valued flags (-dataflow, -format, ...); the violation lists the
+// accepted set so a typo is self-correcting.
+func (c *Check) OneOf(name, v string, allowed ...string) {
+	for _, a := range allowed {
+		if v == a {
+			return
+		}
+	}
+	c.fail("-%s must be one of %s, got %q", name, strings.Join(allowed, "|"), v)
 }
 
 // Err returns all accumulated violations joined, or nil.

@@ -15,11 +15,13 @@ func TestCheckAccumulates(t *testing.T) {
 	c.NonNegativeFloat("rate", -0.5)
 	c.PositiveDuration("job-timeout", 0)
 	c.NonNegativeDuration("timeout", -time.Second)
+	c.OneOf("dataflow", "diagonal", "outer", "inner", "row")
+	c.OneOf("format", "ELL", "csr", "csc", "coo")
 	err := c.Err()
 	if err == nil {
 		t.Fatal("all-violations check returned nil")
 	}
-	for _, flag := range []string{"-queue", "-workers", "-max-body", "-scale", "-rate", "-job-timeout", "-timeout"} {
+	for _, flag := range []string{"-queue", "-workers", "-max-body", "-scale", "-rate", "-job-timeout", "-timeout", "-dataflow", "-format"} {
 		if !strings.Contains(err.Error(), flag) {
 			t.Errorf("joined error does not name %s: %v", flag, err)
 		}
@@ -35,7 +37,23 @@ func TestCheckPasses(t *testing.T) {
 	c.NonNegativeFloat("rate", 0)
 	c.PositiveDuration("job-timeout", time.Minute)
 	c.NonNegativeDuration("timeout", 0)
+	c.OneOf("dataflow", "row", "outer", "inner", "row")
+	c.OneOf("format", "coo", "csr", "csc", "coo")
 	if err := c.Err(); err != nil {
 		t.Fatalf("valid flags rejected: %v", err)
+	}
+}
+
+func TestOneOfNamesAcceptedSet(t *testing.T) {
+	var c Check
+	c.OneOf("dataflow", "bogus", "outer", "inner", "row")
+	err := c.Err()
+	if err == nil {
+		t.Fatal("bad enum value accepted")
+	}
+	for _, frag := range []string{"outer|inner|row", `"bogus"`} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("violation missing %q: %v", frag, err)
+		}
 	}
 }

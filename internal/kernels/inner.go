@@ -3,6 +3,7 @@ package kernels
 import (
 	"fmt"
 
+	"sparseadapt/internal/config"
 	"sparseadapt/internal/matrix"
 	"sparseadapt/internal/sim"
 )
@@ -30,10 +31,18 @@ const (
 // A is consumed in CSR and B in CSC (the transposed layout of the
 // outer-product kernel).
 func SpMSpMInner(a *matrix.CSR, b *matrix.CSC, nGPE, nLCP int) (*matrix.CSR, Workload, error) {
+	return spmspmInner(a, b, nGPE, nLCP, NewRoundRobin(nGPE), config.FmtCSR)
+}
+
+// spmspmInner is the inner-product implementation with an explicit LCP
+// scheduling policy and the A operand stored in format aFmt (natural:
+// CSR).
+func spmspmInner(a *matrix.CSR, b *matrix.CSC, nGPE, nLCP int, sched Scheduler, aFmt int) (*matrix.CSR, Workload, error) {
 	if a.Cols != b.Rows {
 		return nil, Workload{}, fmt.Errorf("kernels: SpMSpMInner shape mismatch: A is %dx%d, B is %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	tb := sim.NewBuilder(nGPE, nLCP)
+	tb.SetNNZ(a.NNZ())
 	regAPtr := tb.AllocRegion("A.rowptr", (a.Rows+1)*iBytes, sim.RegionStream, 9)
 	regAIdx := tb.AllocRegion("A.colidx", maxInt(a.NNZ(), 1)*iBytes, sim.RegionReuse, 1)
 	regAVal := tb.AllocRegion("A.val", maxInt(a.NNZ(), 1)*fBytes, sim.RegionReuse, 1)
@@ -42,6 +51,7 @@ func SpMSpMInner(a *matrix.CSR, b *matrix.CSC, nGPE, nLCP int) (*matrix.CSR, Wor
 	regBVal := tb.AllocRegion("B.val", maxInt(b.NNZ(), 1)*fBytes, sim.RegionReuse, 2)
 	regQueue := tb.AllocRegion("work-queue", 4096, sim.RegionBookkeep, 3)
 	regOut := tb.AllocRegion("C", maxInt(a.Rows, 1)*16, sim.RegionStream, 9)
+	ov := newOverlay(tb, aFmt, config.FmtCSR, a.NNZ())
 
 	// Compression: enumerate nonempty rows/cols once so empty candidates
 	// are never visited.
@@ -59,10 +69,11 @@ func SpMSpMInner(a *matrix.CSR, b *matrix.CSC, nGPE, nLCP int) (*matrix.CSR, Wor
 
 	out := matrix.NewCOO(a.Rows, b.Cols)
 	tb.Phase("inner")
+	sched.Reset()
 	lcp := func(u int) int { return nGPE + (u % nLCP) }
 	outPos := 0
 	for wi, i := range rowsNE {
-		g := wi % nGPE
+		g := sched.Assign(a.RowPtr[i+1] - a.RowPtr[i])
 		tb.On(lcp(wi))
 		tb.Int(2)
 		tb.StoreI(pcInQueue, regQueue.Lo+uint32((wi%256)*iBytes))
@@ -82,13 +93,18 @@ func SpMSpMInner(a *matrix.CSR, b *matrix.CSC, nGPE, nLCP int) (*matrix.CSR, Wor
 			aOff, bOff := a.RowPtr[i], b.ColPtr[j]
 			for ai < len(aCols) && bi < len(bRows) {
 				tb.LoadI(pcInAIdx, regAIdx.Lo+uint32((aOff+ai)*iBytes))
+				ov.touch(tb, aOff+ai)
 				tb.LoadI(pcInBIdx, regBIdx.Lo+uint32((bOff+bi)*iBytes))
 				tb.Int(1) // compare
 				switch {
 				case aCols[ai] == bRows[bi]:
 					tb.LoadF(pcInAVal, regAVal.Lo+uint32((aOff+ai)*fBytes))
 					tb.LoadF(pcInBVal, regBVal.Lo+uint32((bOff+bi)*fBytes))
-					tb.FP(2) // multiply + accumulate
+					if hit {
+						tb.FP(2) // multiply + accumulate
+					} else {
+						tb.FP(1) // first product initializes the accumulator
+					}
 					sum += aVals[ai] * bVals[bi]
 					hit = true
 					ai++
@@ -118,14 +134,20 @@ const (
 	OuterProduct Algorithm = iota
 	// InnerProduct is the compressed inner-product formulation.
 	InnerProduct
+	// RowWise is the Gustavson formulation (row-by-row sparse accumulator).
+	RowWise
 )
 
 // String names the algorithm.
 func (a Algorithm) String() string {
-	if a == InnerProduct {
+	switch a {
+	case InnerProduct:
 		return "inner-product"
+	case RowWise:
+		return "row-wise"
+	default:
+		return "outer-product"
 	}
-	return "outer-product"
 }
 
 // EstimateSpMSpMCost returns rough work estimates (traced operations) for

@@ -1,16 +1,23 @@
 // Package kernels implements the paper's sparse linear algebra workloads on
-// the Transmuter machine model: outer-product SpMSpM (the OuterSPACE
-// algorithm of Pal et al., with its two explicit phases, multiply and
-// merge) and SpMSpV (whose multiply and merge proceed in tandem,
-// Section 5.1). Each kernel executes functionally — producing the real
-// result, which tests verify against dense references — while emitting the
-// instruction/access trace the sim.Machine replays under arbitrary
-// hardware configurations.
+// the Transmuter machine model: SpMSpM in three dataflow formulations —
+// outer-product (the OuterSPACE algorithm of Pal et al., with its two
+// explicit phases, multiply and merge), compressed inner-product, and
+// row-wise (Gustavson) — and SpMSpV (whose multiply and merge proceed in
+// tandem, Section 5.1). Each kernel executes functionally — producing the
+// real result, which tests verify against dense references — while
+// emitting the instruction/access trace the sim.Machine replays under
+// arbitrary hardware configurations.
+//
+// The dataflow, the A operand's storage format and the LCP scheduling
+// policy are runtime action axes (config.Dataflow/Format/SchedPolicy); a
+// Source caches the per-variant traces of one operand set so the
+// controller, oracle and trainer can switch between them mid-run.
 package kernels
 
 import (
 	"fmt"
 
+	"sparseadapt/internal/config"
 	"sparseadapt/internal/matrix"
 	"sparseadapt/internal/sim"
 )
@@ -38,6 +45,7 @@ const (
 	pcXIdx
 	pcXVal
 	pcQueue
+	pcAFmt // extra index traffic when A's stored format is not the natural one
 )
 
 // sizes of scalar elements in the traced address space.
@@ -64,6 +72,48 @@ func (w Workload) Epochs(scale float64) []sim.EpochRange {
 	return w.Trace.Epochs(n)
 }
 
+// EpochsN segments the workload's trace into exactly n epochs at equal
+// FP-op quantiles (see sim.Trace.EpochsN) — the grid used to align epochs
+// across dataflow/format variants of the same kernel.
+func (w Workload) EpochsN(n int) []sim.EpochRange {
+	return w.Trace.EpochsN(n)
+}
+
+// fmtOverlay models the extra index traffic of consuming the A operand
+// through a storage format other than the dataflow's natural orientation:
+// the opposite compressed format costs one extra index load per element
+// (chasing the transposed index structure), COO costs two (both explicit
+// coordinates). The natural format has no overlay and leaves the trace
+// byte-identical to the pre-widening kernels.
+type fmtOverlay struct {
+	loads int
+	reg   sim.Region
+}
+
+// newOverlay allocates the overlay's index region on tb when the stored
+// format differs from the natural one.
+func newOverlay(tb *sim.Builder, stored, natural, nnz int) fmtOverlay {
+	var ov fmtOverlay
+	switch {
+	case stored == natural:
+		return ov
+	case stored == config.FmtCOO:
+		ov.loads = 2
+	default:
+		ov.loads = 1
+	}
+	ov.reg = tb.AllocRegion("A.fmt-index", maxInt(nnz, 1)*ov.loads*iBytes, sim.RegionStream, 9)
+	return ov
+}
+
+// touch emits the overlay's extra index loads for one access to A element
+// elem (0 ≤ elem < nnz).
+func (o fmtOverlay) touch(tb *sim.Builder, elem int) {
+	for k := 0; k < o.loads; k++ {
+		tb.LoadI(pcAFmt, o.reg.Lo+uint32((elem*o.loads+k)*iBytes))
+	}
+}
+
 // pp is one partial product (multiply-phase output) awaiting the merge.
 type pp struct {
 	col int
@@ -85,10 +135,18 @@ func SpMSpM(a *matrix.CSC, b *matrix.CSR, nGPE, nLCP int) (*matrix.CSR, Workload
 
 // SpMSpMSched is SpMSpM with an explicit LCP work-scheduling policy.
 func SpMSpMSched(a *matrix.CSC, b *matrix.CSR, nGPE, nLCP int, sched Scheduler) (*matrix.CSR, Workload, error) {
+	return spmspmOuter(a, b, nGPE, nLCP, sched, config.FmtCSC)
+}
+
+// spmspmOuter is the outer-product implementation with the A operand
+// stored in format aFmt (natural: CSC; other formats add overlay index
+// traffic on every A element access).
+func spmspmOuter(a *matrix.CSC, b *matrix.CSR, nGPE, nLCP int, sched Scheduler, aFmt int) (*matrix.CSR, Workload, error) {
 	if a.Cols != b.Rows {
 		return nil, Workload{}, fmt.Errorf("kernels: SpMSpM shape mismatch: A is %dx%d, B is %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	tb := sim.NewBuilder(nGPE, nLCP)
+	tb.SetNNZ(a.NNZ())
 
 	// Data layout. Inputs stream; partial-product lists are written in
 	// multiply and re-read in merge (the read-modify-write structures of
@@ -111,6 +169,7 @@ func SpMSpMSched(a *matrix.CSC, b *matrix.CSR, nGPE, nLCP int, sched Scheduler) 
 	regScratch := tb.AllocRegion("merge-scratch", nGPE*4096, sim.RegionReuse, 0)
 	regQueue := tb.AllocRegion("work-queue", 4096, sim.RegionBookkeep, 1)
 	regOut := tb.AllocRegion("C", maxInt(nPP, 1)*(fBytes+iBytes+4), sim.RegionStream, 9)
+	ov := newOverlay(tb, aFmt, config.FmtCSC, a.NNZ())
 
 	rows := make([][]pp, a.Rows)
 	ppCursor := 0 // element index into the partial-product region
@@ -143,6 +202,7 @@ func SpMSpMSched(a *matrix.CSC, b *matrix.CSR, nGPE, nLCP int, sched Scheduler) 
 			aOff := a.ColPtr[k] + ai
 			tb.LoadI(pcARowIdx, regAIdx.Lo+uint32(aOff*iBytes))
 			tb.LoadF(pcAVal, regAVal.Lo+uint32(aOff*fBytes))
+			ov.touch(tb, aOff)
 			av := aVals[ai]
 			for bi, c := range bCols {
 				bOff := b.RowPtr[k] + bi
@@ -256,10 +316,17 @@ func SpMSpV(a *matrix.CSC, x *matrix.SparseVec, nGPE, nLCP int) (*matrix.SparseV
 
 // SpMSpVSched is SpMSpV with an explicit LCP work-scheduling policy.
 func SpMSpVSched(a *matrix.CSC, x *matrix.SparseVec, nGPE, nLCP int, sched Scheduler) (*matrix.SparseVec, Workload, error) {
+	return spmspv(a, x, nGPE, nLCP, sched, config.FmtCSC)
+}
+
+// spmspv is the implementation with the A operand stored in format aFmt
+// (natural: CSC).
+func spmspv(a *matrix.CSC, x *matrix.SparseVec, nGPE, nLCP int, sched Scheduler, aFmt int) (*matrix.SparseVec, Workload, error) {
 	if a.Cols != x.N {
 		return nil, Workload{}, fmt.Errorf("kernels: SpMSpV shape mismatch: A is %dx%d, x has %d entries", a.Rows, a.Cols, x.N)
 	}
 	tb := sim.NewBuilder(nGPE, nLCP)
+	tb.SetNNZ(a.NNZ())
 
 	regAPtr := tb.AllocRegion("A.colptr", (a.Cols+1)*iBytes, sim.RegionStream, 9)
 	regAIdx := tb.AllocRegion("A.rowidx", a.NNZ()*iBytes, sim.RegionStream, 9)
@@ -269,6 +336,7 @@ func SpMSpVSched(a *matrix.CSC, x *matrix.SparseVec, nGPE, nLCP int, sched Sched
 	regAcc := tb.AllocRegion("accumulator", a.Rows*fBytes, sim.RegionReuse, 0)
 	regQueue := tb.AllocRegion("work-queue", 4096, sim.RegionBookkeep, 1)
 	regOut := tb.AllocRegion("y", a.Rows*(fBytes+iBytes), sim.RegionStream, 9)
+	ov := newOverlay(tb, aFmt, config.FmtCSC, a.NNZ())
 
 	acc := make([]float64, a.Rows)
 	touched := make([]bool, a.Rows)
@@ -293,6 +361,7 @@ func SpMSpVSched(a *matrix.CSC, x *matrix.SparseVec, nGPE, nLCP int, sched Sched
 			off := a.ColPtr[j] + ai
 			tb.LoadI(pcARowIdx, regAIdx.Lo+uint32(off*iBytes))
 			tb.LoadF(pcAVal, regAVal.Lo+uint32(off*fBytes))
+			ov.touch(tb, off)
 			// Read-modify-write on the accumulator entry.
 			tb.LoadF(pcAcc, regAcc.Lo+uint32(r*fBytes))
 			tb.FP(2) // multiply + add

@@ -1,0 +1,125 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/matrix"
+	"sparseadapt/internal/sim"
+)
+
+// Static instruction IDs for the row-wise kernel.
+const (
+	pcRwAPtr = iota + 40
+	pcRwAIdx
+	pcRwAVal
+	pcRwBPtr
+	pcRwBIdx
+	pcRwBVal
+	pcRwAcc
+	pcRwOut
+	pcRwQueue
+)
+
+// SpMSpMRow computes C = A·B with the row-wise (Gustavson) formulation:
+// row i of C is the sum of rows k of B scaled by the nonzeros a_ik,
+// accumulated in a per-row sparse accumulator. One pass, no
+// partial-product spill and no candidate-pair blowup — the middle ground
+// between the outer and inner products. A and B are both consumed in CSR.
+func SpMSpMRow(a *matrix.CSR, b *matrix.CSR, nGPE, nLCP int) (*matrix.CSR, Workload, error) {
+	return spmspmRow(a, b, nGPE, nLCP, NewRoundRobin(nGPE), config.FmtCSR)
+}
+
+// spmspmRow is the row-wise implementation with an explicit LCP scheduling
+// policy and the A operand stored in format aFmt (natural: CSR).
+func spmspmRow(a *matrix.CSR, b *matrix.CSR, nGPE, nLCP int, sched Scheduler, aFmt int) (*matrix.CSR, Workload, error) {
+	if a.Cols != b.Rows {
+		return nil, Workload{}, fmt.Errorf("kernels: SpMSpMRow shape mismatch: A is %dx%d, B is %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	tb := sim.NewBuilder(nGPE, nLCP)
+	tb.SetNNZ(a.NNZ())
+	regAPtr := tb.AllocRegion("A.rowptr", (a.Rows+1)*iBytes, sim.RegionStream, 9)
+	regAIdx := tb.AllocRegion("A.colidx", maxInt(a.NNZ(), 1)*iBytes, sim.RegionStream, 9)
+	regAVal := tb.AllocRegion("A.val", maxInt(a.NNZ(), 1)*fBytes, sim.RegionStream, 9)
+	regBPtr := tb.AllocRegion("B.rowptr", (b.Rows+1)*iBytes, sim.RegionStream, 9)
+	// B rows are revisited once per referencing nonzero of A — the kernel's
+	// main reuse structure besides the accumulator.
+	regBIdx := tb.AllocRegion("B.colidx", maxInt(b.NNZ(), 1)*iBytes, sim.RegionReuse, 2)
+	regBVal := tb.AllocRegion("B.val", maxInt(b.NNZ(), 1)*fBytes, sim.RegionReuse, 2)
+	regAcc := tb.AllocRegion("accumulator", maxInt(nGPE*b.Cols, 1)*fBytes, sim.RegionReuse, 0)
+	regQueue := tb.AllocRegion("work-queue", 4096, sim.RegionBookkeep, 1)
+	regOut := tb.AllocRegion("C", maxInt(a.NNZ()+b.NNZ(), 1)*(fBytes+iBytes+4), sim.RegionStream, 9)
+	ov := newOverlay(tb, aFmt, config.FmtCSR, a.NNZ())
+
+	out := matrix.NewCOO(a.Rows, b.Cols)
+	acc := make([]float64, b.Cols)
+	touched := make([]bool, b.Cols)
+
+	tb.Phase("row")
+	sched.Reset()
+	lcp := func(u int) int { return nGPE + (u % nLCP) }
+	outPos := 0
+	for i := 0; i < a.Rows; i++ {
+		aCols, aVals := a.Row(i)
+		if len(aCols) == 0 {
+			continue
+		}
+		g := sched.Assign(len(aCols))
+		tb.On(lcp(i))
+		tb.Int(2)
+		tb.StoreI(pcRwQueue, regQueue.Lo+uint32((i%256)*iBytes))
+
+		tb.On(g)
+		tb.LoadI(pcRwAPtr, regAPtr.Lo+uint32(i*iBytes))
+		tb.LoadI(pcRwAPtr, regAPtr.Lo+uint32((i+1)*iBytes))
+		var cols []int
+		accAddr := func(j int) uint32 { return regAcc.Lo + uint32((g*b.Cols+j)*fBytes) }
+		for ai, k := range aCols {
+			aOff := a.RowPtr[i] + ai
+			tb.LoadI(pcRwAIdx, regAIdx.Lo+uint32(aOff*iBytes))
+			tb.LoadF(pcRwAVal, regAVal.Lo+uint32(aOff*fBytes))
+			ov.touch(tb, aOff)
+			av := aVals[ai]
+			tb.LoadI(pcRwBPtr, regBPtr.Lo+uint32(k*iBytes))
+			tb.LoadI(pcRwBPtr, regBPtr.Lo+uint32((k+1)*iBytes))
+			bCols, bVals := b.Row(k)
+			for bi, j := range bCols {
+				bOff := b.RowPtr[k] + bi
+				tb.LoadI(pcRwBIdx, regBIdx.Lo+uint32(bOff*iBytes))
+				tb.LoadF(pcRwBVal, regBVal.Lo+uint32(bOff*fBytes))
+				if touched[j] {
+					// Read-modify-write on the accumulator entry.
+					tb.LoadF(pcRwAcc, accAddr(j))
+					tb.FP(2) // multiply + accumulate
+				} else {
+					tb.FP(1) // first product initializes the entry
+					touched[j] = true
+					cols = append(cols, j)
+				}
+				tb.StoreF(pcRwAcc, accAddr(j))
+				acc[j] += av * bVals[bi]
+			}
+		}
+		// Gather the row: sort the touched columns and stream them out.
+		sort.Ints(cols)
+		n := len(cols)
+		logn := 1
+		for v := n; v > 1; v >>= 1 {
+			logn++
+		}
+		for _, j := range cols {
+			tb.Int(logn)
+			tb.LoadF(pcRwAcc, accAddr(j))
+			tb.StoreF(pcRwOut, regOut.Lo+uint32(outPos*16))
+			tb.StoreI(pcRwOut, regOut.Lo+uint32(outPos*16+fBytes))
+			out.Add(i, j, acc[j])
+			acc[j] = 0
+			touched[j] = false
+			outPos++
+		}
+	}
+
+	w := Workload{Name: "spmspm-row", Trace: tb.Build(), EpochFPOps: EpochSpMSpM}
+	return out.ToCSR(), w, nil
+}

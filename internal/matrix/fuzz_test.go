@@ -6,6 +6,80 @@ import (
 	"testing"
 )
 
+// FuzzFormatConverters hardens the CSR/CSC/COO converters behind the
+// widened Format axis. The raw bytes are decoded two ways: (1) directly
+// into a CSR's index arrays — usually malformed (negative or decreasing
+// pointers, out-of-bounds or unsorted columns, length mismatches), which
+// Validate must reject without panicking; (2) into in-range COO
+// coordinates — duplicates and empty rows/cols included — which must
+// compress cleanly and round-trip bit-exactly through every format.
+func FuzzFormatConverters(f *testing.F) {
+	f.Add(uint8(3), uint8(3), []byte{0, 1, 2, 2}, []byte{0, 1, 2, 0})
+	f.Add(uint8(0), uint8(0), []byte{0}, []byte{})
+	f.Add(uint8(2), uint8(2), []byte{0, 0, 0}, []byte{})           // all rows empty
+	f.Add(uint8(2), uint8(2), []byte{0, 2, 1}, []byte{1, 0})       // decreasing pointer
+	f.Add(uint8(2), uint8(2), []byte{0, 1, 2}, []byte{5, 1})       // column out of bounds
+	f.Add(uint8(4), uint8(4), []byte{0, 2, 2, 2, 2}, []byte{1, 1}) // duplicate column
+	f.Fuzz(func(t *testing.T, rows, cols uint8, ptrBytes, idxBytes []byte) {
+		r, c := int(rows%40), int(cols%40)
+
+		// Malformed-array probe: Validate must classify, never panic.
+		rowPtr := make([]int, len(ptrBytes))
+		for i, b := range ptrBytes {
+			rowPtr[i] = int(int8(b))
+		}
+		colIdx := make([]int, len(idxBytes))
+		for i, b := range idxBytes {
+			colIdx[i] = int(int8(b))
+		}
+		csr := &CSR{Rows: r, Cols: c, RowPtr: rowPtr, ColIdx: colIdx, Val: make([]float64, len(colIdx))}
+		for i := range csr.Val {
+			csr.Val[i] = float64(i + 1)
+		}
+		if err := csr.Validate(); err == nil {
+			// Anything Validate accepts must convert and round-trip exactly.
+			csc := csr.ToCSC()
+			if verr := csc.Validate(); verr != nil {
+				t.Fatalf("ToCSC of valid CSR fails Validate: %v", verr)
+			}
+			if !csc.ToCSR().Equal(csr, 0) {
+				t.Fatal("CSR -> CSC -> CSR changed the matrix")
+			}
+			coo := csr.ToCOO()
+			if verr := coo.Validate(); verr != nil {
+				t.Fatalf("ToCOO of valid CSR fails Validate: %v", verr)
+			}
+			if !coo.ToCSR().Equal(csr, 0) {
+				t.Fatal("CSR -> COO -> CSR changed the matrix")
+			}
+		}
+
+		// In-range COO probe: duplicates sum, empty rows/cols survive, and
+		// the row-major and column-major compressions agree.
+		coo := NewCOO(r+1, c+1)
+		for i := 0; i+1 < len(idxBytes); i += 2 {
+			coo.Add(int(idxBytes[i])%(r+1), int(idxBytes[i+1])%(c+1), float64(i+1))
+		}
+		if err := coo.Validate(); err != nil {
+			t.Fatalf("in-range COO rejected: %v", err)
+		}
+		viaRow := coo.ToCSR()
+		if err := viaRow.Validate(); err != nil {
+			t.Fatalf("COO.ToCSR invalid: %v", err)
+		}
+		viaCol := coo.ToCSC()
+		if err := viaCol.Validate(); err != nil {
+			t.Fatalf("COO.ToCSC invalid: %v", err)
+		}
+		if !viaCol.ToCSR().Equal(viaRow, 0) {
+			t.Fatal("COO row-major and column-major compressions disagree")
+		}
+		if viaRow.NNZ() > coo.NNZ() {
+			t.Fatalf("compression grew nnz: %d -> %d", coo.NNZ(), viaRow.NNZ())
+		}
+	})
+}
+
 // FuzzParseMatrixMarket hardens the MatrixMarket reader against arbitrary
 // input: it must never panic, and anything it accepts must be a valid
 // matrix that survives a write/read round-trip.

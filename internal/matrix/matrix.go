@@ -191,11 +191,141 @@ func (m *CSC) ToCOO() *COO {
 	return out
 }
 
-// ToCSC converts CSR to CSC.
-func (m *CSR) ToCSC() *CSC { return m.ToCOO().ToCSC() }
+// ToCSC converts CSR to CSC with a direct O(nnz) counting-sort transpose
+// of the index structure — the access pattern the format-conversion cost
+// model charges for. A valid CSR input (sorted, unique column indices per
+// row) yields output identical to the COO round trip.
+func (m *CSR) ToCSC() *CSC {
+	out := &CSC{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		ColPtr: make([]int, m.Cols+1),
+		RowIdx: make([]int, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+	}
+	for _, c := range m.ColIdx {
+		out.ColPtr[c+1]++
+	}
+	for c := 0; c < m.Cols; c++ {
+		out.ColPtr[c+1] += out.ColPtr[c]
+	}
+	next := make([]int, m.Cols)
+	copy(next, out.ColPtr[:m.Cols])
+	for r := 0; r < m.Rows; r++ {
+		cols, vals := m.Row(r)
+		for i, c := range cols {
+			k := next[c]
+			next[c]++
+			out.RowIdx[k] = r
+			out.Val[k] = vals[i]
+		}
+	}
+	return out
+}
 
-// ToCSR converts CSC to CSR.
-func (m *CSC) ToCSR() *CSR { return m.ToCOO().ToCSR() }
+// ToCSR converts CSC to CSR, the mirror of (*CSR).ToCSC.
+func (m *CSC) ToCSR() *CSR {
+	out := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: make([]int, m.Rows+1),
+		ColIdx: make([]int, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+	}
+	for _, r := range m.RowIdx {
+		out.RowPtr[r+1]++
+	}
+	for r := 0; r < m.Rows; r++ {
+		out.RowPtr[r+1] += out.RowPtr[r]
+	}
+	next := make([]int, m.Rows)
+	copy(next, out.RowPtr[:m.Rows])
+	for c := 0; c < m.Cols; c++ {
+		rows, vals := m.Col(c)
+		for i, r := range rows {
+			k := next[r]
+			next[r]++
+			out.ColIdx[k] = c
+			out.Val[k] = vals[i]
+		}
+	}
+	return out
+}
+
+// Validate checks the CSR invariants: pointer array monotone from 0 to NNZ
+// with the right length, and column indices in bounds and strictly
+// increasing within each row.
+func (m *CSR) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("matrix: CSR negative shape %dx%d", m.Rows, m.Cols)
+	}
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("matrix: CSR RowPtr length %d, want %d", len(m.RowPtr), m.Rows+1)
+	}
+	if len(m.ColIdx) != len(m.Val) {
+		return errors.New("matrix: CSR index/value lengths disagree")
+	}
+	if m.RowPtr[0] != 0 || m.RowPtr[m.Rows] != len(m.Val) {
+		return fmt.Errorf("matrix: CSR RowPtr endpoints %d..%d, want 0..%d",
+			m.RowPtr[0], m.RowPtr[m.Rows], len(m.Val))
+	}
+	// Vet the whole pointer array before dereferencing ColIdx: a decreasing
+	// or out-of-range interior pointer would otherwise index past the
+	// arrays below (pairwise checks alone reach the bad row too late).
+	for r := 0; r < m.Rows; r++ {
+		if m.RowPtr[r] > m.RowPtr[r+1] {
+			return fmt.Errorf("matrix: CSR RowPtr decreases at row %d", r)
+		}
+	}
+	for r := 0; r < m.Rows; r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		for i := lo; i < hi; i++ {
+			c := m.ColIdx[i]
+			if c < 0 || c >= m.Cols {
+				return fmt.Errorf("matrix: CSR column %d out of bounds in row %d", c, r)
+			}
+			if i > lo && c <= m.ColIdx[i-1] {
+				return fmt.Errorf("matrix: CSR row %d columns not strictly increasing", r)
+			}
+		}
+	}
+	return nil
+}
+
+// Validate checks the CSC invariants, the mirror of (*CSR).Validate.
+func (m *CSC) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("matrix: CSC negative shape %dx%d", m.Rows, m.Cols)
+	}
+	if len(m.ColPtr) != m.Cols+1 {
+		return fmt.Errorf("matrix: CSC ColPtr length %d, want %d", len(m.ColPtr), m.Cols+1)
+	}
+	if len(m.RowIdx) != len(m.Val) {
+		return errors.New("matrix: CSC index/value lengths disagree")
+	}
+	if m.ColPtr[0] != 0 || m.ColPtr[m.Cols] != len(m.Val) {
+		return fmt.Errorf("matrix: CSC ColPtr endpoints %d..%d, want 0..%d",
+			m.ColPtr[0], m.ColPtr[m.Cols], len(m.Val))
+	}
+	for c := 0; c < m.Cols; c++ {
+		if m.ColPtr[c] > m.ColPtr[c+1] {
+			return fmt.Errorf("matrix: CSC ColPtr decreases at column %d", c)
+		}
+	}
+	for c := 0; c < m.Cols; c++ {
+		lo, hi := m.ColPtr[c], m.ColPtr[c+1]
+		for i := lo; i < hi; i++ {
+			r := m.RowIdx[i]
+			if r < 0 || r >= m.Rows {
+				return fmt.Errorf("matrix: CSC row %d out of bounds in column %d", r, c)
+			}
+			if i > lo && r <= m.RowIdx[i-1] {
+				return fmt.Errorf("matrix: CSC column %d rows not strictly increasing", c)
+			}
+		}
+	}
+	return nil
+}
 
 // Transpose returns the transpose of the matrix in CSR form. Since the CSC
 // representation of Aᵀ has the same layout as the CSR representation of A,

@@ -38,6 +38,10 @@ type Recording struct {
 	BW      float64
 	Configs []config.Config
 	Epochs  []sim.EpochRange
+	// NNZ is the nonzero count of the workload's primary operand, used to
+	// price format-conversion cycles when a stitched transition crosses the
+	// Format axis.
+	NNZ int
 	// Grid[s][e] is the record of epoch e under configuration s.
 	Grid [][]EpochRecord
 }
@@ -72,7 +76,7 @@ func RecordEngineMemo(ctx context.Context, eng *engine.Engine, memo *sim.RunMemo
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("oracle: no configurations to record")
 	}
-	rec := &Recording{Chip: chip, BW: bw, Configs: cfgs, Epochs: w.Epochs(epochScale)}
+	rec := &Recording{Chip: chip, BW: bw, Configs: cfgs, Epochs: w.Epochs(epochScale), NNZ: w.Trace.NNZ}
 	if len(rec.Epochs) == 0 {
 		return nil, fmt.Errorf("oracle: workload has no epochs")
 	}
@@ -86,6 +90,75 @@ func RecordEngineMemo(ctx context.Context, eng *engine.Engine, memo *sim.RunMemo
 			Int(cfg.Index()).Sum()
 		tasks[s] = engine.Task[[]EpochRecord]{Key: key, Compute: func(ctx context.Context) ([]EpochRecord, error) {
 			rs, err := sim.RunEpochs(ctx, memo, chip, bw, cfg, w.Trace, rec.Epochs)
+			if err != nil {
+				return nil, err
+			}
+			row := make([]EpochRecord, len(rs))
+			for e, r := range rs {
+				row[e] = EpochRecord{Metrics: r.Metrics, DirtyL1: r.DirtyL1, DirtyL2: r.DirtyL2}
+			}
+			return row, nil
+		}}
+	}
+	grid, err := engine.Map(ctx, eng, tasks)
+	if err != nil {
+		return nil, err
+	}
+	rec.Grid = grid
+	return rec, nil
+}
+
+// RecordSource builds the recording over the widened action space: each
+// sampled configuration is simulated on the trace of its own kernel
+// variant (dataflow × format × scheduling), split into the same number of
+// work-aligned epochs as the natural variant (sim.Trace.EpochsN) so rows
+// stitch cell-for-cell even though the underlying traces differ. It runs
+// serially; RecordSourceEngine spreads rows across workers.
+func RecordSource(chip power.Chip, bw float64, src *kernels.Source, epochScale float64, cfgs []config.Config) (*Recording, error) {
+	return RecordSourceEngine(context.Background(), nil, nil, chip, bw, src, epochScale, cfgs)
+}
+
+// RecordSourceEngine is the engine-parallel, memoizable form of
+// RecordSource. Rows are content-addressed by (variant trace fingerprint,
+// epoch grid, chip, bandwidth, configuration), so variants shared by many
+// configurations are traced once (the Source caches builds) and replayed
+// per configuration, byte-identical at any worker count. A nil eng runs
+// serially uncached; a nil memo disables in-process replay reuse.
+func RecordSourceEngine(ctx context.Context, eng *engine.Engine, memo *sim.RunMemo, chip power.Chip, bw float64, src *kernels.Source, epochScale float64, cfgs []config.Config) (*Recording, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("oracle: no configurations to record")
+	}
+	nEpochs, nat, err := src.GridEpochs(epochScale)
+	if err != nil {
+		return nil, err
+	}
+	if nEpochs == 0 {
+		return nil, fmt.Errorf("oracle: source %s has no epochs", src.Name())
+	}
+	rec := &Recording{Chip: chip, BW: bw, Configs: cfgs, Epochs: nat.Trace.EpochsN(nEpochs), NNZ: nat.Trace.NNZ}
+	// Resolve every variant up front (cached in the Source) so tasks only
+	// replay, and so a build error surfaces before any simulation runs.
+	variants := make([]kernels.Workload, len(cfgs))
+	for s, cfg := range cfgs {
+		w, err := src.Variant(cfg)
+		if err != nil {
+			return nil, err
+		}
+		eps := w.Trace.EpochsN(nEpochs)
+		if len(eps) != nEpochs {
+			return nil, fmt.Errorf("oracle: variant %s splits into %d epochs, grid has %d", w.Name, len(eps), nEpochs)
+		}
+		variants[s] = w
+	}
+	tasks := make([]engine.Task[[]EpochRecord], len(cfgs))
+	for s, cfg := range cfgs {
+		cfg, w := cfg, variants[s]
+		key := engine.NewHasher("sparseadapt/oracle-srcrow/v1").
+			U64(w.Trace.Fingerprint()).Int(nEpochs).F64(epochScale).
+			Int(chip.Tiles, chip.GPEsPerTile).F64(bw).
+			Int(cfg.Index()).Sum()
+		tasks[s] = engine.Task[[]EpochRecord]{Key: key, Compute: func(ctx context.Context) ([]EpochRecord, error) {
+			rs, err := sim.RunEpochs(ctx, memo, chip, bw, cfg, w.Trace, w.Trace.EpochsN(nEpochs))
 			if err != nil {
 				return nil, err
 			}
@@ -139,7 +212,7 @@ func (r *Recording) transition(a, b, e int) power.Metrics {
 		return power.Metrics{}
 	}
 	prev := r.Grid[a][e-1]
-	t, en := sim.TransitionPenalty(r.Chip, r.Configs[a], r.Configs[b], prev.DirtyL1, prev.DirtyL2, r.BW)
+	t, en := sim.TransitionPenalty(r.Chip, r.Configs[a], r.Configs[b], prev.DirtyL1, prev.DirtyL2, r.NNZ, r.BW)
 	return power.Metrics{TimeSec: t, EnergyJ: en}
 }
 

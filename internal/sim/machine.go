@@ -156,6 +156,16 @@ func (m *Machine) Bandwidth() float64 { return m.bw }
 // Config returns the active configuration.
 func (m *Machine) Config() config.Config { return m.cfg }
 
+// TraceNNZ returns the bound trace's operand nonzero count (0 when no
+// trace is bound or the kernel did not record it) — the size driver of
+// format-conversion costs.
+func (m *Machine) TraceNNZ() int {
+	if m.trace == nil {
+		return 0
+	}
+	return m.trace.NNZ
+}
+
 // BindTrace prepares the machine for replaying tr: in scratchpad mode it
 // selects which reuse regions are SPM-resident (lowest priority value
 // first) until the aggregate scratchpad capacity is exhausted.

@@ -415,19 +415,19 @@ func TestTransitionPenaltyPure(t *testing.T) {
 	from := config.Baseline
 	to := from
 	to[config.Clock] = 2
-	tSec, e := TransitionPenalty(testChip, from, to, 500, 100, DefaultBandwidth)
+	tSec, e := TransitionPenalty(testChip, from, to, 500, 100, 0, DefaultBandwidth)
 	if tSec <= 0 || e <= 0 {
 		t.Fatalf("penalty %v s %v J", tSec, e)
 	}
 	// No-op transition is free.
-	if tSec, e = TransitionPenalty(testChip, from, from, 500, 100, DefaultBandwidth); tSec != 0 || e != 0 {
+	if tSec, e = TransitionPenalty(testChip, from, from, 500, 100, 0, DefaultBandwidth); tSec != 0 || e != 0 {
 		t.Fatal("identity transition must be free")
 	}
 	// A flushing transition with more dirty lines costs more.
 	flushTo := from
 	flushTo[config.L1Share] = config.Private
-	t1, _ := TransitionPenalty(testChip, from, flushTo, 100, 0, DefaultBandwidth)
-	t2, _ := TransitionPenalty(testChip, from, flushTo, 10000, 0, DefaultBandwidth)
+	t1, _ := TransitionPenalty(testChip, from, flushTo, 100, 0, 0, DefaultBandwidth)
+	t2, _ := TransitionPenalty(testChip, from, flushTo, 10000, 0, 0, DefaultBandwidth)
 	if t2 <= t1 {
 		t.Fatalf("dirtier flush must cost more: %v vs %v", t2, t1)
 	}

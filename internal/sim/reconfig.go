@@ -15,6 +15,10 @@ type ReconfigCost struct {
 	L1Flushed  int // dirty L1 lines written to L2
 	L2Flushed  int // dirty L2 lines written to DRAM
 	DRAMWrites int // bytes
+	// ConvCycles is the algorithmic component of Cycles: strategy-swap and
+	// format-conversion cycles charged for a dataflow/format switch
+	// (Transition.ConversionCycles over the bound trace's NNZ).
+	ConvCycles float64
 }
 
 // TimeSec returns the wall time of the reconfiguration at clock fHz,
@@ -31,7 +35,9 @@ func (rc ReconfigCost) TimeSec(fHz, bw float64) float64 {
 // cost taxonomy of Section 3.4: super-fine parameters cost a fixed 100
 // cycles each; fine-grained parameters flush the affected level
 // (pessimistically assuming the level is dirty, with the actual dirty lines
-// written back through the hierarchy); coarse parameters cannot change at
+// written back through the hierarchy); algorithmic parameters additionally
+// charge the strategy-swap and format-conversion cycles scaled by the
+// bound trace's operand nonzero count; coarse parameters cannot change at
 // runtime. The penalty is held pending and folded into the next RunEpoch.
 func (m *Machine) Reconfigure(to config.Config) (ReconfigCost, error) {
 	tr := config.Classify(m.cfg, to)
@@ -40,6 +46,14 @@ func (m *Machine) Reconfigure(to config.Config) (ReconfigCost, error) {
 	}
 	var rc ReconfigCost
 	rc.Cycles = float64(tr.SuperFineChanges) * config.SuperFineCycles
+	if tr.Algorithmic {
+		nnz := 0
+		if m.trace != nil {
+			nnz = m.trace.NNZ
+		}
+		rc.ConvCycles = tr.ConversionCycles(nnz)
+		rc.Cycles += rc.ConvCycles
+	}
 
 	// Note: flush L1 before L2 so L1 writebacks land in L2 (and are flushed
 	// onward if the L2 flushes too).
@@ -123,16 +137,19 @@ func (m *Machine) Reconfigure(to config.Config) (ReconfigCost, error) {
 
 // TransitionPenalty computes, without machine state, the time and energy
 // penalty of switching from one configuration to another given the dirty
-// line counts observed at the boundary. The oracle and ProfileAdapt
-// constructions (Appendix A.7) use this when stitching recorded epoch
-// segments. Time is charged at the destination clock; cores are
-// power-gated during flushes (Section 5.2), modelled as 30% leakage.
-func TransitionPenalty(chip power.Chip, from, to config.Config, dirtyL1, dirtyL2 int, bw float64) (timeSec, energyJ float64) {
+// line counts observed at the boundary and the operand nonzero count nnz
+// (for the format-conversion charge of algorithmic switches; pass 0 when
+// the algorithm axes are fixed). The oracle and ProfileAdapt constructions
+// (Appendix A.7) use this when stitching recorded epoch segments. Time is
+// charged at the destination clock; cores are power-gated during flushes
+// (Section 5.2), modelled as 30% leakage.
+func TransitionPenalty(chip power.Chip, from, to config.Config, dirtyL1, dirtyL2, nnz int, bw float64) (timeSec, energyJ float64) {
 	tr := config.Classify(from, to)
 	if tr.IsNoop() {
 		return 0, 0
 	}
 	cycles := float64(tr.SuperFineChanges) * config.SuperFineCycles
+	cycles += tr.ConversionCycles(nnz)
 	var cnt power.Counts
 	if tr.FlushL1 {
 		cycles += float64(dirtyL1) * flushCyclesPerLine

@@ -98,6 +98,11 @@ type Trace struct {
 	NLCP    int
 	// FPOps is the total FP-op count (ALU + FP loads/stores).
 	FPOps int
+	// NNZ is the nonzero count of the kernel's primary (A) operand, the
+	// size driver of the format-conversion cost charged when an algorithmic
+	// reconfiguration switches storage formats mid-run. Zero when the
+	// kernel did not record it.
+	NNZ int
 
 	// aggs caches one epochAgg per distinct epoch range replayed from this
 	// trace; see epochAggFor. Lazily built, safe for concurrent machines.
@@ -239,6 +244,43 @@ func (t *Trace) Epochs(fpOpsPerGPE int) []EpochRange {
 	return out
 }
 
+// EpochsN segments the trace into exactly n epochs at equal cumulative
+// FP-op quantiles. Whereas Epochs cuts at a fixed FP-op budget — so the
+// epoch *count* depends on the trace — EpochsN fixes the count, which is
+// what lets traces of different dataflow/format variants of the same
+// kernel be compared epoch-by-epoch: epoch e covers the same fraction of
+// the arithmetic work in every variant. n is clamped to [1, total FP ops]
+// (an epoch must contain at least one FP op to make progress).
+func (t *Trace) EpochsN(n int) []EpochRange {
+	if n < 1 {
+		n = 1
+	}
+	if t.FPOps > 0 && n > t.FPOps {
+		n = t.FPOps
+	}
+	out := make([]EpochRange, 0, n)
+	start, cum, epochFP, cut := 0, 0, 0, 1
+	for i, e := range t.Events {
+		if e.Kind.IsFP() {
+			cum++
+			epochFP++
+		}
+		// Cut when the cumulative FP count reaches the next quantile
+		// boundary. Because n ≤ total FP ops, the boundary index advances by
+		// at most one per FP event, so cutting at most once per event never
+		// falls behind and exactly n epochs result.
+		if cut < n && epochFP > 0 && cum*n >= cut*t.FPOps {
+			out = append(out, EpochRange{Start: start, End: i + 1, FPOps: epochFP, Phase: t.PhaseAt(start)})
+			start, epochFP = i+1, 0
+			cut++
+		}
+	}
+	if start < len(t.Events) || len(out) == 0 {
+		out = append(out, EpochRange{Start: start, End: len(t.Events), FPOps: epochFP, Phase: t.PhaseAt(start)})
+	}
+	return out
+}
+
 // Builder incrementally constructs a Trace. Kernels set the active core
 // with On and then emit events; work units handed to different GPEs in
 // round-robin order produce the fine-grained interleaving the replay
@@ -313,6 +355,10 @@ func (b *Builder) Int(n int) {
 	}
 }
 
+// SetNNZ records the nonzero count of the kernel's primary operand (see
+// Trace.NNZ).
+func (b *Builder) SetNNZ(nnz int) { b.t.NNZ = nnz }
+
 // Build finalizes and returns the trace. The builder must not be reused.
 func (b *Builder) Build() *Trace {
 	sort.Slice(b.t.Regions, func(i, j int) bool { return b.t.Regions[i].Lo < b.t.Regions[j].Lo })
@@ -339,6 +385,7 @@ func (t *Trace) Fingerprint() uint64 {
 	mix(uint64(t.NCores))
 	mix(uint64(t.NLCP))
 	mix(uint64(t.FPOps))
+	mix(uint64(t.NNZ))
 	for _, e := range t.Events {
 		mix(uint64(e.Addr) | uint64(e.PC)<<32 | uint64(e.Core)<<48 | uint64(e.Kind)<<56)
 	}

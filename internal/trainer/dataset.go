@@ -41,11 +41,17 @@ type SweepSpec struct {
 	Densities      []float64
 	BandwidthsGBps []float64
 	K              int // random samples per phase (step 1 of the search)
-	Seed           int64
-	Chip           power.Chip
-	EpochScale     float64
-	Warmup         int
-	Measure        int
+	// PinDataflow / PinFormat, when non-empty, pin the corresponding
+	// algorithm axis for the whole sweep ("outer"/"inner"/"row",
+	// "csr"/"csc"/"coo"): every candidate the search evaluates is projected
+	// onto the pinned variant. Empty = the search roams the axis.
+	PinDataflow string
+	PinFormat   string
+	Seed        int64
+	Chip        power.Chip
+	EpochScale  float64
+	Warmup      int
+	Measure     int
 }
 
 // DefaultSweep returns a scaled version of the paper's Table 3 sweep.
@@ -106,25 +112,49 @@ func maxI(a, b int) int {
 	return b
 }
 
-// buildWorkload constructs the kernel workload for one sweep point.
-func buildWorkload(sw SweepSpec, rng *rand.Rand, dim int, density float64) (kernels.Workload, error) {
+// buildSource constructs the kernel source for one sweep input; the
+// source lazily traces each algorithm variant (dataflow/format/sched) the
+// configuration searches touch.
+func buildSource(sw SweepSpec, rng *rand.Rand, dim int, density float64) (*kernels.Source, error) {
 	nnz := int(density * float64(dim) * float64(dim))
 	if nnz < dim {
 		nnz = dim
 	}
 	am := matrix.Uniform(rng, dim, dim, nnz)
 	a := am.ToCSC()
+	name := fmt.Sprintf("%s-%dx%d", sw.Kernel, dim, dim)
 	switch sw.Kernel {
 	case "spmspm":
-		_, w, err := kernels.SpMSpM(a, am.ToCSR(), sw.Chip.NGPE(), sw.Chip.Tiles)
-		return w, err
+		return kernels.NewSpMSpMSource(name, a, am.ToCSR(), sw.Chip.NGPE(), sw.Chip.Tiles), nil
 	case "spmspv":
 		x := matrix.RandomVec(rng, dim, 0.5)
-		_, w, err := kernels.SpMSpV(a, x, sw.Chip.NGPE(), sw.Chip.Tiles)
-		return w, err
+		return kernels.NewSpMSpVSource(name, a, x, sw.Chip.NGPE(), sw.Chip.Tiles), nil
 	default:
-		return kernels.Workload{}, fmt.Errorf("trainer: unknown kernel %q", sw.Kernel)
+		return nil, fmt.Errorf("trainer: unknown kernel %q", sw.Kernel)
 	}
+}
+
+// sweepPins resolves the sweep's algorithm-axis pins to evaluator pins.
+func sweepPins(sw SweepSpec) (map[config.Param]int, error) {
+	pins := map[config.Param]int{}
+	if sw.PinDataflow != "" {
+		v, err := config.DataflowByName(sw.PinDataflow)
+		if err != nil {
+			return nil, err
+		}
+		pins[config.Dataflow] = v
+	}
+	if sw.PinFormat != "" {
+		v, err := config.FormatByName(sw.PinFormat)
+		if err != nil {
+			return nil, err
+		}
+		pins[config.Format] = v
+	}
+	if len(pins) == 0 {
+		return nil, nil
+	}
+	return pins, nil
 }
 
 // Generate runs the sweep and constructs the training dataset for one
@@ -151,9 +181,11 @@ type sweepPoint struct {
 	di, fi, bi int
 }
 
-// GenerateEngine runs the Table 3 sweep on the execution engine: workloads
-// are built in parallel (one task per (dim, density) input), then every
-// (input, bandwidth) sweep point searches its phases' best configurations
+// GenerateEngine runs the Table 3 sweep on the execution engine: kernel
+// sources are built in parallel (one task per (dim, density) input), then
+// every (input, bandwidth) sweep point searches its phases' best
+// configurations over the widened action space — each candidate
+// configuration measured on its own dataflow/format/scheduling variant —
 // as one task. Each task derives its own RNG from the sweep seed and its
 // grid coordinates rather than advancing a shared math/rand stream, and
 // examples are concatenated in grid order — both are what make the dataset
@@ -164,12 +196,18 @@ func GenerateEngine(ctx context.Context, eng *engine.Engine, sw SweepSpec, mode 
 	if h < 1 {
 		h = 1
 	}
+	pins, err := sweepPins(sw)
+	if err != nil {
+		return nil, err
+	}
 	ds := &Dataset{Mode: mode, L1Type: sw.L1Type}
 
 	// Phase 1: build the sweep inputs, one task per (dim, density). The
 	// workload RNG is derived from the grid coordinates so the matrix is
 	// independent of generation order. Traces are large and cheap to rebuild
-	// relative to the searches, so workload tasks are not cached.
+	// relative to the searches, so workload tasks are not cached. Each task
+	// also traces the source's natural variant so the phase-2 cache keys can
+	// be computed without serial trace builds.
 	type input struct{ di, fi int }
 	var inputs []input
 	for di := range sw.Dims {
@@ -177,21 +215,28 @@ func GenerateEngine(ctx context.Context, eng *engine.Engine, sw SweepSpec, mode 
 			inputs = append(inputs, input{di, fi})
 		}
 	}
-	wtasks := make([]engine.Task[kernels.Workload], len(inputs))
+	wtasks := make([]engine.Task[*kernels.Source], len(inputs))
 	for i, in := range inputs {
 		in := in
-		wtasks[i] = engine.Task[kernels.Workload]{Compute: func(ctx context.Context) (kernels.Workload, error) {
+		wtasks[i] = engine.Task[*kernels.Source]{Compute: func(ctx context.Context) (*kernels.Source, error) {
 			rng := rand.New(rand.NewSource(engine.DeriveSeed(sw.Seed, 0x11, int64(in.di), int64(in.fi))))
-			return buildWorkload(sw, rng, sw.Dims[in.di], sw.Densities[in.fi])
+			src, err := buildSource(sw, rng, sw.Dims[in.di], sw.Densities[in.fi])
+			if err != nil {
+				return nil, err
+			}
+			if _, err := src.Natural(); err != nil {
+				return nil, err
+			}
+			return src, nil
 		}}
 	}
-	workloads, err := engine.Map(ctx, eng, wtasks)
+	sources, err := engine.Map(ctx, eng, wtasks)
 	if err != nil {
 		return nil, err
 	}
-	byInput := map[input]kernels.Workload{}
+	byInput := map[input]*kernels.Source{}
 	for i, in := range inputs {
-		byInput[in] = workloads[i]
+		byInput[in] = sources[i]
 	}
 
 	// Phase 2: run the best-configuration searches, one task per sweep
@@ -207,17 +252,26 @@ func GenerateEngine(ctx context.Context, eng *engine.Engine, sw SweepSpec, mode 
 	tasks := make([]engine.Task[[]Example], len(pts))
 	for i, pt := range pts {
 		pt := pt
-		w := byInput[input{pt.di, pt.fi}]
-		key := engine.NewHasher("sparseadapt/trainer-point/v1").
-			Str(sw.Kernel).Int(sw.L1Type, int(mode), h).
+		src := byInput[input{pt.di, pt.fi}]
+		nat, err := src.Natural() // cached: traced by the phase-1 task
+		if err != nil {
+			return nil, err
+		}
+		key := engine.NewHasher("sparseadapt/trainer-point/v2").
+			Str(sw.Kernel).Str(sw.PinDataflow).Str(sw.PinFormat).
+			Int(sw.L1Type, int(mode), h).
 			Int(sw.Chip.Tiles, sw.Chip.GPEsPerTile).
 			F64(sw.EpochScale).Int(sw.Warmup, sw.Measure, sw.K).
 			I64(sw.Seed).
 			Int(sw.Dims[pt.di]).F64(sw.Densities[pt.fi]).F64(sw.BandwidthsGBps[pt.bi]).
-			U64(w.Trace.Fingerprint()).Sum()
+			U64(nat.Trace.Fingerprint()).Sum()
 		tasks[i] = engine.Task[[]Example]{Key: key, Compute: func(ctx context.Context) ([]Example, error) {
 			rng := rand.New(rand.NewSource(engine.DeriveSeed(sw.Seed, 0x22, int64(pt.di), int64(pt.fi), int64(pt.bi))))
-			ev := NewEvaluator(sw.Chip, sw.BandwidthsGBps[pt.bi]*1e9, w, sw.EpochScale, sw.Warmup, sw.Measure)
+			ev, err := NewSourceEvaluator(sw.Chip, sw.BandwidthsGBps[pt.bi]*1e9, src, sw.EpochScale, sw.Warmup, sw.Measure)
+			if err != nil {
+				return nil, err
+			}
+			ev.Pins = pins
 			// The search RNG seed does not depend on the mode, so the PP and
 			// EE passes over one sweep point evaluate the same configurations;
 			// the shared replay memo lets the second pass reuse the first

@@ -96,7 +96,7 @@ func TestWriteCSVLayout(t *testing.T) {
 	if len(header) != wantCols {
 		t.Fatalf("header has %d columns, want %d", len(header), wantCols)
 	}
-	if header[0] != "cfg-l1-share" || header[len(header)-1] != "best-prefetch" {
+	if header[0] != "cfg-l1-share" || header[len(header)-1] != "best-sched" {
 		t.Fatalf("header boundaries wrong: %s ... %s", header[0], header[len(header)-1])
 	}
 	rows := 0

@@ -41,6 +41,13 @@ type Evaluator struct {
 	Warmup     int
 	Measure    int
 
+	// Pins, when non-empty, forces the given parameters to fixed values on
+	// every configuration evaluated: the search still proposes candidates
+	// over the full space, but each is projected onto the pinned axes
+	// before simulation (and before caching), so e.g. a -dataflow/-format
+	// sweep never leaves the requested kernel variant.
+	Pins map[config.Param]int
+
 	// Memo, when non-nil, memoizes the underlying epoch replays across
 	// evaluators and callers (see sim.RunMemo). The per-instance cache
 	// below already dedups identical (config, phase) queries within one
@@ -52,6 +59,13 @@ type Evaluator struct {
 	phases     []string
 	epsByPhase map[string][]sim.EpochRange
 	cache      map[cacheKey]Eval
+
+	// Source-aware mode (NewSourceEvaluator): each configuration is
+	// measured on its own kernel variant's trace, with phases mapped by
+	// epoch index on the natural variant's work-aligned grid.
+	src       *kernels.Source
+	nEpochs   int
+	phaseIdxs map[string][]int
 }
 
 type cacheKey struct {
@@ -82,18 +96,75 @@ func NewEvaluator(chip power.Chip, bw float64, w kernels.Workload, epochScale fl
 	return ev
 }
 
+// NewSourceEvaluator prepares an evaluator over the widened action space:
+// each configuration is measured on the trace of its own kernel variant
+// (dataflow × format × scheduling), with phases and the epoch grid
+// anchored to the source's natural variant so a phase covers the same
+// fraction of the arithmetic work in every variant (sim.Trace.EpochsN).
+func NewSourceEvaluator(chip power.Chip, bw float64, src *kernels.Source, epochScale float64, warmup, measure int) (*Evaluator, error) {
+	nat, err := src.Natural()
+	if err != nil {
+		return nil, err
+	}
+	n := len(nat.Epochs(epochScale))
+	if n == 0 {
+		return nil, fmt.Errorf("trainer: source %s has no epochs", src.Name())
+	}
+	ev := NewEvaluator(chip, bw, nat, epochScale, warmup, measure)
+	ev.src = src
+	ev.nEpochs = n
+	ev.phaseIdxs = map[string][]int{}
+	// Phase names and ordering come from the natural variant's aligned
+	// grid, replacing the budget-based grid built by NewEvaluator.
+	ev.phases = nil
+	for i, ep := range nat.Trace.EpochsN(n) {
+		if _, ok := ev.phaseIdxs[ep.Phase]; !ok {
+			ev.phases = append(ev.phases, ep.Phase)
+		}
+		ev.phaseIdxs[ep.Phase] = append(ev.phaseIdxs[ep.Phase], i)
+	}
+	return ev, nil
+}
+
 // Phases returns the workload's explicit phases in execution order.
 func (ev *Evaluator) Phases() []string { return ev.phases }
 
 // Eval measures phase under cfg (cached per configuration).
 func (ev *Evaluator) Eval(cfg config.Config, phase string) (Eval, error) {
+	for p, v := range ev.Pins {
+		cfg[p] = v
+	}
 	key := cacheKey{cfg.Index(), phase}
 	if e, ok := ev.cache[key]; ok {
 		return e, nil
 	}
-	eps, ok := ev.epsByPhase[phase]
-	if !ok {
-		return Eval{}, fmt.Errorf("trainer: unknown phase %q", phase)
+	trace := ev.Workload.Trace
+	var eps []sim.EpochRange
+	if ev.src != nil {
+		idxs, ok := ev.phaseIdxs[phase]
+		if !ok {
+			return Eval{}, fmt.Errorf("trainer: unknown phase %q", phase)
+		}
+		w, err := ev.src.Variant(cfg)
+		if err != nil {
+			return Eval{}, err
+		}
+		trace = w.Trace
+		veps := trace.EpochsN(ev.nEpochs)
+		for _, i := range idxs {
+			if i < len(veps) {
+				eps = append(eps, veps[i])
+			}
+		}
+		if len(eps) == 0 {
+			return Eval{}, fmt.Errorf("trainer: variant %s has no epochs for phase %q", w.Name, phase)
+		}
+	} else {
+		var ok bool
+		eps, ok = ev.epsByPhase[phase]
+		if !ok {
+			return Eval{}, fmt.Errorf("trainer: unknown phase %q", phase)
+		}
 	}
 	warm := ev.Warmup
 	if warm >= len(eps) {
@@ -103,7 +174,7 @@ func (ev *Evaluator) Eval(cfg config.Config, phase string) (Eval, error) {
 	if limit > len(eps) {
 		limit = len(eps)
 	}
-	rs, err := sim.RunEpochs(context.Background(), ev.Memo, ev.Chip, ev.BW, cfg, ev.Workload.Trace, eps[:limit])
+	rs, err := sim.RunEpochs(context.Background(), ev.Memo, ev.Chip, ev.BW, cfg, trace, eps[:limit])
 	if err != nil {
 		return Eval{}, err
 	}

@@ -170,7 +170,7 @@ func TestTrainCV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ens.Trees) != 6 {
+	if len(ens.Trees) != len(config.RuntimeParams) {
 		t.Fatalf("tree count %d", len(ens.Trees))
 	}
 	if ens.Mode != power.PowerPerformance {

@@ -33,7 +33,43 @@ func TestCorpusDeterminismAcrossWorkers(t *testing.T) {
 		}
 		recs = append(recs, rec)
 	}
-	a, b := recs[0], recs[1]
+	requireIdenticalGrids(t, recs[0], recs[1])
+}
+
+// TestSourceDeterminismAcrossWorkers is the widened-action-space
+// counterpart: RecordSource prices configurations spanning every dataflow,
+// format and scheduling policy — each on its own lazily traced kernel
+// variant — and the records must still be bit-identical at worker counts
+// 1 and 4 (variant tracing must not race or depend on schedule order).
+func TestSourceDeterminismAcrossWorkers(t *testing.T) {
+	s, err := ScenarioByName("spmspm-uniform-format-switch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := s.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []config.Config{
+		config.Baseline,
+		withAlgo(config.Baseline, config.DFInner, config.FmtCSR, config.SchedLL),
+		withAlgo(config.BestAvgCache, config.DFRow, config.FmtCOO, config.SchedRR),
+		withAlgo(config.MaxCfg, config.DFOuter, config.FmtCSR, config.SchedLL),
+	}
+	var recs []*oracle.Recording
+	for _, workers := range []int{1, 4} {
+		eng := engine.New(engine.Options{Workers: workers})
+		rec, err := oracle.RecordSourceEngine(context.Background(), eng, nil, corpusChip, corpusBW, src, s.EpochScale, cfgs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		recs = append(recs, rec)
+	}
+	requireIdenticalGrids(t, recs[0], recs[1])
+}
+
+func requireIdenticalGrids(t *testing.T, a, b *oracle.Recording) {
+	t.Helper()
 	if len(a.Grid) != len(b.Grid) {
 		t.Fatalf("grid rows differ: %d vs %d", len(a.Grid), len(b.Grid))
 	}

@@ -95,6 +95,24 @@ func Invariants() []Invariant {
 			Cases: 200,
 			Check: checkHistoryPadding,
 		},
+		{
+			Name:  "dataflow-equivalence",
+			Doc:   "SpMSpM numeric result matches the dense reference and arithmetic FLOPs are identical across dataflow/format/sched variants",
+			Cases: 100,
+			Check: checkDataflowEquivalence,
+		},
+		{
+			Name:  "format-roundtrip",
+			Doc:   "Direct CSR/CSC/COO converters are exact inverses and produce structurally valid matrices",
+			Cases: 120,
+			Check: checkFormatRoundtrip,
+		},
+		{
+			Name:  "conversion-cost-conserved",
+			Doc:   "Format-switch conversion cycles match the cost model and are exactly conserved in epoch accounting",
+			Cases: 100,
+			Check: checkConversionCostConserved,
+		},
 	}
 }
 
@@ -478,6 +496,149 @@ func checkOracleEEBound(rng *rand.Rand) error {
 	return nil
 }
 
+// traceArithFP counts the KFP ALU events of a trace — the dataflow
+// invariant: every SpMSpM variant performs the same multiplies and
+// accumulations, so the arithmetic FLOP total is exactly equal across
+// variants even though load/store mixes (and thus total FP-ops) differ.
+func traceArithFP(w kernels.Workload) int {
+	tot := 0
+	for _, e := range w.Trace.Events {
+		if e.Kind == sim.KFP {
+			tot++
+		}
+	}
+	return tot
+}
+
+func checkDataflowEquivalence(rng *rand.Rand) error {
+	n := 8 + rng.Intn(24)
+	a := matrix.Uniform(rng, n, n, 1+rng.Intn(n*3))
+	b := matrix.Uniform(rng, n, n, 1+rng.Intn(n*3))
+	ref := RefSpMSpM(a.ToCSC(), b.ToCSR())
+	arith := -1
+	arithDF := -1
+	for df := 0; df < len(config.DataflowNames()); df++ {
+		// Each variant also draws a random format and scheduling policy, so
+		// the three axes are exercised jointly: none of them may change the
+		// numeric result or the arithmetic work.
+		key := kernels.AlgoKey{
+			Dataflow: df,
+			Format:   rng.Intn(len(config.FormatNames())),
+			Sched:    rng.Intn(len(config.SchedNames())),
+		}
+		c, w, err := kernels.SpMSpMVariant(a.ToCSC(), b.ToCSR(), corpusChip.NGPE(), corpusChip.Tiles, key)
+		if err != nil {
+			return fmt.Errorf("n=%d variant %v: %w", n, key, err)
+		}
+		got := c.Dense()
+		for i := range ref {
+			for j := range ref[i] {
+				if !closeRel(ref[i][j], got[i][j]) {
+					return fmt.Errorf("n=%d variant %v: C[%d][%d]=%v, dense reference %v", n, key, i, j, got[i][j], ref[i][j])
+				}
+			}
+		}
+		if fp := traceArithFP(w); arith < 0 {
+			arith, arithDF = fp, df
+		} else if fp != arith {
+			return fmt.Errorf("n=%d: arithmetic FLOPs differ across dataflows: %s=%d, %s=%d",
+				n, config.DataflowNames()[arithDF], arith, config.DataflowNames()[df], fp)
+		}
+	}
+	return nil
+}
+
+func checkFormatRoundtrip(rng *rand.Rand) error {
+	n := 4 + rng.Intn(40)
+	m := 4 + rng.Intn(40)
+	nnz := rng.Intn(n*m/2 + 1)
+	csr := matrix.Uniform(rng, n, m, nnz).ToCSR()
+	csc := csr.ToCSC()
+	if err := csr.Validate(); err != nil {
+		return fmt.Errorf("%dx%d nnz=%d: source CSR invalid: %w", n, m, csr.NNZ(), err)
+	}
+	if err := csc.Validate(); err != nil {
+		return fmt.Errorf("%dx%d nnz=%d: CSR->CSC produced invalid CSC: %w", n, m, csr.NNZ(), err)
+	}
+	// Direct converters permute entries without re-summing, so the
+	// round trips are bit-exact, not merely within tolerance.
+	if got := csc.ToCSR(); !csr.Equal(got, 0) {
+		return fmt.Errorf("%dx%d nnz=%d: CSR->CSC->CSR changed the matrix", n, m, csr.NNZ())
+	}
+	if got := csr.ToCOO().ToCSR(); !csr.Equal(got, 0) {
+		return fmt.Errorf("%dx%d nnz=%d: CSR->COO->CSR changed the matrix", n, m, csr.NNZ())
+	}
+	if got := csc.ToCOO().ToCSR().ToCSC().ToCSR(); !csr.Equal(got, 0) {
+		return fmt.Errorf("%dx%d nnz=%d: CSC->COO->CSR->CSC->CSR changed the matrix", n, m, csr.NNZ())
+	}
+	return nil
+}
+
+func checkConversionCostConserved(rng *rand.Rand) error {
+	n := 24 + rng.Intn(24)
+	a := matrix.Uniform(rng, n, n, n*2+rng.Intn(n*2)).ToCSC()
+	x := matrix.RandomVec(rng, n, 0.5)
+	_, w, err := kernels.SpMSpV(a, x, corpusChip.NGPE(), corpusChip.Tiles)
+	if err != nil {
+		return err
+	}
+	eps := w.Epochs(0.1)
+	if len(eps) < 2 {
+		return nil
+	}
+	clock := rng.Intn(config.Cardinality(config.Clock))
+	capL1 := rng.Intn(config.Cardinality(config.L1Cap))
+	capL2 := rng.Intn(config.Cardinality(config.L2Cap))
+	from := rng.Intn(len(config.FormatNames()))
+	to := rng.Intn(len(config.FormatNames()) - 1)
+	if to >= from {
+		to++
+	}
+	// A→B changes only the storage format: an algorithmic transition that
+	// flushes both levels and charges the per-nonzero conversion cost.
+	cfgA := config.Config{config.CacheMode, config.Shared, config.Shared, capL1, capL2, clock, 1, config.DFOuter, from, config.SchedRR}
+	cfgB := config.Config{config.CacheMode, config.Shared, config.Shared, capL1, capL2, clock, 1, config.DFOuter, to, config.SchedRR}
+	const bw = 1e15
+	m := sim.New(corpusChip, bw, cfgA)
+	m.BindTrace(w.Trace)
+	m.RunEpoch(eps[0])
+	rc, err := m.Reconfigure(cfgB)
+	if err != nil {
+		return err
+	}
+	// The charged conversion cycles must be exactly the cost model's: one
+	// algorithmic swap charge plus the per-nonzero format conversion.
+	wantConv := config.AlgoSwapCycles + config.ConversionCyclesPerNNZ(from, to)*float64(w.Trace.NNZ)
+	if rc.ConvCycles != wantConv {
+		return fmt.Errorf("n=%d %s->%s nnz=%d: conversion charged %v cycles, cost model says %v",
+			n, config.FormatNames()[from], config.FormatNames()[to], w.Trace.NNZ, rc.ConvCycles, wantConv)
+	}
+	res2 := m.RunEpoch(eps[1])
+
+	fresh := sim.New(corpusChip, bw, cfgB)
+	fresh.BindTrace(w.Trace)
+	res3 := fresh.RunEpoch(eps[1])
+
+	// At effectively infinite bandwidth both runs are compute-bound, so the
+	// epoch slowdown is exactly the pending reconfiguration cycles —
+	// conversion included — at cfgB's clock.
+	gotCycles := (res2.Metrics.TimeSec - res3.Metrics.TimeSec) * cfgB.ClockHz()
+	if diff := gotCycles - rc.Cycles; diff > 1e-6*(1+rc.Cycles) || diff < -1e-6*(1+rc.Cycles) {
+		return fmt.Errorf("n=%d %s->%s: epoch slowed by %v cycles, reconfiguration charged %v (conversion %v)",
+			n, config.FormatNames()[from], config.FormatNames()[to], gotCycles, rc.Cycles, rc.ConvCycles)
+	}
+	want := addCounts(res3.Counts, power.Counts{
+		L1Accesses:     rc.L1Flushed,
+		L2Accesses:     rc.L1Flushed + rc.L2Flushed,
+		DRAMWriteBytes: rc.DRAMWrites,
+	})
+	if res2.Counts != want {
+		return fmt.Errorf("n=%d %s->%s: post-switch epoch counts %+v, want fresh-machine counts plus flush traffic %+v (rc %+v)",
+			n, config.FormatNames()[from], config.FormatNames()[to], res2.Counts, want, rc)
+	}
+	return nil
+}
+
 func checkHistoryPadding(rng *rand.Rand) error {
 	cfg := randomConfig(rng)
 	h := 1 + rng.Intn(4)
@@ -513,7 +674,7 @@ func checkHistoryPadding(rng *rand.Rand) error {
 		return fmt.Errorf("h=%d: empty-window width %d, want %d", h, len(empty), core.HistoryFeatureCount(h))
 	}
 	zeros := true
-	for _, v := range empty[6:] {
+	for _, v := range empty[core.ConfigFeatureCount:] {
 		if v != 0 {
 			zeros = false
 		}

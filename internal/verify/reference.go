@@ -144,9 +144,11 @@ type EDPReport struct {
 }
 
 // CheckControllerEDP cross-checks every controller scenario in the corpus
-// against a brute-force oracle recording of the same workload: the
-// controller's EDP must stay within MaxEDPRatio of Ideal Static's. The
-// sampled configuration set is deterministic, so the reports are too.
+// against a brute-force oracle recording of the same workload over the
+// widened action space (each sampled configuration priced on its own
+// dataflow/format/scheduling variant): the controller's EDP must stay
+// within MaxEDPRatio of Ideal Static's. The sampled configuration set is
+// deterministic, so the reports are too.
 func CheckControllerEDP() ([]EDPReport, error) {
 	var reports []EDPReport
 	for _, s := range Corpus() {
@@ -157,12 +159,12 @@ func CheckControllerEDP() ([]EDPReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		w, err := s.Workload()
+		src, err := s.Source()
 		if err != nil {
 			return nil, err
 		}
 		cfgs := oracle.SampleConfigs(rand.New(rand.NewSource(s.Seed+200)), 8, config.CacheMode)
-		rec, err := oracle.Record(corpusChip, corpusBW, w, s.EpochScale, cfgs)
+		rec, err := oracle.RecordSource(corpusChip, corpusBW, src, s.EpochScale, cfgs)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: oracle recording: %w", s.Name, err)
 		}

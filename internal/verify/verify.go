@@ -172,7 +172,45 @@ func Corpus() []Scenario {
 			Schedule:   alternateSchedule{a: config.Baseline, b: config.BestAvgCache, period: 3},
 			EpochScale: 0.02,
 		},
+		{
+			Name: "spmspm-uniform-inner", Kernel: "spmspm", Gen: "uniform",
+			Dim: 48, NNZ: 350, Seed: 8,
+			Schedule:   staticSchedule{"static-inner-csr", withAlgo(config.Baseline, config.DFInner, config.FmtCSR, config.SchedRR)},
+			EpochScale: 0.02,
+		},
+		{
+			Name: "spmspm-banded-row", Kernel: "spmspm", Gen: "banded",
+			Dim: 48, NNZ: 400, Seed: 9,
+			Schedule:   staticSchedule{"static-row-csr", withAlgo(config.Baseline, config.DFRow, config.FmtCSR, config.SchedRR)},
+			EpochScale: 0.02,
+		},
+		{
+			// Mid-run CSR→CSC format switches on the outer dataflow: the
+			// alternate schedule crosses the Format axis, exercising the
+			// algorithmic reconfiguration path (conversion charge, full
+			// flush, trace rebind onto the aligned epoch grid).
+			Name: "spmspm-uniform-format-switch", Kernel: "spmspm", Gen: "uniform",
+			Dim: 48, NNZ: 350, Seed: 10,
+			Schedule: alternateSchedule{
+				a:      withAlgo(config.Baseline, config.DFOuter, config.FmtCSR, config.SchedRR),
+				b:      config.Baseline, // natural point: outer/csc/rr
+				period: 3,
+			},
+			EpochScale: 0.02,
+		},
+		{
+			Name: "spmspv-uniform-coo-ll", Kernel: "spmspv", Gen: "uniform",
+			Dim: 80, NNZ: 500, Seed: 11,
+			Schedule:   staticSchedule{"static-coo-ll", withAlgo(config.Baseline, config.DFOuter, config.FmtCOO, config.SchedLL)},
+			EpochScale: 0.05,
+		},
 	}
+}
+
+// withAlgo returns c with its algorithm axes set, for schedule literals.
+func withAlgo(c config.Config, dataflow, format, sched int) config.Config {
+	c[config.Dataflow], c[config.Format], c[config.SchedPolicy] = dataflow, format, sched
+	return c
 }
 
 // ScenarioByName finds a corpus scenario.
@@ -219,6 +257,26 @@ func (s Scenario) Workload() (kernels.Workload, error) {
 		return w, err
 	default:
 		return kernels.Workload{}, fmt.Errorf("verify: unknown kernel %q", s.Kernel)
+	}
+}
+
+// Source builds the scenario's kernel source (deterministic in Seed): the
+// variant cache behind runs over the widened dataflow/format/scheduling
+// action space.
+func (s Scenario) Source() (*kernels.Source, error) {
+	am, err := buildMatrix(s)
+	if err != nil {
+		return nil, err
+	}
+	a := am.ToCSC()
+	switch s.Kernel {
+	case "spmspm":
+		return kernels.NewSpMSpMSource(s.Name, a, am.ToCSR(), corpusChip.NGPE(), corpusChip.Tiles), nil
+	case "spmspv":
+		x := matrix.RandomVec(rand.New(rand.NewSource(s.Seed+100)), a.Cols, 0.5)
+		return kernels.NewSpMSpVSource(s.Name, a, x, corpusChip.NGPE(), corpusChip.Tiles), nil
+	default:
+		return nil, fmt.Errorf("verify: unknown kernel %q", s.Kernel)
 	}
 }
 
@@ -270,38 +328,63 @@ type RunOutcome struct {
 	Reconfig int
 }
 
-// Run executes the scenario and returns every epoch's outcome.
+// Run executes the scenario and returns every epoch's outcome. Every run
+// goes through the scenario's kernel source on the work-aligned epoch grid
+// (sim.Trace.EpochsN anchored to the natural variant), so schedules that
+// cross the dataflow/format/scheduling axes rebind onto the matching
+// variant trace mid-run; schedules that stay on one algorithm point replay
+// a single variant end to end.
 func Run(s Scenario) (*RunOutcome, error) {
-	w, err := s.Workload()
+	src, err := s.Source()
 	if err != nil {
 		return nil, err
 	}
 	if _, isCtl := s.Schedule.(controllerSchedule); isCtl {
-		return runController(s, w)
+		return runController(s, src)
 	}
-	m := sim.New(corpusChip, corpusBW, s.Schedule.Start())
+	nEpochs, _, err := src.GridEpochs(s.EpochScale)
+	if err != nil {
+		return nil, err
+	}
+	start := s.Schedule.Start()
+	w, err := src.Variant(start)
+	if err != nil {
+		return nil, err
+	}
+	m := sim.New(corpusChip, corpusBW, start)
 	m.BindTrace(w.Trace)
+	eps := w.Trace.EpochsN(nEpochs)
 	out := &RunOutcome{Scenario: s}
 	reconfigured := false
-	for i, ep := range w.Epochs(s.EpochScale) {
-		r := m.RunEpoch(ep)
+	for i := 0; i < nEpochs && i < len(eps); i++ {
+		r := m.RunEpoch(eps[i])
 		out.Total.Add(r.Metrics)
 		out.Epochs = append(out.Epochs, EpochOutcome{Config: m.Config(), Reconfigured: reconfigured, Result: r})
 		next := s.Schedule.Next(i, m.Config(), r)
 		reconfigured = false
 		if next != m.Config() {
+			oldKey, newKey := src.Key(kernels.AlgoOf(m.Config())), src.Key(kernels.AlgoOf(next))
 			if _, err := m.Reconfigure(next); err != nil {
 				return nil, fmt.Errorf("verify: scenario %s epoch %d: %w", s.Name, i, err)
 			}
 			out.Reconfig++
 			reconfigured = true
+			if oldKey != newKey {
+				w, err = src.Variant(next)
+				if err != nil {
+					return nil, fmt.Errorf("verify: scenario %s epoch %d: %w", s.Name, i, err)
+				}
+				m.BindTrace(w.Trace)
+				eps = w.Trace.EpochsN(nEpochs)
+			}
 		}
 	}
 	return out, nil
 }
 
-// runController executes a controller scenario through core.Controller.
-func runController(s Scenario, w kernels.Workload) (*RunOutcome, error) {
+// runController executes a controller scenario through core.Controller
+// over the full widened action space (Controller.RunSource).
+func runController(s Scenario, src *kernels.Source) (*RunOutcome, error) {
 	ens, err := Model()
 	if err != nil {
 		return nil, err
@@ -311,7 +394,10 @@ func runController(s Scenario, w kernels.Workload) (*RunOutcome, error) {
 	ctl := core.NewController(ens, core.Options{
 		Policy: core.Hybrid, Tolerance: 0.4, EpochScale: s.EpochScale,
 	})
-	res := ctl.Run(m, w)
+	res, err := ctl.RunSource(m, src)
+	if err != nil {
+		return nil, err
+	}
 	out := &RunOutcome{Scenario: s, Total: res.Total, Reconfig: res.Reconfig}
 	for _, ep := range res.Epochs {
 		out.Epochs = append(out.Epochs, EpochOutcome{
