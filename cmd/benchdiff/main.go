@@ -74,6 +74,8 @@ func group(name string) string {
 	case strings.HasPrefix(name, "BenchmarkCounter"), strings.HasPrefix(name, "BenchmarkHistogram"),
 		strings.HasPrefix(name, "BenchmarkGolden"), strings.HasPrefix(name, "BenchmarkScenario"):
 		return "obs"
+	case strings.HasPrefix(name, "BenchmarkMux"), strings.HasPrefix(name, "BenchmarkTenant"):
+		return "tenant"
 	default:
 		return "figure"
 	}

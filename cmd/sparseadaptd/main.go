@@ -40,6 +40,7 @@ import (
 	"sparseadapt/internal/obs"
 	"sparseadapt/internal/server"
 	"sparseadapt/internal/sigctx"
+	"sparseadapt/internal/tenant"
 )
 
 func main() {
@@ -71,6 +72,9 @@ func run(args []string, stdout, stderr *os.File) int {
 	storeDir := fs.String("store-dir", "", "durable job journal directory; on boot the journal is replayed and interrupted jobs re-run (empty = no durability)")
 	maxAttempts := fs.Int("max-attempts", 3, "execution attempts per job before quarantine")
 	chaosSpec := fs.String("chaos", "", "deterministic chaos spec, e.g. exec-panic=0.2,journal-err=0.05,seed=7 (testing only)")
+	tenantInflight := fs.Int("tenant-max-inflight", 0, "per-tenant queued+running job cap (0 = unlimited)")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant submissions per second (0 = unlimited)")
+	tenantBurst := fs.Float64("tenant-burst", 4, "per-tenant submission burst")
 	role := fs.String("role", "", "cluster role: coordinator|worker (empty = standalone)")
 	coordinator := fs.String("coordinator", "", "coordinator base URL (worker role)")
 	advertise := fs.String("advertise", "", "URL peers reach this node at (worker role; default http://<bound address>)")
@@ -99,6 +103,9 @@ func run(args []string, stdout, stderr *os.File) int {
 	check.Positive("cache-entries", *cacheEntries)
 	check.PositiveDuration("drain-timeout", *drainTimeout)
 	check.Positive("max-attempts", *maxAttempts)
+	check.NonNegative("tenant-max-inflight", *tenantInflight)
+	check.NonNegativeFloat("tenant-rate", *tenantRate)
+	check.PositiveFloat("tenant-burst", *tenantBurst)
 	check.PositiveDuration("hb-interval", *hbInterval)
 	check.PositiveDuration("hb-timeout", *hbTimeout)
 	check.Positive("ring-replicas", *ringReplicas)
@@ -123,7 +130,11 @@ func run(args []string, stdout, stderr *os.File) int {
 		MaxBodyBytes: *maxBody, JobTimeout: *jobTimeout, MaxJobs: *maxJobs,
 		CacheDir: *cacheDir, CacheEntries: *cacheEntries,
 		StoreDir: *storeDir, MaxAttempts: *maxAttempts,
-		Chaos: fault.NewChaos(chaos),
+		TenantQuota: tenant.Quota{MaxInflight: *tenantInflight, RatePerSec: *tenantRate, Burst: *tenantBurst},
+		Chaos:       fault.NewChaos(chaos),
+	}
+	if scfg.TenantQuota.Enabled() {
+		fmt.Fprintln(stdout, scfg.TenantQuota.String())
 	}
 
 	// Bind before constructing the node: a worker's advertise address

@@ -42,6 +42,8 @@ func cmdSubmit(ctx context.Context, w io.Writer, args []string) error {
 	retryWait := fs.Duration("retry-wait", 500*time.Millisecond, "base backoff between submission retries (server Retry-After overrides)")
 	stall := fs.Duration("stream-stall", time.Minute, "abort the event stream when no bytes (not even keepalives) arrive for this long, then poll (0 = no watchdog)")
 	requestID := fs.String("request-id", "", "X-Request-ID to stamp on the submission (default: server-generated)")
+	tenantID := fs.String("tenant", "", "tenant name for per-tenant quotas and accounting (empty = untenanted)")
+	priority := fs.String("priority", "", "tenant priority class: interactive|batch|scavenger (default batch; requires -tenant)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +62,7 @@ func cmdSubmit(ctx context.Context, w io.Writer, args []string) error {
 		Policy: *policy, Tolerance: *tolerance, Config: *cfgName,
 		Faults: *faults, Count: *count, Counters: *counters,
 		TimeoutSec: timeout.Seconds(),
+		Tenant:     *tenantID, Priority: *priority,
 	}
 	if *mmFile != "" {
 		body, err := os.ReadFile(*mmFile)

@@ -52,6 +52,7 @@ type coordMetrics struct {
 	workerDeaths      *obs.Counter
 	placements        *obs.Counter
 	placementFailures *obs.Counter
+	loadDeferrals     *obs.Counter
 	jobsRequeued      *obs.Counter
 	forwardLatency    *obs.Histogram
 }
@@ -65,6 +66,7 @@ func newCoordMetrics(r *obs.Registry) coordMetrics {
 		workerDeaths:      r.Counter("cluster_worker_deaths_total", "workers declared dead by heartbeat timeout"),
 		placements:        r.Counter("cluster_placements_total", "job placement attempts on workers"),
 		placementFailures: r.Counter("cluster_placement_failures_total", "placement attempts that failed (submit rejected, worker lost, no workers)"),
+		loadDeferrals:     r.Counter("cluster_load_deferrals_total", "placements where load-aware ordering moved the ring owner off the front"),
 		jobsRequeued:      r.Counter("cluster_jobs_requeued_total", "in-flight jobs sent back through retry after losing their worker"),
 		forwardLatency:    r.Histogram("cluster_forward_latency_seconds", "wall time of one coordinator→worker placement round trip", sched.LatencyBuckets),
 	}
@@ -168,7 +170,7 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, "join requires id and base")
 		return
 	}
-	if c.mem.upsert(jr.ID, jr.Base, time.Now()) {
+	if c.mem.upsert(jr.ID, jr.Base, jr.QueueDepth, time.Now()) {
 		c.met.workerJoins.Inc()
 	}
 	c.gauges()
@@ -200,6 +202,15 @@ func (c *Coordinator) place(ctx context.Context, j *sched.Job, attempt int) (*sc
 		c.met.placementFailures.Inc()
 		return nil, false, fmt.Errorf("no live workers in the cluster")
 	}
+	// Load-aware ordering: heavily loaded candidates (per their last
+	// heartbeat) defer behind lightly loaded ones, so a saturated owner is
+	// skipped when a later successor is idle. Near-ties keep ring order —
+	// cache affinity still decides when the fleet is evenly loaded.
+	reordered := OrderByLoad(candidates, c.mem.depthOf)
+	if reordered[0] != candidates[0] {
+		c.met.loadDeferrals.Inc()
+	}
+	candidates = reordered
 	mem := c.mem.get(candidates[(attempt-1)%len(candidates)])
 	if mem == nil {
 		// The sweeper declared it dead between the successor walk and now.

@@ -14,6 +14,9 @@ type JoinRequest struct {
 	ID string `json:"id"`
 	// Base is the worker's advertised API root, e.g. "http://10.0.0.7:8081".
 	Base string `json:"base"`
+	// QueueDepth is the worker's queued-plus-running job count at heartbeat
+	// time — the load signal behind the coordinator's load-aware placement.
+	QueueDepth int `json:"queue_depth,omitempty"`
 }
 
 // JoinResponse acknowledges a heartbeat and carries the coordinator's
@@ -34,6 +37,8 @@ type MemberInfo struct {
 	Base     string    `json:"base"`
 	Alive    bool      `json:"alive"`
 	LastSeen time.Time `json:"last_seen"`
+	// QueueDepth is the load the member reported on its last heartbeat.
+	QueueDepth int `json:"queue_depth,omitempty"`
 }
 
 // member is the coordinator's record of one worker. The down channel is
@@ -44,6 +49,7 @@ type member struct {
 	base     string
 	lastSeen time.Time
 	alive    bool
+	depth    int // queued+running jobs reported on the last heartbeat
 	down     chan struct{}
 }
 
@@ -63,18 +69,31 @@ func newMembership(ringReplicas int) *membership {
 // upsert registers or refreshes a member from a heartbeat. It returns
 // whether this heartbeat (re)activated the member — i.e. it was new or
 // previously declared dead.
-func (m *membership) upsert(id, base string, now time.Time) (joined bool) {
+func (m *membership) upsert(id, base string, depth int, now time.Time) (joined bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	mem, ok := m.members[id]
 	if !ok || !mem.alive {
-		m.members[id] = &member{id: id, base: base, lastSeen: now, alive: true, down: make(chan struct{})}
+		m.members[id] = &member{id: id, base: base, lastSeen: now, alive: true, depth: depth, down: make(chan struct{})}
 		m.ring.Add(id)
 		return true
 	}
 	mem.lastSeen = now
 	mem.base = base
+	mem.depth = depth
 	return false
+}
+
+// depthOf returns the load a live member last reported. ok is false for
+// unknown or dead members (the ring walk then keeps their original rank).
+func (m *membership) depthOf(id string) (int, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mem := m.members[id]
+	if mem == nil || !mem.alive {
+		return 0, false
+	}
+	return mem.depth, true
 }
 
 // sweep declares members dead whose last heartbeat is older than timeout:
@@ -126,7 +145,7 @@ func (m *membership) snapshot() []MemberInfo {
 	defer m.mu.Unlock()
 	out := make([]MemberInfo, 0, len(m.members))
 	for _, mem := range m.members {
-		out = append(out, MemberInfo{ID: mem.id, Base: mem.base, Alive: mem.alive, LastSeen: mem.lastSeen})
+		out = append(out, MemberInfo{ID: mem.id, Base: mem.base, Alive: mem.alive, LastSeen: mem.lastSeen, QueueDepth: mem.depth})
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 	return out

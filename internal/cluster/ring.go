@@ -130,6 +130,47 @@ func (r *Ring) Owner(k engine.Key) (node string, ok bool) {
 	return succ[0], true
 }
 
+// LoadSpread is the queue-depth slack of load-aware placement: a
+// candidate within LoadSpread jobs of the least-loaded candidate keeps its
+// ring rank (cache affinity wins small imbalances), while deeper ones are
+// deferred behind every light candidate. Small on purpose — the signal is
+// a heartbeat old, so aggressive chasing of exact depths would thrash.
+const LoadSpread = 2
+
+// OrderByLoad reorders a ring successor walk by reported load: candidates
+// split into a light class (within LoadSpread of the least-loaded known
+// candidate) and a heavy class, each keeping its internal ring order, and
+// the light class goes first. A saturated owner is thereby skipped when a
+// later successor is idle, but ties and near-ties preserve cache affinity,
+// and a uniformly loaded fleet places exactly as an unweighted one.
+// depth reports a candidate's queued+running jobs; ok=false (no heartbeat
+// data) counts the candidate as light so placement never stalls on a
+// missing signal. The input slice is not modified.
+func OrderByLoad(candidates []string, depth func(id string) (int, bool)) []string {
+	if len(candidates) < 2 {
+		return candidates
+	}
+	min, known := 0, false
+	for _, id := range candidates {
+		if d, ok := depth(id); ok && (!known || d < min) {
+			min, known = d, true
+		}
+	}
+	if !known {
+		return candidates
+	}
+	light := make([]string, 0, len(candidates))
+	var heavy []string
+	for _, id := range candidates {
+		if d, ok := depth(id); ok && d > min+LoadSpread {
+			heavy = append(heavy, id)
+			continue
+		}
+		light = append(light, id)
+	}
+	return append(light, heavy...)
+}
+
 // Successors returns up to n distinct nodes in ring order starting at
 // key k's owner — the preference list for placement and peer-cache
 // lookup. Fewer than n are returned when the ring has fewer nodes.

@@ -177,3 +177,64 @@ func TestRingConcurrentRebalance(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// depthMap adapts a plain map to OrderByLoad's lookup signature.
+func depthMap(m map[string]int) func(string) (int, bool) {
+	return func(id string) (int, bool) {
+		d, ok := m[id]
+		return d, ok
+	}
+}
+
+// TestOrderByLoadSkewed: a saturated worker is deferred behind idle
+// successors, while order within each load class stays the ring walk.
+func TestOrderByLoadSkewed(t *testing.T) {
+	walk := []string{"owner", "succ1", "succ2", "succ3"}
+	got := OrderByLoad(walk, depthMap(map[string]int{
+		"owner": 40, "succ1": 0, "succ2": 37, "succ3": 1,
+	}))
+	want := []string{"succ1", "succ3", "owner", "succ2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("skewed order = %v, want %v", got, want)
+		}
+	}
+	// The input walk must not be reordered in place: retries index into it.
+	if walk[0] != "owner" {
+		t.Fatalf("input mutated: %v", walk)
+	}
+}
+
+// TestOrderByLoadTies: balanced and near-balanced fleets keep pure ring
+// order, so cache affinity still decides placement.
+func TestOrderByLoadTies(t *testing.T) {
+	walk := []string{"a", "b", "c"}
+	cases := []map[string]int{
+		{"a": 3, "b": 3, "c": 3},              // uniform
+		{"a": 3 + LoadSpread, "b": 3, "c": 3}, // owner within slack
+		{},                                    // no heartbeat data at all
+		{"a": 100},                            // only one depth known: nothing to compare down to
+	}
+	for i, depths := range cases {
+		got := OrderByLoad(walk, depthMap(depths))
+		for j := range walk {
+			if got[j] != walk[j] {
+				t.Fatalf("case %d reordered: %v", i, got)
+			}
+		}
+	}
+	// One past the slack defers.
+	got := OrderByLoad(walk, depthMap(map[string]int{"a": 3 + LoadSpread + 1, "b": 3, "c": 3}))
+	if got[0] != "b" || got[2] != "a" {
+		t.Fatalf("owner past slack kept rank: %v", got)
+	}
+}
+
+// TestOrderByLoadUnknownIsLight: candidates without heartbeat data rank as
+// light — placement never penalizes a worker for a signal gap.
+func TestOrderByLoadUnknownIsLight(t *testing.T) {
+	got := OrderByLoad([]string{"a", "b", "c"}, depthMap(map[string]int{"a": 50, "c": 0}))
+	if got[0] != "b" || got[1] != "c" || got[2] != "a" {
+		t.Fatalf("order = %v, want [b c a]", got)
+	}
+}

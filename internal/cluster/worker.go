@@ -169,7 +169,13 @@ func (w *Worker) heartbeatLoop() {
 // heartbeat posts one join/refresh and returns the coordinator's
 // requested cadence (0 on failure).
 func (w *Worker) heartbeat() time.Duration {
-	body, _ := json.Marshal(JoinRequest{ID: w.cfg.ID, Base: w.cfg.Advertise}) //nolint:errcheck // static struct
+	sch := w.srv.Scheduler()
+	body, _ := json.Marshal(JoinRequest{ //nolint:errcheck // static struct
+		ID: w.cfg.ID, Base: w.cfg.Advertise,
+		// Queued + running jobs: the load signal the coordinator's
+		// load-aware placement ranks candidates by.
+		QueueDepth: sch.QueueLen() + sch.Inflight(),
+	})
 	ctx, cancel := context.WithTimeout(context.Background(), w.cfg.PeerTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+"/v1/cluster/join", bytes.NewReader(body))

@@ -81,6 +81,12 @@ type EpochLog struct {
 	// Degraded marks an epoch whose cost exceeded the watchdog's trailing
 	// baseline by more than the configured factor.
 	Degraded bool
+	// Interference marks an epoch whose cost shift coincided with a
+	// tenant-switch boundary on a time-multiplexed fabric: the cold-cache
+	// spike is attributed to the co-tenant, not a fault, so it neither
+	// counts toward the degraded streak nor pollutes the baseline (see
+	// ResilientStepper).
+	Interference bool
 	// Fallback marks an epoch executed under the safe static fallback
 	// configuration rather than model control.
 	Fallback bool

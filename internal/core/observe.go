@@ -28,6 +28,9 @@ type Observer struct {
 	// TraceCounters includes the full Table 2 telemetry vector in every
 	// epoch record (larger traces; off by default).
 	TraceCounters bool
+	// Tenant, when set, stamps every epoch record with the tenant the run
+	// executes on behalf of (multi-tenant fabric multiplexing).
+	Tenant string
 
 	// simTime is the cumulative simulated-time cursor placing records on
 	// the trace axis.
@@ -79,6 +82,8 @@ func (o *Observer) epoch(idx int, log EpochLog) {
 		TelemetryDropped: log.TelemetryDropped,
 		Degraded:         log.Degraded,
 		Fallback:         log.Fallback,
+		Interference:     log.Interference,
+		Tenant:           o.Tenant,
 	}
 	if o.TraceCounters {
 		rec.Counters = counterMap(log.Counters)
@@ -123,6 +128,10 @@ func (o *Observer) flush() {
 		}
 		if log.Fallback {
 			r.Counter("controller_fallback_epochs_total", "epochs executed under the safe static fallback").Inc()
+		}
+		if log.Interference {
+			r.Counter("controller_interference_epochs_total",
+				"over-threshold epochs classified as co-tenant interference at a tenant-switch boundary").Inc()
 		}
 	}
 	o.pend = nil

@@ -106,6 +106,10 @@ type ResilienceReport struct {
 	RejectedPredictions int `json:"rejected_predictions"`
 	// DegradedEpochs counts epochs over the watchdog's cost threshold.
 	DegradedEpochs int `json:"degraded_epochs"`
+	// InterferenceEpochs counts over-threshold epochs coincident with a
+	// tenant-switch boundary, classified as co-tenant interference rather
+	// than degradation (multi-tenant runs only; see ResilientStepper).
+	InterferenceEpochs int `json:"interference_epochs,omitempty"`
 	// Fallbacks counts watchdog trips into the safe static configuration.
 	Fallbacks int `json:"fallbacks"`
 	// FallbackEpochs counts epochs executed under the fallback config.
@@ -125,10 +129,14 @@ type ResilienceReport struct {
 
 // String renders the report as the CLI's resilience summary block.
 func (r ResilienceReport) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"repairs=%d dropped=%d rejected=%d degraded=%d fallbacks=%d fallback-epochs=%d permanent=%v retries=%d reconfig-failures=%d",
 		r.Repairs, r.DroppedTelemetry, r.RejectedPredictions, r.DegradedEpochs,
 		r.Fallbacks, r.FallbackEpochs, r.PermanentFallback, r.ReconfigRetries, r.ReconfigFailures)
+	if r.InterferenceEpochs > 0 {
+		s += fmt.Sprintf(" interference=%d", r.InterferenceEpochs)
+	}
+	return s
 }
 
 // ResilientOptions extend the controller options with the watchdog,

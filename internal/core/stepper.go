@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"sparseadapt/internal/config"
+	"sparseadapt/internal/sim"
+)
+
+// ResilientStepper exposes the resilient decision core one epoch at a time,
+// for schedulers that own the epoch loop themselves. The multi-tenant fabric
+// multiplexer (internal/tenant) interleaves many jobs' epochs on one
+// machine, so no controller can drive a whole run; instead each tenant
+// carries a stepper, the multiplexer reports tenant-switch boundaries via
+// NoteSwitch, and feeds every completed epoch to Step.
+//
+// The stepper is the interference-aware extension of ResilientController's
+// watchdog: an over-threshold epoch that coincides with a tenant-switch
+// boundary is classified as co-tenant interference — the cold-cache spike
+// the switch itself caused — rather than degradation. An interference epoch
+// does not advance the degraded streak, does not enter the healthy baseline
+// window, and does not trip the fallback; the model still re-predicts from
+// the epoch's (sanitized) telemetry, so control adapts to the post-switch
+// state instead of retreating from it. Re-predict, don't fall back.
+//
+// Model may be nil: the stepper then holds the current configuration and
+// runs watchdog classification only, which is how tenants without a trained
+// model (or tests that must not pay for training) use it.
+type ResilientStepper struct {
+	Model *Ensemble
+	Opts  ResilientOptions
+	// Obs is the optional run observer; epoch records it emits carry the
+	// interference classification and the observer's Tenant stamp.
+	Obs *Observer
+
+	wd            watchdogState
+	inner         Controller
+	inFallback    bool
+	reconfigured  bool
+	switchPending bool
+	epochIdx      int
+	normalized    bool
+	report        ResilienceReport
+}
+
+// NewResilientStepper builds a stepper with normalized options. model may be
+// nil (hold configuration, watchdog-only).
+func NewResilientStepper(model *Ensemble, opts ResilientOptions) *ResilientStepper {
+	s := &ResilientStepper{Model: model, Opts: opts.normalize(), normalized: true}
+	s.inner = Controller{Model: model, Opts: s.Opts.Options}
+	return s
+}
+
+// NoteSwitch tells the stepper the next epoch it observes is the first one
+// after a tenant switch, so an over-threshold cost there is classified as
+// interference instead of degradation.
+func (s *ResilientStepper) NoteSwitch() {
+	s.switchPending = true
+}
+
+// Report returns the resilience summary accumulated so far.
+func (s *ResilientStepper) Report() ResilienceReport { return s.report }
+
+// Epochs returns how many epochs the stepper has observed.
+func (s *ResilientStepper) Epochs() int { return s.epochIdx }
+
+// Flush closes the observer's pending epoch record; the multiplexer calls it
+// when the tenant's job completes.
+func (s *ResilientStepper) Flush() { s.Obs.flush() }
+
+// Step observes one completed epoch and performs the boundary decision for
+// the next: watchdog classification (degraded vs interference), fallback
+// bookkeeping, and — model permitting — a validated, policy-filtered
+// prediction applied to the machine. It returns the annotated epoch log;
+// after Step returns, m.Config() is the configuration the tenant's next
+// epoch should run under.
+func (s *ResilientStepper) Step(m *sim.Machine, r sim.EpochResult) EpochLog {
+	if !s.normalized {
+		s.Opts = s.Opts.normalize()
+		s.inner = Controller{Model: s.Model, Opts: s.Opts.Options}
+		s.normalized = true
+	}
+	log := EpochLog{
+		Config: m.Config(), Metrics: r.Metrics, Counters: r.Counters,
+		Phase: r.Phase, Reconfigured: s.reconfigured, Fallback: s.inFallback,
+	}
+	s.reconfigured = false
+
+	clean, repairs := SanitizeCounters(r.Counters)
+	log.Repairs = repairs
+	s.report.Repairs += repairs
+
+	// Watchdog: an over-threshold epoch right after a tenant switch is the
+	// co-tenant's cold-cache bill, not a fault — classify, keep the streak
+	// and baseline untouched, and let the model re-predict below.
+	cost := epochCost(r.Metrics)
+	if b := s.wd.baseline(); s.switchPending && b > 0 && cost > s.Opts.DegradeFactor*b {
+		log.Interference = true
+		s.report.InterferenceEpochs++
+		s.Obs.event("interference", map[string]string{"epoch": fmt.Sprintf("%d", s.epochIdx)})
+	} else {
+		log.Degraded = s.wd.observe(cost, s.Opts.DegradeFactor, s.Opts.WatchdogWindow)
+		if log.Degraded {
+			s.report.DegradedEpochs++
+		}
+	}
+	s.switchPending = false
+	if s.inFallback {
+		s.report.FallbackEpochs++
+	}
+	s.Obs.epoch(s.epochIdx, log)
+	s.epochIdx++
+
+	s.decideNext(m, r, clean)
+	return log
+}
+
+// decideNext mirrors ResilientController.decide for the steppable loop:
+// fallback cooldown, watchdog trip, or model prediction.
+func (s *ResilientStepper) decideNext(m *sim.Machine, r sim.EpochResult, clean sim.Counters) {
+	if s.inFallback {
+		if !s.wd.Permanent {
+			s.wd.Cooldown--
+			if s.wd.Cooldown <= 0 {
+				s.inFallback = false
+				s.wd.Streak = 0
+				s.Obs.event("fallback-exit", nil)
+				return
+			}
+		}
+		if m.Config() != s.Opts.Fallback {
+			s.apply(m, s.Opts.Fallback)
+		}
+		return
+	}
+
+	if s.wd.Streak >= s.Opts.DegradeEpochs {
+		s.wd.Trips++
+		s.report.Fallbacks++
+		s.wd.Streak = 0
+		s.wd.Cooldown = s.Opts.CooldownEpochs
+		if s.wd.Trips >= s.Opts.MaxTrips {
+			s.wd.Permanent = true
+			s.report.PermanentFallback = true
+		}
+		s.inFallback = true
+		s.Obs.event("watchdog-trip", map[string]string{
+			"trips":     fmt.Sprintf("%d", s.wd.Trips),
+			"permanent": fmt.Sprintf("%v", s.wd.Permanent),
+		})
+		s.apply(m, s.Opts.Fallback)
+		return
+	}
+
+	if s.Model == nil {
+		return // hold: watchdog-only mode
+	}
+	pred := s.Model.Predict(m.Config(), clean)
+	if !ValidatePrediction(m.Config(), pred) {
+		s.report.RejectedPredictions++
+		s.Obs.event("rejected-prediction", map[string]string{"pred": fmt.Sprintf("%v", [config.NumParams]int(pred))})
+		return
+	}
+	// Single bound trace per tenant: the algorithm axes cannot move.
+	for _, p := range []config.Param{config.Dataflow, config.Format, config.SchedPolicy} {
+		pred[p] = m.Config()[p]
+	}
+	next := s.inner.filter(m, pred, r.Metrics.TimeSec, r.DirtyL1, r.DirtyL2, m.TraceNNZ())
+	s.Obs.decision(pred, next)
+	if next != m.Config() {
+		s.apply(m, next)
+	}
+}
+
+// apply reconfigures toward target, updating the stepper's bookkeeping.
+func (s *ResilientStepper) apply(m *sim.Machine, target config.Config) {
+	from := m.Config()
+	rc, err := m.Reconfigure(target)
+	if err != nil {
+		s.report.ReconfigFailures++
+		s.Obs.event("reconfig-failure", map[string]string{"target": target.String()})
+		return
+	}
+	s.reconfigured = true
+	s.Obs.reconfig(from, target, rc)
+}

@@ -9,7 +9,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11L", "fig11R", "fig12", "tab6", "sec64", "disc7", "hist", "algo", "models", "phasedet", "pareto", "sched", "fmt"}
+	want := []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11L", "fig11R", "fig12", "tab6", "sec64", "disc7", "hist", "algo", "models", "phasedet", "pareto", "sched", "fmt", "mux"}
 	for _, id := range want {
 		if _, err := Get(id); err != nil {
 			t.Fatalf("experiment %s missing: %v", id, err)
@@ -90,7 +90,7 @@ func TestAllExperimentsAtTestScale(t *testing.T) {
 	mins := map[string]int{
 		"fig1": 4, "fig5": 7, "fig6": 9, "fig7": 9, "fig8": 9,
 		"fig9": 6, "fig10": 12, "fig11L": 6, "fig11R": 5, "fig12": 4,
-		"tab6": 4, "sec64": 9, "disc7": 4, "hist": 3, "algo": 4, "models": 6, "phasedet": 2, "pareto": 20, "sched": 3,
+		"tab6": 4, "sec64": 9, "disc7": 4, "hist": 3, "algo": 4, "models": 6, "phasedet": 2, "pareto": 20, "sched": 3, "mux": 6,
 	}
 	for _, id := range IDs() {
 		id := id

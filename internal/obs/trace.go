@@ -46,6 +46,13 @@ type EpochRecord struct {
 	TelemetryDropped bool `json:"telemetry_dropped,omitempty"`
 	Degraded         bool `json:"degraded,omitempty"`
 	Fallback         bool `json:"fallback,omitempty"`
+	// Interference marks an over-threshold epoch coincident with a
+	// tenant-switch boundary, classified as co-tenant interference rather
+	// than degradation (multi-tenant runs only).
+	Interference bool `json:"interference,omitempty"`
+	// Tenant is the tenant the epoch ran on behalf of (multi-tenant runs
+	// only; empty for dedicated-fabric runs).
+	Tenant string `json:"tenant,omitempty"`
 	// Counters is the per-epoch telemetry (Table 2), keyed by feature name.
 	Counters map[string]float64 `json:"counters,omitempty"`
 }
@@ -296,6 +303,12 @@ func (t *TraceRecorder) WriteChromeTrace(w io.Writer) error {
 		}
 		if ep.Fallback {
 			args["fallback"] = true
+		}
+		if ep.Interference {
+			args["interference"] = true
+		}
+		if ep.Tenant != "" {
+			args["tenant"] = ep.Tenant
 		}
 		for k, v := range ep.Counters {
 			args["counter."+k] = v

@@ -78,6 +78,14 @@ type JobRequest struct {
 	// TimeoutSec caps the job's execution time; 0 uses the server default,
 	// and values above the server default are clamped to it.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// Tenant names the tenant submitting the job, for per-tenant admission
+	// quotas and accounting. Clients may set it here or via the X-Tenant-ID
+	// header (the header fills this field server-side, so it survives
+	// coordinator→worker forwarding). Empty means untenanted.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the tenant priority class:
+	// interactive|batch|scavenger (default batch).
+	Priority string `json:"priority,omitempty"`
 }
 
 // Validate normalizes defaults in place and rejects malformed requests.
@@ -162,12 +170,35 @@ func (r *JobRequest) Validate() error {
 	if r.TimeoutSec < 0 {
 		return fmt.Errorf("timeout_sec must be >= 0")
 	}
+	if len(r.Tenant) > 64 {
+		return fmt.Errorf("tenant name longer than 64 bytes")
+	}
+	for i := 0; i < len(r.Tenant); i++ {
+		if c := r.Tenant[i]; c < 0x21 || c > 0x7e {
+			return fmt.Errorf("tenant name contains non-printable or space byte %#x", c)
+		}
+	}
+	switch r.Priority {
+	case "":
+		if r.Tenant != "" {
+			r.Priority = "batch"
+		}
+	case "interactive", "batch", "scavenger":
+	default:
+		return fmt.Errorf("unknown priority %q (interactive|batch|scavenger)", r.Priority)
+	}
+	if r.Priority != "" && r.Tenant == "" {
+		return fmt.Errorf("priority requires a tenant")
+	}
 	return nil
 }
 
 // Fingerprint content-addresses the request: every field that determines
 // the result participates; TimeoutSec deliberately does not (a timed-out
-// job errors and is never cached). The same key addresses the result in
+// job errors and is never cached), and neither do Tenant or Priority —
+// who submitted a job and how urgently cannot change its result, and
+// excluding them lets tenants share cache entries for identical work
+// (results carry no tenant data). The same key addresses the result in
 // the engine cache on every node and places the job on the consistent-hash
 // ring, which is what routes repeat submissions to the worker already
 // holding their cache entry.

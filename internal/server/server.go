@@ -41,6 +41,7 @@ import (
 	"sparseadapt/internal/obs"
 	"sparseadapt/internal/sched"
 	"sparseadapt/internal/server/store"
+	"sparseadapt/internal/tenant"
 )
 
 // Config sizes the server. The zero value is usable: every field has a
@@ -112,6 +113,12 @@ type Config struct {
 	// (exec panics, journal write errors, cache corruption, mid-epoch
 	// kills) for resilience testing. Never set in production.
 	Chaos *fault.Chaos
+	// TenantQuota bounds each tenant's use of the admission queue: an
+	// inflight-job cap and a submission token bucket, enforced before a
+	// global queue slot is reserved so one tenant's rejections never consume
+	// global admission capacity. The zero value disables enforcement; jobs
+	// carrying a tenant are still tracked and reported on /v1/tenants.
+	TenantQuota tenant.Quota
 	// Metrics, when non-nil, receives the server_* family (and the engine_*
 	// family of the execution engine). New creates a private registry when
 	// nil, so /metrics always works.
@@ -169,6 +176,7 @@ type Server struct {
 	sch   *sched.Scheduler
 	met   serverMetrics
 	rl    *rateLimiter
+	tt    *tenant.Tracker
 	store *store.Store // nil when durability is disabled
 	mux   *http.ServeMux
 
@@ -198,6 +206,7 @@ func New(cfg Config) (*Server, error) {
 		rl:    newRateLimiter(cfg.RatePerSec, cfg.Burst),
 		birth: time.Now(),
 	}
+	s.tt = tenant.NewTracker(cfg.TenantQuota, reg)
 	exec := cfg.Exec
 	if exec == nil {
 		exec = s.localExec
@@ -228,6 +237,7 @@ func New(cfg Config) (*Server, error) {
 		Finished: func(st JobStatus) {
 			s.logf("job=%s request_id=%s state=%s attempts=%d", st.ID, st.RequestID, st.State, st.Attempts)
 			s.journalTerminal(st)
+			s.tt.Release(st.ID, st.FinishedAt.Sub(st.CreatedAt))
 		},
 		Evicted: func(id string) {
 			if s.store != nil {
@@ -327,6 +337,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /v1/tenants", s.handleTenants)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /version", s.handleVersion)
@@ -428,6 +439,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// The tenant rides in the body's "tenant" field or the X-Tenant-ID
+	// header; the field wins so coordinator→worker forwarding (which
+	// re-serializes the body) preserves it. A header-sourced tenant goes
+	// back through Validate for the same name rules and priority default.
+	if req.Tenant == "" {
+		if hdr := r.Header.Get("X-Tenant-ID"); hdr != "" {
+			req.Tenant = hdr
+			if err := req.Validate(); err != nil {
+				s.met.badRequest.Inc()
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+		}
+	}
+	class, err := tenant.ParseClass(req.Priority)
+	if err != nil {
+		s.met.badRequest.Inc()
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Tenant admission runs before the scheduler reserves a global slot: a
+	// tenant at its quota is rejected with its own Retry-After (the EWMA of
+	// its job residence times, not the global queue hint) and never consumes
+	// global admission capacity.
+	if hint, err := s.tt.Admit(req.Tenant, class, now); err != nil {
+		retryAfter(w, hint)
+		writeError(w, http.StatusTooManyRequests, "tenant %s: %v, retry in %s", req.Tenant, err, hint.Round(time.Millisecond))
+		return
+	}
 
 	// Phase one: reserve an admission slot (the scheduler holds it while
 	// the acceptance record commits, so the post-journal enqueue can never
@@ -435,14 +475,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.sch.Reserve(req, rid, now)
 	switch {
 	case errors.Is(err, sched.ErrDraining):
+		s.tt.Cancel(req.Tenant)
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	case errors.Is(err, sched.ErrQueueFull):
+		s.tt.Cancel(req.Tenant)
 		s.met.rejectedQueue.Inc()
 		retryAfter(w, s.sch.QueueRetryHint())
 		writeError(w, http.StatusTooManyRequests, "job queue full (%d queued)", s.sch.Config().QueueDepth)
 		return
 	case err != nil:
+		s.tt.Cancel(req.Tenant)
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
@@ -454,6 +497,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// knows the submission did not take.
 	if err := s.journalAccept(j); err != nil {
 		s.sch.Withdraw(j)
+		s.tt.Cancel(req.Tenant)
 		retryAfter(w, time.Second)
 		writeError(w, http.StatusServiceUnavailable, "journal write failed, job not accepted: %v", err)
 		return
@@ -464,9 +508,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// committing. The job was canceled — journal the terminal record so
 		// the next boot does not resurrect it — and shed the submission.
 		s.journalTerminal(j.Status())
+		s.tt.Cancel(req.Tenant)
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
+	s.tt.Bind(j.ID(), req.Tenant)
 	s.logf("job=%s request_id=%s accepted mode=%s kernel=%s", j.ID(), rid, req.Mode, req.Kernel)
 	w.Header().Set("X-Request-ID", rid)
 	writeJSON(w, http.StatusAccepted, j.Status())
@@ -501,6 +547,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if !j.RequestCancel() {
 		writeError(w, http.StatusConflict, "job %s already finished", j.ID())
 		return
+	}
+	// A queued job cancels synchronously without the Finished hook firing,
+	// so release its tenant slot here; Release is idempotent, so the
+	// running-job path (where the hook does fire later) is unaffected.
+	if st := j.Status(); st.Terminal() {
+		s.tt.Release(st.ID, st.FinishedAt.Sub(st.CreatedAt))
 	}
 	writeJSON(w, http.StatusOK, j.Status())
 }
@@ -579,6 +631,17 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, matrix.Dataset)
 }
 
+// handleTenants is GET /v1/tenants: every tenant's admission state —
+// inflight jobs, admitted/finished/rejected counts, and the residence-time
+// EWMA behind its Retry-After hints — sorted by tenant ID.
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.tt.Snapshot())
+}
+
+// Tenants returns the tenant admission tracker (for embedding callers and
+// tests).
+func (s *Server) Tenants() *tenant.Tracker { return s.tt }
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	breakerState := "closed"
 	if open, _ := s.sch.BreakerOpen(time.Now()); open {
@@ -593,6 +656,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"breaker":        breakerState,
 		"breaker_trips":  s.sch.BreakerTrips(),
 		"durable":        s.store != nil,
+		"tenants_active": s.tt.Active(),
 	}
 	if s.store != nil {
 		st := s.store.Stats()

@@ -135,6 +135,114 @@ func (m *Machine) Reconfigure(to config.Config) (ReconfigCost, error) {
 	return rc, nil
 }
 
+// ContextSwitch is the tenant-switch transition used by the time-multiplexed
+// fabric (internal/tenant). Unlike Reconfigure, which flushes only the levels
+// its transition class demands, a context switch always evicts the outgoing
+// tenant's entire on-chip state: both cache levels are flushed (dirty lines
+// written back through the hierarchy and on to DRAM), scratchpad residency
+// and the per-core stream buffers are cleared, and all prefetchers are reset
+// unconditionally — so the machine the incoming tenant resumes on is
+// state-identical to a freshly constructed one, and its cold-cache misses are
+// paid in its own epoch accounting. The cost is returned rather than folded
+// into the next RunEpoch: the multiplexer charges switch time and energy to
+// the incoming tenant's ledger explicitly (ReconfigCost.TimeSec plus
+// SwitchPenalty), which keeps the resuming tenant's simulated epochs
+// byte-identical to a solo run at any quantum length. Any penalty still
+// pending from an earlier in-quantum Reconfigure is swept into the returned
+// cost so it cannot leak across the tenant boundary. No format-conversion
+// cycles are charged: the incoming tenant binds its own trace, already in its
+// own format.
+func (m *Machine) ContextSwitch(to config.Config) (ReconfigCost, error) {
+	tr := config.Classify(m.cfg, to)
+	if tr.Coarse {
+		return ReconfigCost{}, fmt.Errorf("sim: coarse parameter change %v requires recompilation", tr.Changed)
+	}
+	var rc ReconfigCost
+	rc.Cycles = float64(tr.SuperFineChanges) * config.SuperFineCycles
+
+	var cnt power.Counts
+	if !m.cfg.L1IsSPM() {
+		for _, b := range m.l1 {
+			for _, lineAddr := range b.Flush() {
+				rc.L1Flushed++
+				cnt.L1Accesses++
+				bank := 0
+				if to.L2Shared() {
+					bank = int(lineAddr) % m.chip.L2Banks()
+				}
+				ev := m.l2[bank].Insert(lineAddr, true, false)
+				cnt.L2Accesses++
+				if ev.Valid && ev.Dirty {
+					rc.DRAMWrites += LineSize
+				}
+			}
+		}
+		rc.Cycles += float64(rc.L1Flushed) * flushCyclesPerLine
+	} else {
+		n := len(m.spmFilled)
+		rc.L1Flushed = n / 2
+		cnt.SPMAccesses += n
+		cnt.L2Accesses += n / 2
+		rc.Cycles += float64(n/2) * flushCyclesPerLine
+	}
+	m.spmFilled = make(map[uint32]bool)
+	for _, b := range m.l2 {
+		dirty := b.Flush()
+		rc.L2Flushed += len(dirty)
+		cnt.L2Accesses += len(dirty)
+		rc.DRAMWrites += len(dirty) * LineSize
+	}
+	rc.Cycles += float64(rc.L2Flushed) * flushCyclesPerLine
+
+	// Both levels are empty now, so resizing is free of casualties.
+	for _, b := range m.l1 {
+		b.Resize(to.L1CapKB() * 1024)
+	}
+	for _, b := range m.l2 {
+		b.Resize(to.L2CapKB() * 1024)
+	}
+	for _, p := range m.l1pf {
+		p.Reset()
+	}
+	for _, p := range m.l2pf {
+		p.Reset()
+	}
+	for i := range m.streamValid {
+		m.streamValid[i] = false
+	}
+
+	// Sweep any penalty a same-quantum Reconfigure left pending into this
+	// switch's cost instead of letting it fold into the next tenant's epoch.
+	rc.Cycles += m.pendCycles
+	cnt.Add(m.pendCounts)
+	m.pendCycles = 0
+	m.pendCounts = power.Counts{}
+	cnt.DRAMWriteBytes += rc.DRAMWrites
+
+	if m.mx != nil {
+		m.mx.recordReconfig(rc)
+	}
+	m.cfg = to
+	m.refreshDerived()
+	m.rebuildSPMResidency()
+	return rc, nil
+}
+
+// SwitchPenalty prices a ContextSwitch cost in wall time and energy at the
+// incoming configuration's operating point, mirroring TransitionPenalty's
+// model: flush traffic at cache-access energy (L2 writes weighted 1.5x),
+// cores power-gated during the switch at 30% leakage, DRAM writeback bytes
+// at 28 pJ/byte, and time bounded below by the off-chip bandwidth on the
+// writeback burst.
+func SwitchPenalty(chip power.Chip, to config.Config, rc ReconfigCost, bw float64) (timeSec, energyJ float64) {
+	timeSec = rc.TimeSec(to.ClockHz(), bw)
+	dyn := float64(rc.L1Flushed)*power.CacheAccessJ(to.L1CapKB()) +
+		float64(rc.L1Flushed+rc.L2Flushed)*1.5*power.CacheAccessJ(to.L2CapKB())
+	leak := 0.3 * chip.LeakageW(to) * timeSec
+	energyJ = (dyn+leak)*power.Scale(to.ClockMHz()) + float64(rc.DRAMWrites)*28e-12
+	return timeSec, energyJ
+}
+
 // TransitionPenalty computes, without machine state, the time and energy
 // penalty of switching from one configuration to another given the dirty
 // line counts observed at the boundary and the operand nonzero count nnz

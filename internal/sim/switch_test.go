@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"sparseadapt/internal/config"
+)
+
+// dirtyStoreTrace writes through a region so both cache levels hold dirty
+// state when a tenant switch arrives.
+func dirtyStoreTrace(n int) *Trace {
+	b := NewBuilder(testChip.NGPE(), testChip.Tiles)
+	reg := b.AllocRegion("w", 32*1024, RegionStream, 1)
+	for i := 0; i < n; i++ {
+		b.On(i % testChip.NGPE())
+		b.StoreF(1, reg.Lo+uint32(i*8%(32*1024)))
+	}
+	return b.Build()
+}
+
+// The tenant determinism contract: after ContextSwitch the machine must be
+// state-identical to a freshly constructed one, so the incoming tenant's
+// epochs replay byte-identically to a solo run regardless of who ran before.
+func TestContextSwitchFreshMachineEquality(t *testing.T) {
+	warm := dirtyStoreTrace(2000)
+	next := streamTrace(400)
+	to := config.Baseline
+	to[config.L1Cap] = 4
+	to[config.Clock] = 3
+
+	used := New(testChip, DefaultBandwidth, config.Baseline)
+	used.BindTrace(warm)
+	for i, ep := range warm.Epochs(100) {
+		if i >= 3 {
+			break
+		}
+		used.RunEpoch(ep)
+	}
+	rc, err := used.ContextSwitch(to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.L1Flushed == 0 && rc.L2Flushed == 0 {
+		t.Fatal("a dirty machine must flush on context switch")
+	}
+	used.BindTrace(next)
+
+	fresh := New(testChip, DefaultBandwidth, to)
+	fresh.BindTrace(next)
+
+	for i, ep := range next.Epochs(100) {
+		a, b := used.RunEpoch(ep), fresh.RunEpoch(ep)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("epoch %d diverges after context switch:\n%+v\nvs fresh\n%+v", i, a, b)
+		}
+	}
+}
+
+// Same contract in scratchpad mode: SPM residency is rebuilt for the
+// incoming trace and no filled-line state survives the switch.
+func TestContextSwitchSPMFreshEquality(t *testing.T) {
+	warm := reuseTrace(4096, 500)
+	next := reuseTrace(8192, 300)
+	from := config.BestAvgSPM
+	to := config.BestAvgSPM
+	to[config.Clock] = 2
+
+	used := New(testChip, DefaultBandwidth, from)
+	used.BindTrace(warm)
+	for i, ep := range warm.Epochs(100) {
+		if i >= 2 {
+			break
+		}
+		used.RunEpoch(ep)
+	}
+	if _, err := used.ContextSwitch(to); err != nil {
+		t.Fatal(err)
+	}
+	used.BindTrace(next)
+
+	fresh := New(testChip, DefaultBandwidth, to)
+	fresh.BindTrace(next)
+
+	for i, ep := range next.Epochs(100) {
+		a, b := used.RunEpoch(ep), fresh.RunEpoch(ep)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("SPM epoch %d diverges after context switch:\n%+v\nvs fresh\n%+v", i, a, b)
+		}
+	}
+}
+
+// A Reconfigure inside the outgoing tenant's quantum leaves its penalty
+// pending; the switch must sweep it into the switch cost instead of letting
+// the incoming tenant's first epoch absorb it.
+func TestContextSwitchSweepsPendingPenalty(t *testing.T) {
+	warm := dirtyStoreTrace(2000)
+	m := New(testChip, DefaultBandwidth, config.Baseline)
+	m.BindTrace(warm)
+	m.RunEpoch(warm.Epochs(100)[0])
+
+	mid := config.Baseline
+	mid[config.L1Share] = config.Private
+	if _, err := m.Reconfigure(mid); err != nil {
+		t.Fatal(err)
+	}
+	if m.pendCycles == 0 {
+		t.Fatal("reconfigure should leave a pending penalty")
+	}
+	pend := m.pendCycles
+
+	base, err := freshSwitchCost(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := m.ContextSwitch(config.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.pendCycles != 0 {
+		t.Fatal("pending penalty must not survive a context switch")
+	}
+	if rc.Cycles < pend {
+		t.Fatalf("switch cost %v must include swept pending %v (baseline switch alone: %v)", rc.Cycles, pend, base)
+	}
+}
+
+// freshSwitchCost measures the switch cost of a machine that ran one epoch
+// with no intervening reconfiguration, for comparison.
+func freshSwitchCost(tr *Trace) (float64, error) {
+	m := New(testChip, DefaultBandwidth, config.Baseline)
+	m.BindTrace(tr)
+	m.RunEpoch(tr.Epochs(100)[0])
+	rc, err := m.ContextSwitch(config.Baseline)
+	return rc.Cycles, err
+}
+
+func TestContextSwitchCoarseRejected(t *testing.T) {
+	m := New(testChip, DefaultBandwidth, config.Baseline)
+	m.BindTrace(streamTrace(10))
+	if _, err := m.ContextSwitch(config.BestAvgSPM); err == nil {
+		t.Fatal("coarse change must be rejected at a tenant switch too")
+	}
+}
+
+func TestSwitchPenaltyPricing(t *testing.T) {
+	rc := ReconfigCost{Cycles: 5000, L1Flushed: 200, L2Flushed: 50, DRAMWrites: 50 * LineSize}
+	tSec, e := SwitchPenalty(testChip, config.Baseline, rc, DefaultBandwidth)
+	if tSec <= 0 || e <= 0 {
+		t.Fatalf("switch penalty %v s %v J", tSec, e)
+	}
+	// More flushed state must cost more in both dimensions.
+	rc2 := rc
+	rc2.L1Flushed *= 10
+	rc2.L2Flushed *= 10
+	rc2.DRAMWrites *= 10
+	rc2.Cycles *= 10
+	t2, e2 := SwitchPenalty(testChip, config.Baseline, rc2, DefaultBandwidth)
+	if t2 <= tSec || e2 <= e {
+		t.Fatalf("dirtier switch must cost more: (%v,%v) vs (%v,%v)", t2, e2, tSec, e)
+	}
+	if ts, es := SwitchPenalty(testChip, config.Baseline, ReconfigCost{}, DefaultBandwidth); ts != 0 || es != 0 {
+		t.Fatal("empty switch must be free")
+	}
+}

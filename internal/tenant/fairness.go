@@ -1,0 +1,32 @@
+package tenant
+
+// Jain computes Jain's fairness index over a vector of per-tenant
+// allocations: (Σx)² / (n·Σx²). It is 1 when every tenant received the
+// same allocation and 1/n when one tenant received everything. Feed it
+// virtual-time service (service normalized by class weight) to measure
+// weighted fairness. Empty or all-zero input returns 0.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// Slowdown returns how much longer a tenant took to finish under
+// multiplexing than alone: muxFinishSec / soloSec. 1 means no slowdown;
+// values below 1 cannot occur with honest accounting. Returns 0 when the
+// solo run took no time.
+func Slowdown(muxFinishSec, soloSec float64) float64 {
+	if soloSec <= 0 {
+		return 0
+	}
+	return muxFinishSec / soloSec
+}

@@ -1,0 +1,209 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sparseadapt/internal/obs"
+)
+
+var t0 = time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+
+func TestTrackerInflightQuota(t *testing.T) {
+	tr := NewTracker(Quota{MaxInflight: 2}, nil)
+	for i := 0; i < 2; i++ {
+		if _, err := tr.Admit("acme", Batch, t0); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		tr.Bind(fmt.Sprintf("job-%d", i), "acme")
+	}
+	hint, err := tr.Admit("acme", Batch, t0)
+	if !errors.Is(err, ErrQuota) {
+		t.Fatalf("third admit: %v", err)
+	}
+	if hint < time.Second || hint > time.Minute {
+		t.Fatalf("quota hint out of clamp range: %v", hint)
+	}
+	// Another tenant is unaffected by acme's quota.
+	if _, err := tr.Admit("zeta", Interactive, t0); err != nil {
+		t.Fatalf("independent tenant rejected: %v", err)
+	}
+	// Releasing frees the slot; double release stays idempotent.
+	tr.Release("job-0", 5*time.Second)
+	tr.Release("job-0", 5*time.Second)
+	if _, err := tr.Admit("acme", Batch, t0); err != nil {
+		t.Fatalf("post-release admit: %v", err)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 2 || snap[0].ID != "acme" || snap[1].ID != "zeta" {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	if snap[0].Inflight != 2 || snap[0].Finished != 1 {
+		t.Fatalf("acme state: %+v", snap[0])
+	}
+}
+
+func TestTrackerRateBucket(t *testing.T) {
+	tr := NewTracker(Quota{RatePerSec: 1, Burst: 2}, nil)
+	now := t0
+	for i := 0; i < 2; i++ {
+		if _, err := tr.Admit("acme", Batch, now); err != nil {
+			t.Fatalf("burst admit %d: %v", i, err)
+		}
+	}
+	hint, err := tr.Admit("acme", Batch, now)
+	if !errors.Is(err, ErrRate) {
+		t.Fatalf("over-burst admit: %v", err)
+	}
+	if hint <= 0 || hint > time.Second {
+		t.Fatalf("rate hint %v, want exact bucket wait in (0, 1s]", hint)
+	}
+	// Tokens refill with time.
+	if _, err := tr.Admit("acme", Batch, now.Add(1500*time.Millisecond)); err != nil {
+		t.Fatalf("post-refill admit: %v", err)
+	}
+}
+
+func TestTrackerRetryHintEWMA(t *testing.T) {
+	tr := NewTracker(Quota{MaxInflight: 1}, nil)
+	if h := tr.RetryHint("acme"); h != time.Second {
+		t.Fatalf("no-history hint %v, want 1s floor", h)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := tr.Admit("acme", Batch, t0); err != nil {
+			t.Fatal(err)
+		}
+		id := fmt.Sprintf("j%d", i)
+		tr.Bind(id, "acme")
+		tr.Release(id, 10*time.Second)
+	}
+	h := tr.RetryHint("acme")
+	if h < 5*time.Second || h > 15*time.Second {
+		t.Fatalf("EWMA hint %v, want near 10s", h)
+	}
+	// The hint clamps at 60s even for pathological residence times.
+	tr.Admit("acme", Batch, t0)
+	tr.Bind("long", "acme")
+	tr.Release("long", 24*time.Hour)
+	tr.Admit("acme", Batch, t0)
+	tr.Bind("long2", "acme")
+	tr.Release("long2", 24*time.Hour)
+	if h := tr.RetryHint("acme"); h > time.Minute {
+		t.Fatalf("hint %v exceeds 60s clamp", h)
+	}
+}
+
+func TestTrackerCancelReturnsSlot(t *testing.T) {
+	tr := NewTracker(Quota{MaxInflight: 1}, nil)
+	if _, err := tr.Admit("acme", Batch, t0); err != nil {
+		t.Fatal(err)
+	}
+	tr.Cancel("acme") // submission failed downstream of admission
+	if _, err := tr.Admit("acme", Batch, t0); err != nil {
+		t.Fatalf("slot not returned by cancel: %v", err)
+	}
+	if snap := tr.Snapshot(); snap[0].Admitted != 1 {
+		t.Fatalf("canceled admit must not count: %+v", snap[0])
+	}
+}
+
+func TestTrackerNilIsOpen(t *testing.T) {
+	var tr *Tracker
+	if _, err := tr.Admit("a", Batch, t0); err != nil {
+		t.Fatal("nil tracker must admit")
+	}
+	tr.Bind("j", "a")
+	tr.Release("j", time.Second)
+	tr.Cancel("a")
+	if tr.Snapshot() != nil || tr.Active() != 0 {
+		t.Fatal("nil tracker must be empty")
+	}
+}
+
+func TestTrackerMetricsAndActive(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := NewTracker(Quota{MaxInflight: 1, RatePerSec: 100, Burst: 100}, reg)
+	tr.Admit("a", Interactive, t0)
+	tr.Bind("ja", "a")
+	tr.Admit("b", Scavenger, t0)
+	tr.Bind("jb", "b")
+	tr.Admit("a", Interactive, t0) // quota reject
+	if tr.Active() != 2 {
+		t.Fatalf("active %d, want 2", tr.Active())
+	}
+	tr.Release("jb", time.Second)
+	if tr.Active() != 1 {
+		t.Fatalf("active %d after release, want 1", tr.Active())
+	}
+	vals := map[string]float64{}
+	for _, ms := range reg.Snapshot() {
+		vals[ms.Name] = ms.Value
+	}
+	if vals["tenant_admitted_total"] != 2 || vals["tenant_rejected_quota_total"] != 1 {
+		t.Fatalf("counters: %+v", vals)
+	}
+	if vals["tenant_inflight_jobs"] != 1 || vals["tenant_active"] != 1 {
+		t.Fatalf("gauges: %+v", vals)
+	}
+}
+
+// Quota conservation under concurrency: admitted slots all come back.
+func TestTrackerConcurrentConservation(t *testing.T) {
+	tr := NewTracker(Quota{MaxInflight: 4}, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := fmt.Sprintf("t%d-j%d", g, i)
+				if _, err := tr.Admit("shared", Batch, t0.Add(time.Duration(i)*time.Millisecond)); err != nil {
+					continue
+				}
+				tr.Bind(id, "shared")
+				tr.Release(id, time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := tr.Snapshot()
+	if len(snap) != 1 || snap[0].Inflight != 0 {
+		t.Fatalf("slots leaked: %+v", snap)
+	}
+	if snap[0].Admitted != snap[0].Finished {
+		t.Fatalf("admitted %d != finished %d", snap[0].Admitted, snap[0].Finished)
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for in, want := range map[string]Class{"": Batch, "batch": Batch, "interactive": Interactive, "scavenger": Scavenger} {
+		got, err := ParseClass(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseClass(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseClass("platinum"); err == nil {
+		t.Fatal("unknown class must error")
+	}
+	if Interactive.Weight() <= Batch.Weight() || Batch.Weight() <= Scavenger.Weight() {
+		t.Fatal("weights must order by class")
+	}
+	if (Quota{}).Enabled() || !(Quota{MaxInflight: 1}).Enabled() {
+		t.Fatal("Enabled")
+	}
+}
+
+func BenchmarkTenantTrackerAdmit(b *testing.B) {
+	tr := NewTracker(Quota{MaxInflight: 1 << 30, RatePerSec: 1e12, Burst: 1e12}, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("j%d", i)
+		tr.Admit("bench", Batch, t0)
+		tr.Bind(id, "bench")
+		tr.Release(id, time.Millisecond)
+	}
+}
